@@ -1,0 +1,27 @@
+"""Benchmark: the CG case study of paper Sec. IV-D.
+
+Runs the full pipeline on the CG benchmark and checks the case-study result:
+only ``x`` carries a Write-After-Read dependency across main-loop iterations,
+and the induction variable ``it`` completes the checkpoint set; the other
+Algorithm-2 inputs (z, p, q, r, A) need no checkpoint.
+"""
+
+from repro.apps import get_app
+from repro.experiments.common import analyze_app
+
+
+def test_cg_case_study(benchmark, once):
+    app = get_app("cg")
+    analysis = once(benchmark, analyze_app, app)
+    report = analysis.report
+
+    assert report.find("x").dependency.value == "WAR"
+    assert report.find("it").dependency.value == "Index"
+    for name in ("z", "p", "q", "r", "A"):
+        assert report.find(name) is None
+
+    print()
+    print("CG case study (paper Sec. IV-D):")
+    print(f"  critical variables: {report.dependency_string()}")
+    print(f"  analysis stages   : "
+          + ", ".join(f"{k}={v:.3f}s" for k, v in report.timings.stages.items()))

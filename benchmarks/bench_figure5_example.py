@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the paper's Fig. 4/5 worked example.
+
+Reproduces the complete/contracted DDG and the R/W dependency sequence of the
+example code and checks the critical variables match the paper's hand
+analysis (r WAR, a RAPO, sum Outcome, it Index).
+"""
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_worked_example(benchmark, once):
+    result = once(benchmark, run_figure5)
+
+    assert set(result.mli_variables) == {"a", "b", "sum", "s", "r"}
+    assert result.critical_variables == {
+        "r": "WAR", "a": "RAPO", "sum": "Outcome", "it": "Index"}
+    assert ("r", "a") in result.contracted_edges
+    assert ("a", "sum") in result.contracted_edges
+
+    print()
+    print(result.summary())

@@ -1,0 +1,43 @@
+"""Benchmark: the parallel trace pre-processing optimization (paper Sec. V-A).
+
+The paper partitions the trace file into block-aligned sub-streams parsed by
+worker threads.  This benchmark measures serial vs. partitioned reading of
+the largest generated trace and checks the parallel result is identical
+record for record (the speedup itself is hardware dependent; the paper
+reports ~16x with 48 OpenMP threads on multi-hundred-MB traces).
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.codegen import compile_source
+from repro.tracer.driver import trace_to_file
+from repro.trace.partition import read_trace_file_parallel
+from repro.trace.textio import read_trace_file
+
+
+@pytest.fixture(scope="module")
+def big_trace_file(tmp_path_factory):
+    app = get_app("cg")
+    source = app.source()
+    module = compile_source(source, module_name="cg")
+    path = str(tmp_path_factory.mktemp("bench-traces") / "cg.trace")
+    size, _ = trace_to_file(module, path)
+    return path, size
+
+
+def test_serial_trace_read(benchmark, big_trace_file):
+    path, size = big_trace_file
+    trace = benchmark(read_trace_file, path)
+    assert len(trace.records) > 10_000
+    print(f"\nserial read of {size} bytes -> {len(trace.records)} records")
+
+
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_parallel_trace_read(benchmark, big_trace_file, workers):
+    path, size = big_trace_file
+    trace = benchmark(read_trace_file_parallel, path, num_workers=workers)
+    serial = read_trace_file(path)
+    assert [r.dyn_id for r in trace.records] == [r.dyn_id for r in serial.records]
+    print(f"\nparallel read ({workers} workers) of {size} bytes -> "
+          f"{len(trace.records)} records")

@@ -1,0 +1,49 @@
+"""Benchmark: regenerate paper Table II (identified critical variables).
+
+One benchmark per application: generate the dynamic trace to a file, run the
+full AutoCheck pipeline, and check the identified (variable, dependency type)
+set equals the paper's row for that benchmark.  A final collector prints the
+assembled table in the paper's layout.
+"""
+
+import pytest
+
+from repro.apps import APP_ORDER, get_app
+from repro.experiments.common import analyze_app
+from repro.experiments.table2 import Table2Row, format_table2
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", APP_ORDER)
+def test_table2_row(benchmark, once, name, tmp_path):
+    app = get_app(name)
+    analysis = once(benchmark, analyze_app, app, trace_dir=str(tmp_path))
+
+    got = {v.name: v.dependency.value for v in analysis.report.critical_variables}
+    assert got == dict(app.expected_critical), analysis.mismatch_description()
+
+    _ROWS[name] = Table2Row(
+        name=app.title,
+        description=app.description,
+        loc=analysis.source_loc,
+        trace_bytes=analysis.trace_bytes or 0,
+        trace_generation_seconds=analysis.trace_generation_seconds,
+        critical_variables=analysis.report.dependency_string(),
+        mclr=analysis.report.main_loop.mclr,
+        matches_paper=analysis.matches_expected,
+        mismatch=analysis.mismatch_description(),
+        analysis=analysis,
+    )
+
+
+def test_table2_print_assembled(benchmark, once):
+    def assemble():
+        return [_ROWS[name] for name in APP_ORDER if name in _ROWS]
+
+    rows = once(benchmark, assemble)
+    if rows:
+        print()
+        print("Table II (regenerated):")
+        print(format_table2(rows))
+    assert all(row.matches_paper for row in rows)

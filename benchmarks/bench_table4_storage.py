@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Table IV (checkpoint storage cost).
+
+For every benchmark, compare the bytes a BLCR-style whole-process checkpoint
+would need against the bytes of the AutoCheck-selected critical variables on
+the larger input, and assert the paper's qualitative result: AutoCheck's
+checkpoints are orders of magnitude smaller for every benchmark.
+"""
+
+from repro.experiments.table4 import format_table4, run_table4
+
+
+def test_table4_storage_cost(benchmark, once):
+    rows = once(benchmark, run_table4)
+
+    print()
+    print("Table IV (regenerated):")
+    print(format_table4(rows))
+
+    assert len(rows) == 14
+    for row in rows:
+        assert row.autocheck_bytes > 0
+        assert row.blcr_bytes > row.autocheck_bytes, row.name
+        # "significantly lower storage cost" — at least two orders of
+        # magnitude on every benchmark (the paper reports up to seven).
+        assert row.ratio >= 100, f"{row.name}: ratio only {row.ratio:.1f}"

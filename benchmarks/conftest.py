@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (a table
+or the worked example) exactly once per run — the interesting output is the
+regenerated table plus the wall-clock time, not statistical timing noise — so
+the benchmarks use ``benchmark.pedantic(..., rounds=1)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

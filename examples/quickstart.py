@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run AutoCheck on the paper's Fig. 4 example program.
+
+This walks the full pipeline on a tiny program:
+
+1. write (or load) a mini-C program;
+2. compile it to the LLVM-like IR and execute it under the tracing
+   interpreter, producing the dynamic instruction execution trace;
+3. hand AutoCheck the trace plus the main computation loop's location;
+4. read off the critical variables to checkpoint.
+
+Expected result (identical to the paper's hand analysis of its example):
+``r`` (WAR), ``a`` (RAPO), ``sum`` (Outcome), ``it`` (Index).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import MainLoopSpec, autocheck_source
+from repro.apps import EXAMPLE_APP, find_mclr
+
+# --------------------------------------------------------------------------- #
+# 1. The program under study — the paper's Fig. 4 example (mini-C).
+# --------------------------------------------------------------------------- #
+SOURCE = EXAMPLE_APP.source()
+print("Program under study (paper Fig. 4):")
+print("-" * 60)
+for number, line in enumerate(SOURCE.splitlines(), start=1):
+    print(f"{number:3d}  {line}")
+print("-" * 60)
+
+# --------------------------------------------------------------------------- #
+# 2+3. Locate the main computation loop and run AutoCheck end to end.
+#      (AutoCheck's inputs per the paper: the dynamic trace, the loop's start
+#       and end lines, and the function containing it.)
+# --------------------------------------------------------------------------- #
+start_line, end_line = find_mclr(SOURCE)
+main_loop = MainLoopSpec(function="main", start_line=start_line, end_line=end_line)
+print(f"\nMain computation loop: function 'main', lines {main_loop.mclr}\n")
+
+report = autocheck_source(SOURCE, main_loop, module_name="quickstart")
+
+# --------------------------------------------------------------------------- #
+# 4. Inspect the results.
+# --------------------------------------------------------------------------- #
+print("MLI (main-loop input) variables:", ", ".join(report.mli_variable_names))
+print("Critical variables to checkpoint:", report.dependency_string())
+print()
+print(report.summary())
+
+print("\nContracted data dependency graph (paper Fig. 5d):")
+contracted = report.contracted_ddg
+for parent, child in sorted(contracted.edges()):
+    print(f"  {contracted.node(parent).label} -> {contracted.node(child).label}")
+
+print("\nRead/Write dependency sequence head (paper Fig. 5e):")
+print(" ", report.rw_sequence.sequence_string(limit=12))
+
+expected = {"r": "WAR", "a": "RAPO", "sum": "Outcome", "it": "Index"}
+got = {v.name: v.dependency.value for v in report.critical_variables}
+assert got == expected, f"unexpected result: {got}"
+print("\nOK: matches the paper's hand-derived answer:", expected)

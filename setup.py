@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` (and ``python setup.py develop``) also
+work on minimal offline environments that lack the ``wheel`` package needed
+for PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

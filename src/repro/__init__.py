@@ -1,0 +1,47 @@
+"""AutoCheck reproduction — automatically identifying variables for
+checkpointing by data dependency analysis (SC'24).
+
+The package is organised as a compiler-and-analysis stack:
+
+* :mod:`repro.minicc`, :mod:`repro.codegen`, :mod:`repro.ir` — a mini-C front
+  end and an LLVM-like IR (the benchmarks' substrate);
+* :mod:`repro.tracer`, :mod:`repro.trace` — the tracing interpreter and the
+  dynamic instruction execution trace format (the LLVM-Tracer substitute);
+* :mod:`repro.analysis` — static loop/induction analysis (llvm-pass-loop
+  equivalent);
+* :mod:`repro.core` — AutoCheck itself: MLI identification, DDG construction
+  and contraction, and the WAR/Outcome/RAPO/Index heuristics;
+* :mod:`repro.checkpoint` — an FTI-like checkpoint/restart library, restart
+  validation harness and BLCR-style storage baseline;
+* :mod:`repro.apps` — the paper's Fig. 4 example plus 14 mini HPC benchmarks;
+* :mod:`repro.experiments` — harnesses regenerating Tables II, III and IV.
+
+Quickstart::
+
+    from repro import autocheck_source
+    from repro.apps import get_app
+
+    app = get_app("cg")
+    report = autocheck_source(app.source, app.main_loop)
+    print(report.dependency_string())   # -> "x (WAR), it (Index)"
+"""
+
+from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.pipeline import AutoCheck, analyze_trace
+from repro.core.report import AutoCheckReport, CriticalVariable, DependencyType
+from repro.api import autocheck_source, autocheck_module
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoCheck",
+    "AutoCheckConfig",
+    "AutoCheckReport",
+    "CriticalVariable",
+    "DependencyType",
+    "MainLoopSpec",
+    "analyze_trace",
+    "autocheck_source",
+    "autocheck_module",
+    "__version__",
+]

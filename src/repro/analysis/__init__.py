@@ -1,0 +1,39 @@
+"""``repro.analysis`` — static analyses over the LLVM-like IR.
+
+The paper uses the LLVM loop pass infrastructure ("llvm-pass-loop API",
+Sec. IV-C) to identify the main computation loop's outermost induction
+variable, which is always checkpointed (the *Index* dependency class).  This
+package provides the equivalent machinery for our IR:
+
+* :mod:`repro.analysis.cfg` — control-flow graph with predecessor/successor
+  maps;
+* :mod:`repro.analysis.dominators` — iterative dominator-tree computation;
+* :mod:`repro.analysis.loops` — natural-loop detection (back edges whose
+  target dominates their source) and loop nesting;
+* :mod:`repro.analysis.induction` — induction-variable recognition and
+  selection of the *main computation loop* from a source line range.
+"""
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.loops import Loop, LoopInfo, find_loops
+from repro.analysis.induction import (
+    InductionVariable,
+    find_induction_variable,
+    find_main_loop,
+    main_loop_induction,
+)
+
+__all__ = [
+    "ControlFlowGraph",
+    "build_cfg",
+    "DominatorTree",
+    "compute_dominators",
+    "Loop",
+    "LoopInfo",
+    "find_loops",
+    "InductionVariable",
+    "find_induction_variable",
+    "find_main_loop",
+    "main_loop_induction",
+]

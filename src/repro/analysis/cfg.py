@@ -1,0 +1,74 @@
+"""Control-flow graph construction for IR functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ir.module import BasicBlock, Function
+
+
+@dataclass
+class ControlFlowGraph:
+    """Successor/predecessor maps over a function's basic blocks."""
+
+    function: Function
+    successors: Dict[BasicBlock, List[BasicBlock]] = field(default_factory=dict)
+    predecessors: Dict[BasicBlock, List[BasicBlock]] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.function.entry
+
+    def blocks(self) -> List[BasicBlock]:
+        return list(self.function.blocks)
+
+    def reachable_blocks(self) -> Set[BasicBlock]:
+        """Blocks reachable from the entry (unreachable blocks are ignored by
+        the dominator and loop analyses)."""
+        seen: Set[BasicBlock] = set()
+        work = [self.entry]
+        while work:
+            block = work.pop()
+            if block in seen:
+                continue
+            seen.add(block)
+            work.extend(self.successors.get(block, []))
+        return seen
+
+    def reverse_postorder(self) -> List[BasicBlock]:
+        """Reverse post-order over reachable blocks (entry first)."""
+        visited: Set[BasicBlock] = set()
+        order: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(self.successors.get(block, [])))]
+            visited.add(block)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(self.successors.get(succ, []))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+
+def build_cfg(function: Function) -> ControlFlowGraph:
+    """Build the CFG of ``function`` from its branch instructions."""
+    cfg = ControlFlowGraph(function=function)
+    for block in function.blocks:
+        cfg.successors[block] = list(block.successors())
+        cfg.predecessors.setdefault(block, [])
+    for block in function.blocks:
+        for succ in cfg.successors[block]:
+            cfg.predecessors.setdefault(succ, []).append(block)
+    return cfg

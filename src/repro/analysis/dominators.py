@@ -1,0 +1,76 @@
+"""Dominator-tree computation (iterative data-flow formulation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.ir.module import BasicBlock
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator map plus a dominance query helper."""
+
+    cfg: ControlFlowGraph
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = field(default_factory=dict)
+    dominators: Dict[BasicBlock, Set[BasicBlock]] = field(default_factory=dict)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """Return True if ``a`` dominates ``b`` (every block dominates itself)."""
+        return a in self.dominators.get(b, set())
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> DominatorTree:
+    """Compute dominator sets with the classic iterative algorithm.
+
+    The CFGs produced from mini-C are small (tens of blocks), so the simple
+    O(n^2) fixed-point formulation is plenty fast and easy to audit.
+    """
+    reachable = cfg.reachable_blocks()
+    order = [block for block in cfg.reverse_postorder() if block in reachable]
+    entry = cfg.entry
+
+    dominators: Dict[BasicBlock, Set[BasicBlock]] = {}
+    all_blocks = set(order)
+    for block in order:
+        dominators[block] = {entry} if block is entry else set(all_blocks)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is entry:
+                continue
+            preds = [p for p in cfg.predecessors.get(block, []) if p in reachable]
+            if preds:
+                new_set: Set[BasicBlock] = set(all_blocks)
+                for pred in preds:
+                    new_set &= dominators[pred]
+            else:
+                new_set = set()
+            new_set.add(block)
+            if new_set != dominators[block]:
+                dominators[block] = new_set
+                changed = True
+
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {entry: None}
+    for block in order:
+        if block is entry:
+            continue
+        strict = dominators[block] - {block}
+        # The immediate dominator is the strict dominator that is itself
+        # dominated by every other strict dominator (the "closest" one).
+        immediate: Optional[BasicBlock] = None
+        for candidate in strict:
+            if all(other in dominators[candidate]
+                   for other in strict if other is not candidate):
+                immediate = candidate
+                break
+        idom[block] = immediate
+
+    return DominatorTree(cfg=cfg, idom=idom, dominators=dominators)

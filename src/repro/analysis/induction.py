@@ -1,0 +1,185 @@
+"""Induction-variable recognition and main-computation-loop selection.
+
+The paper always checkpoints the induction variable of the outermost main
+computation loop ("Index" in Fig. 7), found with LLVM's loop pass API.  Here
+the equivalent is computed directly on the IR:
+
+* the *main computation loop* is the outermost natural loop in the given
+  function whose controlling branch lies within the user-provided source line
+  range (the MCLR column of paper Table II);
+* its *induction variable* is a variable ``x`` such that the loop header's
+  comparison reads ``x`` and some block in the loop stores ``x = x +/- step``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.loops import Loop, LoopInfo, find_loops
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BitCastInst,
+    BranchInst,
+    CastInst,
+    CmpInst,
+    GEPInst,
+    Instruction,
+    LoadInst,
+    StoreInst,
+)
+from repro.ir.module import Function
+from repro.ir.opcodes import Opcode
+from repro.ir.values import GlobalVariable, Register, Value
+
+
+@dataclass(frozen=True)
+class InductionVariable:
+    """An induction variable of a loop: its source name and declaration line."""
+
+    name: str
+    line: int
+    is_global: bool
+
+
+def _definitions(function: Function) -> Dict[int, Instruction]:
+    defs: Dict[int, Instruction] = {}
+    for inst in function.instructions():
+        if inst.result is not None:
+            defs[inst.result.rid] = inst
+    return defs
+
+
+def _resolve_variable(value: Value, defs: Dict[int, Instruction]) -> Optional[Value]:
+    """Trace a pointer operand back to the Alloca or GlobalVariable it names."""
+    seen = 0
+    current = value
+    while seen < 64:
+        seen += 1
+        if isinstance(current, GlobalVariable):
+            return current
+        if isinstance(current, Register):
+            inst = defs.get(current.rid)
+            if inst is None:
+                return None
+            if isinstance(inst, AllocaInst):
+                return inst.result
+            if isinstance(inst, (GEPInst, BitCastInst, CastInst, LoadInst)):
+                current = inst.operands[0]
+                continue
+            return None
+        return None
+    return None
+
+
+def _variable_name(value: Value, defs: Dict[int, Instruction]) -> Optional[str]:
+    resolved = _resolve_variable(value, defs)
+    if isinstance(resolved, GlobalVariable):
+        return resolved.name
+    if isinstance(resolved, Register):
+        inst = defs.get(resolved.rid)
+        if isinstance(inst, AllocaInst):
+            return inst.var_name
+    return None
+
+
+def find_main_loop(function: Function, start_line: int, end_line: int,
+                   loop_info: Optional[LoopInfo] = None) -> Optional[Loop]:
+    """Select the main computation loop from a source line range.
+
+    Among loops whose header branch line falls inside ``[start_line,
+    end_line]`` the outermost (minimal depth, then largest body) is returned.
+    """
+    info = loop_info or find_loops(function)
+    candidates = info.loops_with_header_line(start_line, end_line)
+    if not candidates:
+        return None
+    candidates.sort(key=lambda loop: (loop.depth, -len(loop.blocks), loop.header_line))
+    return candidates[0]
+
+
+def find_induction_variable(function: Function, loop: Loop) -> Optional[InductionVariable]:
+    """Recognise the induction variable controlling ``loop`` (if any)."""
+    defs = _definitions(function)
+
+    terminator = loop.header.terminator
+    if not isinstance(terminator, BranchInst) or not terminator.is_conditional:
+        return None
+    cond = terminator.operands[0]
+    if not isinstance(cond, Register):
+        return None
+
+    # Collect the variables whose loads feed the branch condition — walking
+    # through comparison, logical (`!done && ts <= max_ts`) and cast
+    # instructions down to the underlying `Load`s.
+    candidates: List[str] = []
+    work: List[Instruction] = []
+    root = defs.get(cond.rid)
+    if root is not None:
+        work.append(root)
+    visited = 0
+    while work and visited < 64:
+        visited += 1
+        inst = work.pop()
+        if isinstance(inst, LoadInst):
+            name = _variable_name(inst.pointer, defs)
+            if name is not None and name not in candidates:
+                candidates.append(name)
+            continue
+        if isinstance(inst, (CmpInst, BinaryInst, CastInst, BitCastInst)):
+            for operand in inst.operands:
+                if isinstance(operand, Register):
+                    producer = defs.get(operand.rid)
+                    if producer is not None:
+                        work.append(producer)
+
+    if not candidates:
+        return None
+
+    updates: Dict[str, Instruction] = {}
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if not isinstance(inst, StoreInst):
+                continue
+            target = _variable_name(inst.pointer, defs)
+            if target is None or target not in candidates:
+                continue
+            stored = inst.value
+            if not isinstance(stored, Register):
+                continue
+            producer = defs.get(stored.rid)
+            if isinstance(producer, CastInst) and producer.operands:
+                inner = producer.operands[0]
+                producer = defs.get(inner.rid) if isinstance(inner, Register) else producer
+            if isinstance(producer, BinaryInst) and producer.opcode in (
+                    Opcode.ADD, Opcode.SUB, Opcode.FADD, Opcode.FSUB):
+                for operand in producer.operands:
+                    if isinstance(operand, Register):
+                        load_inst = defs.get(operand.rid)
+                        if isinstance(load_inst, LoadInst) and \
+                                _variable_name(load_inst.pointer, defs) == target:
+                            updates.setdefault(target, inst)
+
+    for name in candidates:
+        if name in updates:
+            store = updates[name]
+            resolved = _resolve_variable(store.pointer, defs)
+            is_global = isinstance(resolved, GlobalVariable)
+            decl_line = store.line
+            if isinstance(resolved, Register):
+                alloca = defs.get(resolved.rid)
+                if isinstance(alloca, AllocaInst) and alloca.line:
+                    decl_line = alloca.line
+            return InductionVariable(name=name, line=decl_line, is_global=is_global)
+    return None
+
+
+def main_loop_induction(function: Function, start_line: int,
+                        end_line: int) -> Optional[InductionVariable]:
+    """Convenience wrapper: main loop selection + induction recognition."""
+    info = find_loops(function)
+    loop = find_main_loop(function, start_line, end_line, loop_info=info)
+    if loop is None:
+        return None
+    return find_induction_variable(function, loop)

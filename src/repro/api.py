@@ -1,0 +1,39 @@
+"""Top-level convenience API.
+
+These helpers cover the common end-to-end flow: compile a mini-C program,
+execute it under the tracing interpreter, and run the AutoCheck analysis on
+the resulting dynamic trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.codegen.lowering import compile_source
+from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.pipeline import AutoCheck
+from repro.core.report import AutoCheckReport
+from repro.ir.module import Module
+from repro.tracer.driver import run_and_trace
+
+
+def autocheck_module(module: Module, main_loop: MainLoopSpec,
+                     seed: int = 314159,
+                     **config_kwargs) -> AutoCheckReport:
+    """Trace a compiled module and run AutoCheck on the dynamic trace."""
+    trace, result = run_and_trace(module, module_name=module.name, seed=seed)
+    if result.failed:
+        raise RuntimeError("traced execution hit a simulated failure; "
+                           "AutoCheck expects a failure-free trace")
+    config = AutoCheckConfig(main_loop=main_loop, **config_kwargs)
+    report = AutoCheck(config, trace=trace, module=module).run()
+    report.trace_stats.record_count = len(trace.records)
+    return report
+
+
+def autocheck_source(source: str, main_loop: MainLoopSpec,
+                     module_name: str = "module", seed: int = 314159,
+                     **config_kwargs) -> AutoCheckReport:
+    """Compile mini-C ``source``, trace it, and run AutoCheck."""
+    module = compile_source(source, module_name=module_name)
+    return autocheck_module(module, main_loop, seed=seed, **config_kwargs)

@@ -1,0 +1,27 @@
+"""``repro.apps`` — the paper's example program and the 14 mini benchmarks.
+
+Each application is a mini-C program whose data-dependency structure mirrors
+the corresponding benchmark of paper Table II: the same variable names, the
+same read/write patterns (accumulators, solution arrays updated in place,
+partially-overwritten arrays, loop outcomes) and therefore — when fed through
+LLVM-Tracer's substitute and the AutoCheck analysis — the same set of
+critical variables and dependency types.  Input sizes are scaled down so the
+whole suite traces and analyses in seconds on a laptop (the paper's point is
+*which variables* are identified, not the FLOP count of the substrate).
+
+Use :func:`get_app` / :func:`all_apps` to access the registry.
+"""
+
+from repro.apps.base import AppDefinition, find_mclr
+from repro.apps.registry import all_apps, app_names, get_app, APP_ORDER
+from repro.apps.example import EXAMPLE_APP
+
+__all__ = [
+    "AppDefinition",
+    "find_mclr",
+    "all_apps",
+    "app_names",
+    "get_app",
+    "APP_ORDER",
+    "EXAMPLE_APP",
+]

@@ -1,0 +1,125 @@
+"""AMG (ECP proxy) mini-app.
+
+AMG repeatedly builds/solves linear systems; across outer solves it carries
+the preconditioner ``diagonal``, the cumulative iteration and work counters
+(``cum_num_its``, ``cum_nnz_AP``), the global error flag
+(``hypre_global_error``) and reports the final residual norm after the loop.
+Expected critical variables (paper Table II): ``diagonal``, ``cum_num_its``,
+``cum_nnz_AP``, ``hypre_global_error`` (WAR), ``final_res_norm`` (Outcome)
+and ``j`` (Index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double A[__N__][__N__];
+double xx[__N__];
+double bb[__N__];
+double diagonal[__N__];
+double final_res_norm;
+double cum_nnz_AP;
+int cum_num_its;
+int hypre_global_error;
+
+int main() {
+    int n = __N__;
+    int nsolves = __SOLVES__;
+    int max_its = __MAXITS__;
+    for (int i = 0; i < n; ++i) {
+        xx[i] = 0.0;
+        bb[i] = 1.0 + 0.1 * sin(0.2 * i);
+        for (int k = 0; k < n; ++k) {
+            A[i][k] = 0.0;
+        }
+        A[i][i] = 4.0 + 0.02 * i;
+        if (i > 0) {
+            A[i][i - 1] = -1.0;
+        }
+        if (i < n - 1) {
+            A[i][i + 1] = -1.0;
+        }
+        diagonal[i] = A[i][i];
+    }
+    final_res_norm = 0.0;
+    cum_nnz_AP = 0.0;
+    cum_num_its = 0;
+    hypre_global_error = 0;
+    for (int j = 0; j < nsolves; ++j) {                  // @mclr-begin
+        for (int i = 0; i < n; ++i) {
+            diagonal[i] = 0.5 * diagonal[i] + 0.5 * (A[i][i] + 0.1 * j);
+        }
+        for (int i = 0; i < n; ++i) {
+            xx[i] = 0.0;
+        }
+        int its = 0;
+        double res = 1.0;
+        while (res > 0.0001 && its < max_its) {
+            for (int i = 0; i < n; ++i) {
+                double row = 0.0;
+                for (int k = 0; k < n; ++k) {
+                    row = row + A[i][k] * xx[k];
+                }
+                xx[i] = xx[i] + (bb[i] - row) / diagonal[i];
+            }
+            res = 0.0;
+            for (int i = 0; i < n; ++i) {
+                double row = 0.0;
+                for (int k = 0; k < n; ++k) {
+                    row = row + A[i][k] * xx[k];
+                }
+                double diff = bb[i] - row;
+                res = res + diff * diff;
+            }
+            res = sqrt(res);
+            its = its + 1;
+        }
+        cum_num_its = cum_num_its + its;
+        cum_nnz_AP = cum_nnz_AP + 3.0 * n;
+        int ierr = 0;
+        if (res > 1000.0) {
+            ierr = 1;
+        }
+        hypre_global_error = hypre_global_error + ierr;
+        final_res_norm = res;
+        print("solve", j, "its", its, "res", res);
+    }                                                    // @mclr-end
+    print("final_res_norm", final_res_norm);
+    print("cum_num_its", cum_num_its, "cum_nnz_AP", cum_nnz_AP,
+          "error", hypre_global_error);
+    return 0;
+}
+"""
+
+
+def build_source(n: int = 10, solves: int = 5, max_its: int = 5) -> str:
+    return (_TEMPLATE
+            .replace("__N__", str(n))
+            .replace("__SOLVES__", str(solves))
+            .replace("__MAXITS__", str(max_its)))
+
+
+AMG_APP = AppDefinition(
+    name="amg",
+    title="AMG (ECP)",
+    description="Algebraic multi-grid proxy: repeated diagonally-"
+                "preconditioned Jacobi solves with cumulative work counters.",
+    category="ECP",
+    parallel_model="OMP+MPI",
+    source_builder=build_source,
+    default_params={"n": 10, "solves": 5, "max_its": 5},
+    large_params={"n": 32, "solves": 5, "max_its": 5},
+    expected_critical={
+        "diagonal": "WAR",
+        "cum_num_its": "WAR",
+        "cum_nnz_AP": "WAR",
+        "hypre_global_error": "WAR",
+        "final_res_norm": "Outcome",
+        "j": "Index",
+    },
+    necessity_check=["diagonal", "cum_num_its", "cum_nnz_AP", "j"],
+    notes="The multi-grid hierarchy is reduced to a diagonally-preconditioned "
+          "Jacobi solve; the cumulative counters and error flag follow "
+          "hypre's accumulation pattern.",
+)

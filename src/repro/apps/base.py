@@ -1,0 +1,106 @@
+"""Benchmark application definitions.
+
+An :class:`AppDefinition` bundles a mini-C source builder with the metadata
+the experiments need: the main computation loop's source range (MCLR), the
+critical variables the paper reports for the benchmark (our expected
+result), and small/large input parameter sets (small for analysis — the
+paper also analyses small inputs for efficiency — large for the Table IV
+storage study).
+
+The main loop range is not hard-coded: the sources carry ``@mclr-begin`` /
+``@mclr-end`` marker comments on the loop's first and last lines and
+:func:`find_mclr` recovers the line numbers, exactly as a user of AutoCheck
+would supply them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.codegen.lowering import compile_source
+from repro.core.config import MainLoopSpec
+from repro.ir.module import Module
+
+MCLR_BEGIN_MARKER = "@mclr-begin"
+MCLR_END_MARKER = "@mclr-end"
+
+
+def find_mclr(source: str) -> Tuple[int, int]:
+    """Find the main computation loop's source line range from markers.
+
+    Returns 1-based (start_line, end_line).  Raises ``ValueError`` when the
+    markers are missing — every bundled app carries them.
+    """
+    begin_line = 0
+    end_line = 0
+    for number, line in enumerate(source.splitlines(), start=1):
+        if MCLR_BEGIN_MARKER in line and begin_line == 0:
+            begin_line = number
+        if MCLR_END_MARKER in line:
+            end_line = number
+    if begin_line == 0 or end_line == 0 or end_line < begin_line:
+        raise ValueError("source does not carry valid @mclr-begin/@mclr-end markers")
+    return begin_line, end_line
+
+
+@dataclass
+class AppDefinition:
+    """One benchmark application of the study."""
+
+    name: str
+    title: str
+    description: str
+    category: str                     # "micro", "NPB", "ECP", "application"
+    parallel_model: str               # "OMP", "MPI", "OMP+MPI" (of the original)
+    source_builder: Callable[..., str]
+    default_params: Dict[str, int] = field(default_factory=dict)
+    large_params: Dict[str, int] = field(default_factory=dict)
+    #: Expected critical variables: name -> dependency type string
+    #: ("WAR" | "RAPO" | "Outcome" | "Index"), mirroring paper Table II.
+    expected_critical: Dict[str, str] = field(default_factory=dict)
+    #: Variables whose omission from the checkpoint set must corrupt the
+    #: restarted output (used by the false-positive/necessity study).  By
+    #: default every expected critical variable is considered
+    #: output-sensitive.
+    necessity_check: Optional[List[str]] = None
+    main_loop_function: str = "main"
+    #: Extra keyword arguments for :class:`repro.core.config.AutoCheckConfig`
+    #: (e.g. FT enables ``include_global_accesses_in_calls`` — the paper's
+    #: Sec. V-B global-variable special case).
+    autocheck_options: Dict[str, object] = field(default_factory=dict)
+    #: Notes about deliberate scaling/substitution differences vs. the paper.
+    notes: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers
+    # ------------------------------------------------------------------ #
+    def source(self, **params) -> str:
+        merged = dict(self.default_params)
+        merged.update(params)
+        return self.source_builder(**merged)
+
+    def large_source(self) -> str:
+        return self.source(**self.large_params) if self.large_params else self.source()
+
+    def main_loop(self, source: Optional[str] = None) -> MainLoopSpec:
+        text = source if source is not None else self.source()
+        start, end = find_mclr(text)
+        return MainLoopSpec(function=self.main_loop_function,
+                            start_line=start, end_line=end)
+
+    def module(self, **params) -> Module:
+        return compile_source(self.source(**params), module_name=self.name)
+
+    def expected_names(self) -> List[str]:
+        return list(self.expected_critical.keys())
+
+    def necessity_variables(self) -> List[str]:
+        if self.necessity_check is not None:
+            return list(self.necessity_check)
+        return self.expected_names()
+
+    @property
+    def mclr_string(self) -> str:
+        start, end = find_mclr(self.source())
+        return f"{start}-{end}"

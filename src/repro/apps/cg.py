@@ -1,0 +1,139 @@
+"""NPB CG mini-app (the paper's Sec. IV-D case study).
+
+Structure follows the paper's Algorithm 2: global vectors ``x``, ``z``,
+``p``, ``q``, ``r`` and matrix ``A`` are initialised in ``main`` before the
+main loop; every iteration calls ``conj_grad`` (which resets ``z``, ``r``,
+``p``, ``q`` before using them) and then renormalises ``x`` from ``z``.  The
+only loop-carried state is ``x`` — read inside ``conj_grad`` (``r = x``)
+before being overwritten in ``main`` — plus the induction variable ``it``,
+matching paper Table II (``x`` WAR, ``it`` Index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double A[__N__][__N__];
+double x[__N__];
+double z[__N__];
+double p[__N__];
+double q[__N__];
+double r[__N__];
+
+double conj_grad() {
+    int n = __N__;
+    int cgitmax = __CGIT__;
+    for (int i = 0; i < n; ++i) {
+        z[i] = 0.0;
+        r[i] = x[i];
+        p[i] = r[i];
+        q[i] = 0.0;
+    }
+    double rho = 0.0;
+    for (int i = 0; i < n; ++i) {
+        rho = rho + r[i] * r[i];
+    }
+    for (int cgit = 0; cgit < cgitmax; ++cgit) {
+        for (int i = 0; i < n; ++i) {
+            double s = 0.0;
+            for (int j = 0; j < n; ++j) {
+                s = s + A[i][j] * p[j];
+            }
+            q[i] = s;
+        }
+        double d = 0.0;
+        for (int i = 0; i < n; ++i) {
+            d = d + p[i] * q[i];
+        }
+        double alpha = rho / d;
+        for (int i = 0; i < n; ++i) {
+            z[i] = z[i] + alpha * p[i];
+            r[i] = r[i] - alpha * q[i];
+        }
+        double rho0 = rho;
+        rho = 0.0;
+        for (int i = 0; i < n; ++i) {
+            rho = rho + r[i] * r[i];
+        }
+        double beta = rho / rho0;
+        for (int i = 0; i < n; ++i) {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    double rnorm = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double az = 0.0;
+        for (int j = 0; j < n; ++j) {
+            az = az + A[i][j] * z[j];
+        }
+        double diff = x[i] - az;
+        rnorm = rnorm + diff * diff;
+    }
+    return sqrt(rnorm);
+}
+
+int main() {
+    int n = __N__;
+    int niter = __ITERS__;
+    double shift = 10.0;
+    for (int i = 0; i < n; ++i) {
+        x[i] = 1.0;
+        z[i] = 0.0;
+        p[i] = 0.0;
+        q[i] = 0.0;
+        r[i] = 0.0;
+        for (int j = 0; j < n; ++j) {
+            A[i][j] = 0.0;
+        }
+        A[i][i] = 4.0 + 0.01 * i;
+        if (i > 0) {
+            A[i][i - 1] = -1.0;
+        }
+        if (i < n - 1) {
+            A[i][i + 1] = -1.0;
+        }
+    }
+    double zeta = 0.0;
+    double rnorm = 0.0;
+    for (int it = 0; it < niter; ++it) {                 // @mclr-begin
+        rnorm = conj_grad();
+        double tnorm1 = 0.0;
+        double tnorm2 = 0.0;
+        for (int i = 0; i < n; ++i) {
+            tnorm1 = tnorm1 + x[i] * z[i];
+            tnorm2 = tnorm2 + z[i] * z[i];
+        }
+        tnorm2 = 1.0 / sqrt(tnorm2);
+        for (int i = 0; i < n; ++i) {
+            x[i] = tnorm2 * z[i];
+        }
+        zeta = shift + 1.0 / tnorm1;
+        print("iter", it, "zeta", zeta, "rnorm", rnorm);
+    }                                                    // @mclr-end
+    return 0;
+}
+"""
+
+
+def build_source(n: int = 12, cgit: int = 3, iters: int = 5) -> str:
+    return (_TEMPLATE
+            .replace("__N__", str(n))
+            .replace("__CGIT__", str(cgit))
+            .replace("__ITERS__", str(iters)))
+
+
+CG_APP = AppDefinition(
+    name="cg",
+    title="CG (NPB)",
+    description="Conjugate gradient with irregular memory access; computes "
+                "the smallest eigenvalue estimate (zeta) of a sparse matrix.",
+    category="NPB",
+    parallel_model="OMP",
+    source_builder=build_source,
+    default_params={"n": 12, "cgit": 3, "iters": 5},
+    large_params={"n": 40, "cgit": 3, "iters": 5},
+    expected_critical={"x": "WAR", "it": "Index"},
+    notes="Dense tridiagonal-plus-shift matrix instead of the NPB random "
+          "sparse matrix; conj_grad structure follows the paper's Algorithm 2.",
+)

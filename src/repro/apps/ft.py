@@ -1,0 +1,80 @@
+"""NPB FT mini-app.
+
+FT evolves a spectrum with per-iteration twiddle factors and reports a
+checksum.  Like the real ``appft.c`` (paper Sec. V-B), the work on the global
+arrays ``y`` and ``twiddle`` happens inside functions called from the main
+loop, which is the scenario that motivates the paper's FT workaround: the
+globals would be bypassed by the call-interval rule, so the analysis must be
+told to include global accesses made inside calls (our
+``include_global_accesses_in_calls`` option plays the role of the paper's
+manual re-initialisation workaround).
+
+Expected critical variables (paper Table II): ``y`` (WAR), ``sum`` (Outcome)
+and the induction variable ``kt`` (Index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double y[__N__];
+double x[__N__];
+double twiddle[__N__];
+
+void evolve() {
+    for (int i = 0; i < __N__; ++i) {
+        y[i] = y[i] * twiddle[i] + 0.001 * x[i];
+    }
+}
+
+double checksum_stub() {
+    double chk = 0.0;
+    for (int i = 0; i < __N__; ++i) {
+        chk = chk + y[i] * cos(0.1 * i) - y[i] * 0.05 * sin(0.2 * i);
+    }
+    return chk;
+}
+
+int main() {
+    int n = __N__;
+    int niter = __ITERS__;
+    for (int i = 0; i < n; ++i) {
+        x[i] = sin(0.7 * i) + 0.5;
+        y[i] = x[i];
+        twiddle[i] = exp(-0.05 * i) * 0.9 + 0.05;
+    }
+    double sum = 0.0;
+    for (int kt = 1; kt <= niter; ++kt) {                // @mclr-begin
+        evolve();
+        double chk = checksum_stub();
+        sum = chk;
+        print("iter", kt, "checksum", chk);
+    }                                                    // @mclr-end
+    print("final checksum", sum);
+    return 0;
+}
+"""
+
+
+def build_source(n: int = 64, iters: int = 6) -> str:
+    return _TEMPLATE.replace("__N__", str(n)).replace("__ITERS__", str(iters))
+
+
+FT_APP = AppDefinition(
+    name="ft",
+    title="FT (NPB)",
+    description="Discrete 3D FFT benchmark: spectrum evolution with twiddle "
+                "factors plus a per-iteration checksum.",
+    category="NPB",
+    parallel_model="OMP",
+    source_builder=build_source,
+    default_params={"n": 64, "iters": 6},
+    large_params={"n": 512, "iters": 6},
+    expected_critical={"y": "WAR", "sum": "Outcome", "kt": "Index"},
+    necessity_check=["y", "kt"],
+    autocheck_options={"include_global_accesses_in_calls": True},
+    notes="The FFT butterfly is replaced by a point-wise evolution + checksum "
+          "(the dependency-relevant structure); the global-in-call collection "
+          "option reproduces the paper's FT special case.",
+)

@@ -1,0 +1,85 @@
+"""HACC mini-app.
+
+HACC (Hardware Accelerated Cosmology Code) advances particles with
+kick-drift-kick leapfrog steps; the only loop-carried state of its driver
+loop is the particle data (the ``Particles`` aggregate the paper highlights
+in Sec. III) and the step counter.  Expected critical variables (paper
+Table II): ``particles`` (WAR), ``step`` (Index).
+
+The particle aggregate is flattened into one array with a position section
+and a velocity section; the mesh force is recomputed every step.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double particles[__PSIZE__];
+double pm_force[__NPART__];
+
+int main() {
+    int npart = __NPART__;
+    int nsteps = __STEPS__;
+    double dt = 0.1;
+    double center = npart * 0.5;
+    for (int i = 0; i < npart; ++i) {
+        particles[i] = i * 1.0 + 0.2 * sin(0.6 * i);
+        particles[npart + i] = 0.02 * cos(0.4 * i);
+        pm_force[i] = 0.0;
+    }
+    for (int step = 0; step < nsteps; ++step) {          // @mclr-begin
+        for (int i = 0; i < npart; ++i) {
+            double xi = particles[i];
+            double neighbor = xi;
+            if (i > 0) {
+                neighbor = particles[i - 1];
+            }
+            pm_force[i] = -0.002 * (xi - center) + 0.001 * (neighbor - xi);
+        }
+        for (int i = 0; i < npart; ++i) {
+            particles[npart + i] = particles[npart + i] + 0.5 * dt * pm_force[i];
+        }
+        for (int i = 0; i < npart; ++i) {
+            particles[i] = particles[i] + dt * particles[npart + i];
+        }
+        for (int i = 0; i < npart; ++i) {
+            particles[npart + i] = particles[npart + i] + 0.5 * dt * pm_force[i];
+        }
+        double ekin = 0.0;
+        for (int i = 0; i < npart; ++i) {
+            ekin = ekin + 0.5 * particles[npart + i] * particles[npart + i];
+        }
+        print("step", step, "ekin", ekin);
+    }                                                    // @mclr-end
+    double xsum = 0.0;
+    for (int i = 0; i < npart; ++i) {
+        xsum = xsum + particles[i];
+    }
+    print("position checksum", xsum);
+    return 0;
+}
+"""
+
+
+def build_source(npart: int = 48, steps: int = 6) -> str:
+    return (_TEMPLATE
+            .replace("__PSIZE__", str(2 * npart))
+            .replace("__NPART__", str(npart))
+            .replace("__STEPS__", str(steps)))
+
+
+HACC_APP = AppDefinition(
+    name="hacc",
+    title="HACC",
+    description="Cosmology N-body framework: kick-drift-kick leapfrog "
+                "particle update with a recomputed mesh force.",
+    category="application",
+    parallel_model="OMP+MPI",
+    source_builder=build_source,
+    default_params={"npart": 48, "steps": 6},
+    large_params={"npart": 1024, "steps": 6},
+    expected_critical={"particles": "WAR", "step": "Index"},
+    notes="The Particles aggregate is flattened into a position+velocity "
+          "array; the particle-mesh force solver is a harmonic stand-in.",
+)

@@ -1,0 +1,101 @@
+"""NPB IS mini-app.
+
+Integer Sort perturbs two entries of ``key_array`` every iteration, buckets
+all keys, rebuilds the bucket pointer table, and runs a partial verification
+that increments ``passed_verification``.  The partially-modified
+``key_array`` and the prefix-sum-built ``bucket_ptrs`` are the paper's two
+RAPO examples; ``passed_verification`` is a WAR accumulator and ``iteration``
+the Index variable (paper Table II).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+int key_array[__NKEYS__];
+int bucket_size[__NBUCKETS__];
+int bucket_ptrs[__NBUCKETS__];
+int passed_verification;
+
+int main() {
+    int nkeys = __NKEYS__;
+    int nbuckets = __NBUCKETS__;
+    int max_key = __NKEYS__;
+    int niter = __ITERS__;
+    int shift = nkeys / nbuckets;
+    for (int i = 0; i < nkeys; ++i) {
+        key_array[i] = (i * 37 + 11) % max_key;
+    }
+    for (int b = 0; b < nbuckets; ++b) {
+        bucket_size[b] = 0;
+        bucket_ptrs[b] = 0;
+    }
+    passed_verification = 0;
+    for (int iteration = 1; iteration <= niter; ++iteration) {   // @mclr-begin
+        key_array[iteration] = iteration;
+        key_array[iteration + niter] = max_key - iteration;
+
+        for (int b = 0; b < nbuckets; ++b) {
+            bucket_size[b] = 0;
+        }
+        for (int i = 0; i < nkeys; ++i) {
+            int b = key_array[i] / shift;
+            if (b > nbuckets - 1) {
+                b = nbuckets - 1;
+            }
+            bucket_size[b] = bucket_size[b] + 1;
+        }
+        bucket_ptrs[0] = 0;
+        for (int b = 1; b < nbuckets; ++b) {
+            bucket_ptrs[b] = bucket_ptrs[b - 1] + bucket_size[b - 1];
+        }
+
+        if (key_array[iteration] == iteration) {
+            passed_verification = passed_verification + 1;
+        }
+        if (key_array[iteration + niter] == max_key - iteration) {
+            passed_verification = passed_verification + 1;
+        }
+        print("iter", iteration, "passed", passed_verification,
+              "last bucket", bucket_ptrs[nbuckets - 1]);
+    }                                                            // @mclr-end
+    print("passed_verification", passed_verification);
+    int keysum = 0;
+    for (int i = 0; i < nkeys; ++i) {
+        keysum = keysum + key_array[i];
+    }
+    print("keysum", keysum);
+    return 0;
+}
+"""
+
+
+def build_source(nkeys: int = 64, nbuckets: int = 8, iters: int = 6) -> str:
+    return (_TEMPLATE
+            .replace("__NKEYS__", str(nkeys))
+            .replace("__NBUCKETS__", str(nbuckets))
+            .replace("__ITERS__", str(iters)))
+
+
+IS_APP = AppDefinition(
+    name="is",
+    title="IS (NPB)",
+    description="Integer sort with bucketed ranking, per-iteration key "
+                "perturbation and partial verification.",
+    category="NPB",
+    parallel_model="OMP",
+    source_builder=build_source,
+    default_params={"nkeys": 64, "nbuckets": 8, "iters": 6},
+    large_params={"nkeys": 1024, "nbuckets": 16, "iters": 6},
+    expected_critical={
+        "passed_verification": "WAR",
+        "key_array": "RAPO",
+        "bucket_ptrs": "RAPO",
+        "iteration": "Index",
+    },
+    necessity_check=["passed_verification", "key_array", "iteration"],
+    notes="Key ranking is reduced to bucket counting/prefix sums; the "
+          "partial key modification and verification structure of is.c is "
+          "preserved.",
+)

@@ -1,0 +1,95 @@
+"""NPB LU mini-app.
+
+LU's SSOR driver carries four arrays across iterations: the solution ``u``,
+the residual/right-hand side ``rsd``, and the auxiliary fields ``rho_i`` and
+``qs`` which are *consumed* by the lower/upper sweeps at the start of an
+iteration and recomputed from the updated ``u`` at its end — the classic
+read-before-overwrite (WAR) pattern.  Paper Table II: ``u``, ``rho_i``,
+``qs``, ``rsd`` (WAR) and ``istep`` (Index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double u[__N__];
+double rsd[__N__];
+double rho_i[__N__];
+double qs[__N__];
+double frct[__N__];
+
+int main() {
+    int n = __N__;
+    int niter = __ITERS__;
+    for (int i = 0; i < n; ++i) {
+        u[i] = 1.0 + 0.01 * i;
+        frct[i] = 0.4 + 0.1 * sin(0.3 * i);
+        rho_i[i] = 1.0 / u[i];
+        qs[i] = 0.5 * u[i] * u[i];
+        rsd[i] = frct[i] - 0.05 * u[i];
+    }
+    double tmp = 0.1;
+    for (int istep = 0; istep < niter; ++istep) {        // @mclr-begin
+        for (int i = 1; i < n; ++i) {
+            rsd[i] = rsd[i] + 0.2 * rho_i[i] * rsd[i - 1];
+        }
+        for (int i = n - 2; i > 0; --i) {
+            rsd[i] = rsd[i] + 0.2 * qs[i] * rsd[i + 1] * 0.1;
+        }
+        for (int i = 0; i < n; ++i) {
+            u[i] = u[i] + tmp * rsd[i];
+        }
+        for (int i = 0; i < n; ++i) {
+            rho_i[i] = 1.0 / u[i];
+            qs[i] = 0.5 * u[i] * u[i];
+        }
+        for (int i = 0; i < n; ++i) {
+            if (i > 0 && i < n - 1) {
+                rsd[i] = frct[i] - 0.05 * u[i] - 0.02 * (2.0 * u[i] - u[i - 1] - u[i + 1]);
+            } else {
+                rsd[i] = frct[i] - 0.05 * u[i];
+            }
+        }
+        double rsdnm = 0.0;
+        for (int i = 0; i < n; ++i) {
+            rsdnm = rsdnm + rsd[i] * rsd[i];
+        }
+        print("istep", istep, "rsdnm", sqrt(rsdnm));
+    }                                                    // @mclr-end
+    double usum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        usum = usum + u[i];
+    }
+    print("usum", usum);
+    return 0;
+}
+"""
+
+
+def build_source(n: int = 64, iters: int = 6) -> str:
+    return _TEMPLATE.replace("__N__", str(n)).replace("__ITERS__", str(iters))
+
+
+LU_APP = AppDefinition(
+    name="lu",
+    title="LU (NPB)",
+    description="Lower-Upper Gauss-Seidel (SSOR) solver: lower/upper sweeps "
+                "over the residual, solution update, auxiliary field "
+                "recomputation.",
+    category="NPB",
+    parallel_model="OMP",
+    source_builder=build_source,
+    default_params={"n": 64, "iters": 6},
+    large_params={"n": 512, "iters": 6},
+    expected_critical={
+        "u": "WAR",
+        "rho_i": "WAR",
+        "qs": "WAR",
+        "rsd": "WAR",
+        "istep": "Index",
+    },
+    notes="1D SSOR sweep structure; rho_i/qs are consumed by the sweeps and "
+          "recomputed from the updated u at the end of each iteration, as in "
+          "the NPB code.",
+)

@@ -1,0 +1,71 @@
+"""NPB MG mini-app.
+
+MG applies V-cycles to a Poisson problem; each main-loop iteration first
+corrects the solution ``u`` using the current residual ``r`` (reading both)
+and then recomputes ``r`` from ``u`` and the right-hand side ``v``.  Both
+``u`` and ``r`` therefore carry state across iterations (WAR) while ``v`` is
+read-only — exactly paper Table II's ``u`` (WAR), ``r`` (WAR), ``it`` (Index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double u[__N__];
+double r[__N__];
+double v[__N__];
+
+int main() {
+    int n = __N__;
+    int niter = __ITERS__;
+    for (int i = 0; i < n; ++i) {
+        u[i] = 0.0;
+        v[i] = sin(0.3 * i);
+        r[i] = v[i];
+    }
+    for (int it = 0; it < niter; ++it) {                 // @mclr-begin
+        for (int i = 1; i < n - 1; ++i) {
+            u[i] = u[i] + 0.45 * r[i] + 0.1 * (r[i - 1] + r[i + 1]);
+        }
+        for (int i = 0; i < n; ++i) {
+            if (i > 0 && i < n - 1) {
+                r[i] = v[i] - (2.0 * u[i] - u[i - 1] - u[i + 1]) - 0.05 * u[i];
+            } else {
+                r[i] = v[i] - 2.0 * u[i];
+            }
+        }
+        double rnorm = 0.0;
+        for (int i = 0; i < n; ++i) {
+            rnorm = rnorm + r[i] * r[i];
+        }
+        print("iter", it, "rnorm", sqrt(rnorm));
+    }                                                    // @mclr-end
+    double usum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        usum = usum + u[i];
+    }
+    print("usum", usum);
+    return 0;
+}
+"""
+
+
+def build_source(n: int = 64, iters: int = 6) -> str:
+    return _TEMPLATE.replace("__N__", str(n)).replace("__ITERS__", str(iters))
+
+
+MG_APP = AppDefinition(
+    name="mg",
+    title="MG (NPB)",
+    description="Multi-grid solver on a sequence of meshes (single-level "
+                "smoother/residual cycle stand-in).",
+    category="NPB",
+    parallel_model="OMP",
+    source_builder=build_source,
+    default_params={"n": 64, "iters": 6},
+    large_params={"n": 512, "iters": 6},
+    expected_critical={"u": "WAR", "r": "WAR", "it": "Index"},
+    notes="Single-grid smoother + residual recomputation preserves the "
+          "u/r loop-carried dependency structure of the NPB V-cycle.",
+)

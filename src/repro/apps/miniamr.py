@@ -1,0 +1,130 @@
+"""miniAMR (ECP proxy) mini-app.
+
+miniAMR's driver loop carries a large population of timers and counters
+(paper Table II lists "29 timers" plus ~18 counters, all WAR) along with the
+block data, the ``done`` flag and the time-step counter ``ts``.  The mini-app
+keeps the same *kinds* of loop-carried state with a reduced roster (three
+timers, six counters, the block array, ``done`` and ``ts``); EXPERIMENTS.md
+documents the reduction.
+
+One deliberate labelling difference: the paper reports ``done`` as an Index
+variable (it terminates the while-loop); our static induction analysis
+recognises ``ts`` as the induction variable and the ``done`` flag is flagged
+through its read-before-write (WAR) dependency instead — either way it is
+checkpointed.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double blocks[__NBLOCKS__];
+double timer_calc;
+double timer_refine;
+double timer_total;
+double tmax;
+double tmin;
+int counter_bc;
+int total_fp_adds;
+int total_fp_divs;
+int total_blocks;
+int global_active;
+
+int main() {
+    int nblocks = __NBLOCKS__;
+    int max_ts = __MAXTS__;
+    for (int i = 0; i < nblocks; ++i) {
+        blocks[i] = 1.0 + 0.05 * sin(0.4 * i);
+    }
+    timer_calc = 0.0;
+    timer_refine = 0.0;
+    timer_total = 0.0;
+    tmax = 0.0;
+    tmin = 1000000.0;
+    counter_bc = 0;
+    total_fp_adds = 0;
+    total_fp_divs = 0;
+    total_blocks = 0;
+    global_active = nblocks;
+    int done = 0;
+    int ts = 1;
+    while (!done && ts <= max_ts) {                      // @mclr-begin
+        double tstart = clock();
+        for (int i = 1; i < nblocks - 1; ++i) {
+            blocks[i] = (blocks[i - 1] + blocks[i] + blocks[i + 1]) / 3.0;
+        }
+        total_fp_adds = total_fp_adds + 2 * global_active;
+        total_fp_divs = total_fp_divs + global_active;
+        counter_bc = counter_bc + 2;
+        timer_calc = timer_calc + (clock() - tstart);
+
+        double trefine = clock();
+        if (ts % 2 == 0) {
+            global_active = global_active + 4;
+        } else {
+            global_active = global_active - 2;
+        }
+        total_blocks = total_blocks + global_active;
+        timer_refine = timer_refine + (clock() - trefine);
+
+        if (blocks[nblocks / 2] > tmax) {
+            tmax = blocks[nblocks / 2];
+        }
+        if (blocks[1] < tmin) {
+            tmin = blocks[1];
+        }
+
+        timer_total = timer_total + (clock() - tstart);
+        print("ts", ts, "active", global_active, "mid", blocks[nblocks / 2]);
+        ts = ts + 1;
+        if (ts > max_ts) {
+            done = 1;
+        }
+    }                                                    // @mclr-end
+    print("total blocks", total_blocks, "bc", counter_bc);
+    print("fp adds", total_fp_adds, "fp divs", total_fp_divs);
+    print("timers", timer_calc, timer_refine, timer_total);
+    print("tmax", tmax, "tmin", tmin);
+    return 0;
+}
+"""
+
+
+def build_source(nblocks: int = 64, max_ts: int = 6) -> str:
+    return (_TEMPLATE
+            .replace("__NBLOCKS__", str(nblocks))
+            .replace("__MAXTS__", str(max_ts)))
+
+
+MINIAMR_APP = AppDefinition(
+    name="miniamr",
+    title="miniAMR (ECP)",
+    description="3D stencil with adaptive mesh refinement: stencil sweep over "
+                "block data plus refinement bookkeeping counters and timers.",
+    category="ECP",
+    parallel_model="OMP+MPI",
+    source_builder=build_source,
+    default_params={"nblocks": 64, "max_ts": 6},
+    large_params={"nblocks": 1024, "max_ts": 6},
+    expected_critical={
+        "blocks": "WAR",
+        "timer_calc": "WAR",
+        "timer_refine": "WAR",
+        "timer_total": "WAR",
+        "tmax": "WAR",
+        "tmin": "WAR",
+        "counter_bc": "WAR",
+        "total_fp_adds": "WAR",
+        "total_fp_divs": "WAR",
+        "total_blocks": "WAR",
+        "global_active": "WAR",
+        "done": "WAR",
+        "ts": "Index",
+    },
+    necessity_check=["blocks", "counter_bc", "total_fp_adds", "total_blocks",
+                     "global_active", "ts"],
+    notes="The paper's 29 timers / 18 counters are represented by 3 timers "
+          "and 6 counters with the same accumulation pattern; `done` is "
+          "reported as WAR here (Index in the paper) — see EXPERIMENTS.md.",
+)

@@ -1,0 +1,81 @@
+"""Registry of all bundled applications.
+
+``APP_ORDER`` follows the row order of paper Table II (Himeno, HPCCG, the
+NPB kernels, the ECP proxies, HACC); the paper's Fig. 4 example is registered
+under ``example`` and is not part of the 14-benchmark study tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import AppDefinition
+from repro.apps.example import EXAMPLE_APP
+from repro.apps.himeno import HIMENO_APP
+from repro.apps.hpccg import HPCCG_APP
+from repro.apps.cg import CG_APP
+from repro.apps.mg import MG_APP
+from repro.apps.ft import FT_APP
+from repro.apps.sp import SP_APP
+from repro.apps.ep import EP_APP
+from repro.apps.is_sort import IS_APP
+from repro.apps.bt import BT_APP
+from repro.apps.lu import LU_APP
+from repro.apps.comd import COMD_APP
+from repro.apps.miniamr import MINIAMR_APP
+from repro.apps.amg import AMG_APP
+from repro.apps.hacc import HACC_APP
+
+#: Table II row order (the 14 benchmarks of the study).
+APP_ORDER: List[str] = [
+    "himeno",
+    "hpccg",
+    "cg",
+    "mg",
+    "ft",
+    "sp",
+    "ep",
+    "is",
+    "bt",
+    "lu",
+    "comd",
+    "miniamr",
+    "amg",
+    "hacc",
+]
+
+_REGISTRY: Dict[str, AppDefinition] = {
+    "example": EXAMPLE_APP,
+    "himeno": HIMENO_APP,
+    "hpccg": HPCCG_APP,
+    "cg": CG_APP,
+    "mg": MG_APP,
+    "ft": FT_APP,
+    "sp": SP_APP,
+    "ep": EP_APP,
+    "is": IS_APP,
+    "bt": BT_APP,
+    "lu": LU_APP,
+    "comd": COMD_APP,
+    "miniamr": MINIAMR_APP,
+    "amg": AMG_APP,
+    "hacc": HACC_APP,
+}
+
+
+def get_app(name: str) -> AppDefinition:
+    """Look up an application by its short name (raises ``KeyError``)."""
+    return _REGISTRY[name]
+
+
+def app_names(include_example: bool = False) -> List[str]:
+    """Names of the 14 study benchmarks (optionally plus the example)."""
+    names = list(APP_ORDER)
+    if include_example:
+        names.insert(0, "example")
+    return names
+
+
+def all_apps(include_example: bool = False) -> List[AppDefinition]:
+    """The 14 study benchmarks in Table II order."""
+    return [_REGISTRY[name] for name in app_names(include_example)]

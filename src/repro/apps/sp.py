@@ -1,0 +1,74 @@
+"""NPB SP mini-app.
+
+SP advances the solution array ``u`` with an ADI-style step: compute the
+right-hand side from ``u``, sweep it, and add the update back into ``u``.
+The solution array is read before being overwritten each time step (WAR);
+``rhs`` is fully recomputed and ``forcing`` is read-only.  Paper Table II:
+``u`` (WAR), ``step`` (Index).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppDefinition
+
+_TEMPLATE = """\
+double u[__N__];
+double rhs[__N__];
+double forcing[__N__];
+
+int main() {
+    int n = __N__;
+    int niter = __ITERS__;
+    for (int i = 0; i < n; ++i) {
+        u[i] = 1.0 + 0.02 * i;
+        forcing[i] = 0.5 * sin(0.2 * i);
+        rhs[i] = 0.0;
+    }
+    double dt = 0.1;
+    for (int step = 0; step < niter; ++step) {           // @mclr-begin
+        for (int i = 0; i < n; ++i) {
+            if (i > 0 && i < n - 1) {
+                rhs[i] = forcing[i] - (2.0 * u[i] - u[i - 1] - u[i + 1]) - 0.02 * u[i];
+            } else {
+                rhs[i] = forcing[i] - 0.02 * u[i];
+            }
+        }
+        for (int i = 1; i < n; ++i) {
+            rhs[i] = rhs[i] + 0.25 * rhs[i - 1];
+        }
+        for (int i = n - 2; i > 0; --i) {
+            rhs[i] = rhs[i] + 0.25 * rhs[i + 1];
+        }
+        for (int i = 0; i < n; ++i) {
+            u[i] = u[i] + dt * rhs[i];
+        }
+        double unorm = 0.0;
+        for (int i = 0; i < n; ++i) {
+            unorm = unorm + u[i] * u[i];
+        }
+        print("step", step, "unorm", sqrt(unorm));
+    }                                                    // @mclr-end
+    print("u mid", u[__N__ / 2]);
+    return 0;
+}
+"""
+
+
+def build_source(n: int = 64, iters: int = 6) -> str:
+    return _TEMPLATE.replace("__N__", str(n)).replace("__ITERS__", str(iters))
+
+
+SP_APP = AppDefinition(
+    name="sp",
+    title="SP (NPB)",
+    description="Scalar penta-diagonal solver: ADI-style time stepping of a "
+                "solution field with forward/backward sweeps.",
+    category="NPB",
+    parallel_model="OMP",
+    source_builder=build_source,
+    default_params={"n": 64, "iters": 6},
+    large_params={"n": 512, "iters": 6},
+    expected_critical={"u": "WAR", "step": "Index"},
+    notes="1D penta-diagonal-style sweeps stand in for the 3D factored "
+          "solves; the u/rhs dependency structure is preserved.",
+)

@@ -1,0 +1,153 @@
+"""Checkpoint instrumentation of interpreted runs.
+
+The paper inserts C/R calls at two points (Sec. II-B, "C/R insertion"):
+reading checkpoints right before the main computation loop, and writing
+checkpoints at the end of every loop iteration.  On the interpreter the same
+effect is achieved with block-entry hooks on the main loop's *header* block:
+
+* entering the header for the first time happens right before the first
+  iteration — that is where a restarting run restores the protected
+  variables (including the induction variable, so execution continues from
+  the iteration after the last checkpoint);
+* every subsequent header entry marks the completion of one iteration — that
+  is where checkpoints are written.
+
+Fail-stop failures are injected on entry to the loop *body* block, i.e. the
+process dies mid-iteration, which is the harshest point for consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.induction import find_main_loop
+from repro.analysis.loops import find_loops
+from repro.checkpoint.fti import FTI, FTIConfig
+from repro.core.config import MainLoopSpec
+from repro.ir.module import Module
+from repro.tracer.faults import FaultInjector
+from repro.tracer.interpreter import ExecutionResult, HookContext, Interpreter
+
+
+class InstrumentationError(Exception):
+    """Raised when the main loop cannot be located in the module."""
+
+
+@dataclass
+class InstrumentedRun:
+    """Outcome of one instrumented execution."""
+
+    result: ExecutionResult
+    fti: FTI
+    checkpoints_written: int = 0
+    restored_iteration: Optional[int] = None
+
+    @property
+    def output(self) -> List[str]:
+        return self.result.output
+
+    @property
+    def failed(self) -> bool:
+        return self.result.failed
+
+
+class CheckpointInstrumenter:
+    """Wire an FTI instance into interpreted executions of a module."""
+
+    def __init__(self, module: Module, main_loop: MainLoopSpec,
+                 protected_variables: Sequence[str], fti_config: FTIConfig,
+                 seed: int = 314159) -> None:
+        self.module = module
+        self.main_loop = main_loop
+        self.protected_variables = list(protected_variables)
+        self.fti_config = fti_config
+        self.seed = seed
+
+        function = module.function(main_loop.function)
+        loops = find_loops(function)
+        loop = find_main_loop(function, main_loop.start_line, main_loop.end_line,
+                              loop_info=loops)
+        if loop is None:
+            raise InstrumentationError(
+                f"no loop found in {main_loop.function!r} within lines "
+                f"{main_loop.mclr}")
+        self.loop = loop
+        self.header_block = loop.header.name
+        terminator = loop.header.terminator
+        targets = getattr(terminator, "targets", [])
+        if not targets:
+            raise InstrumentationError("main loop header has no branch targets")
+        self.body_block = targets[0].name
+
+    # ------------------------------------------------------------------ #
+    # Variable plumbing
+    # ------------------------------------------------------------------ #
+    def _register_protected(self, fti: FTI, interpreter: Interpreter,
+                            context: HookContext) -> None:
+        """Bind each protected variable name to interpreter memory accessors."""
+        for vid, name in enumerate(self.protected_variables):
+            if name in fti.protected_names():
+                continue
+            allocation = interpreter.resolve_variable(name, frame=context.frame)
+            if allocation is None:
+                raise InstrumentationError(
+                    f"protected variable {name!r} has no allocation at the "
+                    f"main loop (is it declared in {self.main_loop.function!r}?)")
+            memory = interpreter.memory
+
+            def reader(alloc=allocation):
+                return memory.read_block(alloc)
+
+            def writer(values, alloc=allocation):
+                memory.write_block(alloc, values)
+
+            fti.protect(vid, name, allocation.size_bytes, reader, writer)
+
+    # ------------------------------------------------------------------ #
+    # Runs
+    # ------------------------------------------------------------------ #
+    def run(self, restart: bool = False, fail_at_iteration: Optional[int] = None,
+            recover_names: Optional[Sequence[str]] = None,
+            max_steps: int = 50_000_000) -> InstrumentedRun:
+        """Execute the module with checkpoint instrumentation.
+
+        ``restart=True`` restores the protected variables from the latest
+        checkpoint when the main loop is first entered.  ``fail_at_iteration``
+        injects a fail-stop failure on entry to that iteration's body.
+        ``recover_names`` optionally restricts which variables are restored
+        (the necessity/false-positive study).
+        """
+        fti = FTI(self.fti_config)
+        interpreter = Interpreter(self.module, trace_sink=None, seed=self.seed,
+                                  max_steps=max_steps)
+        run_info = InstrumentedRun(result=None, fti=fti)  # type: ignore[arg-type]
+        state = {"registered": False, "restored": False}
+
+        def header_hook(context: HookContext) -> None:
+            if not state["registered"]:
+                self._register_protected(fti, interpreter, context)
+                state["registered"] = True
+            if restart and not state["restored"]:
+                state["restored"] = True
+                if fti.status():
+                    recovered = fti.recover(names=recover_names)
+                    run_info.restored_iteration = recovered.iteration
+                return
+            # Header entry N (N >= 1) marks completion of iteration N-1.
+            fti.checkpoint(iteration=context.entry_count)
+            run_info.checkpoints_written = fti.checkpoints_written
+
+        interpreter.register_block_hook(self.main_loop.function,
+                                        self.header_block, header_hook)
+        if fail_at_iteration is not None:
+            injector = FaultInjector(function=self.main_loop.function,
+                                     block=self.body_block,
+                                     fail_at_entry=fail_at_iteration)
+            interpreter.register_block_hook(self.main_loop.function,
+                                            self.body_block, injector)
+
+        result = interpreter.run()
+        run_info.result = result
+        run_info.checkpoints_written = fti.checkpoints_written
+        return run_info

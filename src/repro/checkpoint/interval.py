@@ -1,0 +1,119 @@
+"""Checkpoint-interval selection (Young / Daly models).
+
+The paper's C/R model stores the critical variables "periodically ... with a
+certain interval" (Sec. II-B).  Once AutoCheck has determined *what* to
+checkpoint, the natural follow-up question is *how often*; this module
+provides the two classical first-order answers:
+
+* Young's approximation:  ``sqrt(2 * C * MTBF)``
+* Daly's higher-order approximation, accurate also when the checkpoint cost
+  ``C`` is not negligible compared to the MTBF.
+
+Both take the checkpoint cost derived from the AutoCheck checkpoint size and
+a storage bandwidth, so the storage study (Table IV) feeds directly into an
+interval recommendation — the smaller AutoCheck checkpoints translate into
+proportionally shorter optimal intervals and lower expected waste than
+whole-process (BLCR-style) checkpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def checkpoint_cost_seconds(checkpoint_bytes: int,
+                            bandwidth_bytes_per_second: float,
+                            latency_seconds: float = 0.0) -> float:
+    """Time to write one checkpoint of ``checkpoint_bytes`` to storage."""
+    if bandwidth_bytes_per_second <= 0:
+        raise ValueError("bandwidth must be positive")
+    if checkpoint_bytes < 0:
+        raise ValueError("checkpoint size cannot be negative")
+    return latency_seconds + checkpoint_bytes / bandwidth_bytes_per_second
+
+
+def young_interval(checkpoint_cost: float, mtbf_seconds: float) -> float:
+    """Young's first-order optimal checkpoint interval."""
+    _validate(checkpoint_cost, mtbf_seconds)
+    return math.sqrt(2.0 * checkpoint_cost * mtbf_seconds)
+
+
+def daly_interval(checkpoint_cost: float, mtbf_seconds: float) -> float:
+    """Daly's higher-order optimal checkpoint interval.
+
+    Follows Daly (FGCS 2006): for ``C < 2 * MTBF`` the optimum is
+    ``sqrt(2*C*M) * (1 + sqrt(C/(8M))/3 + C/(9M)) - C``; beyond that the best
+    one can do is checkpoint back to back (interval = MTBF).
+    """
+    _validate(checkpoint_cost, mtbf_seconds)
+    if checkpoint_cost >= 2.0 * mtbf_seconds:
+        return mtbf_seconds
+    base = math.sqrt(2.0 * checkpoint_cost * mtbf_seconds)
+    correction = (1.0
+                  + math.sqrt(checkpoint_cost / (8.0 * mtbf_seconds)) / 3.0
+                  + checkpoint_cost / (9.0 * mtbf_seconds))
+    return max(base * correction - checkpoint_cost, checkpoint_cost)
+
+
+def expected_waste_fraction(interval: float, checkpoint_cost: float,
+                            mtbf_seconds: float,
+                            restart_cost: float = 0.0) -> float:
+    """First-order fraction of machine time lost to C/R overhead + rework.
+
+    waste = C/T (checkpoint overhead) + (T/2 + R)/MTBF (expected lost work and
+    restart time per failure).  Used to compare checkpointing the AutoCheck
+    variable set against whole-process checkpointing.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    _validate(checkpoint_cost, mtbf_seconds)
+    return (checkpoint_cost / interval
+            + (interval / 2.0 + restart_cost) / mtbf_seconds)
+
+
+def _validate(checkpoint_cost: float, mtbf_seconds: float) -> None:
+    if checkpoint_cost < 0:
+        raise ValueError("checkpoint cost cannot be negative")
+    if mtbf_seconds <= 0:
+        raise ValueError("MTBF must be positive")
+
+
+@dataclass(frozen=True)
+class IntervalRecommendation:
+    """A complete interval recommendation for one benchmark."""
+
+    benchmark: str
+    checkpoint_bytes: int
+    checkpoint_cost_seconds: float
+    mtbf_seconds: float
+    young_seconds: float
+    daly_seconds: float
+    waste_fraction: float
+
+    def summary(self) -> str:
+        return (f"{self.benchmark}: checkpoint {self.checkpoint_bytes} B "
+                f"({self.checkpoint_cost_seconds:.3g} s) -> "
+                f"Young {self.young_seconds:.1f} s, Daly {self.daly_seconds:.1f} s, "
+                f"expected waste {self.waste_fraction * 100:.2f}%")
+
+
+def recommend_interval(benchmark: str, checkpoint_bytes: int,
+                       mtbf_seconds: float,
+                       bandwidth_bytes_per_second: float = 1e9,
+                       latency_seconds: float = 0.5,
+                       restart_cost_seconds: float = 30.0) -> IntervalRecommendation:
+    """Build an interval recommendation from an AutoCheck checkpoint size."""
+    cost = checkpoint_cost_seconds(checkpoint_bytes, bandwidth_bytes_per_second,
+                                   latency_seconds)
+    daly = daly_interval(cost, mtbf_seconds)
+    return IntervalRecommendation(
+        benchmark=benchmark,
+        checkpoint_bytes=checkpoint_bytes,
+        checkpoint_cost_seconds=cost,
+        mtbf_seconds=mtbf_seconds,
+        young_seconds=young_interval(cost, mtbf_seconds),
+        daly_seconds=daly,
+        waste_fraction=expected_waste_fraction(daly, cost, mtbf_seconds,
+                                               restart_cost_seconds),
+    )

@@ -1,0 +1,102 @@
+"""Local checkpoint storage (the FTI "L1" level).
+
+Checkpoints are JSON documents holding the protected variables' element
+values plus metadata (iteration number, byte sizes).  JSON is plenty for the
+mini benchmarks' data volumes and keeps checkpoints human-inspectable, which
+the tests and the storage study exploit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class CheckpointData:
+    """One checkpoint: iteration number plus per-variable element values."""
+
+    iteration: int
+    variables: Dict[str, List[Number]] = field(default_factory=dict)
+    sizes_bytes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sizes_bytes.values())
+
+    def variable_names(self) -> List[str]:
+        return list(self.variables.keys())
+
+
+class CheckpointStorage:
+    """Store/retrieve checkpoints under a directory (one file per checkpoint)."""
+
+    FILENAME_PREFIX = "ckpt_"
+
+    def __init__(self, directory: str, keep_history: bool = False) -> None:
+        self.directory = directory
+        self.keep_history = keep_history
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _path_for(self, iteration: int) -> str:
+        return os.path.join(self.directory, f"{self.FILENAME_PREFIX}{iteration:08d}.json")
+
+    def write(self, checkpoint: CheckpointData) -> str:
+        path = self._path_for(checkpoint.iteration)
+        payload = {
+            "iteration": checkpoint.iteration,
+            "variables": checkpoint.variables,
+            "sizes_bytes": checkpoint.sizes_bytes,
+        }
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+        if not self.keep_history:
+            for existing in self.list_paths():
+                if existing != path:
+                    os.remove(existing)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def list_paths(self) -> List[str]:
+        names = [name for name in os.listdir(self.directory)
+                 if name.startswith(self.FILENAME_PREFIX) and name.endswith(".json")]
+        return [os.path.join(self.directory, name) for name in sorted(names)]
+
+    def load(self, path: str) -> CheckpointData:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return CheckpointData(
+            iteration=int(payload["iteration"]),
+            variables={name: list(values)
+                       for name, values in payload["variables"].items()},
+            sizes_bytes={name: int(size)
+                         for name, size in payload.get("sizes_bytes", {}).items()},
+        )
+
+    def latest(self) -> Optional[CheckpointData]:
+        paths = self.list_paths()
+        if not paths:
+            return None
+        return self.load(paths[-1])
+
+    def clear(self) -> None:
+        for path in self.list_paths():
+            os.remove(path)
+
+    @property
+    def checkpoint_count(self) -> int:
+        return len(self.list_paths())
+
+    def storage_bytes_on_disk(self) -> int:
+        return sum(os.path.getsize(path) for path in self.list_paths())

@@ -1,0 +1,144 @@
+"""Command line interface (the ``autocheck`` console script).
+
+Subcommands:
+
+* ``autocheck analyze <trace file> --function main --start L1 --end L2`` —
+  run the analysis on an existing dynamic trace file (the paper's primary
+  usage: trace + main loop location in, critical variables out);
+* ``autocheck app <name>`` — trace and analyse one of the bundled benchmarks;
+* ``autocheck trace <mini-C file> -o out.trace`` — compile and trace a mini-C
+  program;
+* ``autocheck table2|table3|table4|validate|figure5|run-all`` — regenerate
+  the paper's evaluation artefacts;
+* ``autocheck list`` — list the bundled benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.apps.registry import all_apps, get_app
+from repro.codegen.lowering import compile_source
+from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.pipeline import AutoCheck
+from repro.experiments import (
+    format_table2,
+    format_table3,
+    format_table4,
+    format_validation,
+    run_all,
+    run_figure5,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_validation,
+)
+from repro.experiments.common import analyze_app
+from repro.tracer.driver import trace_to_file
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    spec = MainLoopSpec(function=args.function, start_line=args.start,
+                        end_line=args.end)
+    config = AutoCheckConfig(main_loop=spec,
+                             parallel_preprocessing=args.parallel,
+                             preprocessing_workers=args.workers,
+                             induction_variable=args.induction)
+    report = AutoCheck(config, trace_path=args.trace).run()
+    print(report.summary())
+    return 0
+
+
+def _cmd_app(args: argparse.Namespace) -> int:
+    app = get_app(args.name)
+    analysis = analyze_app(app)
+    print(f"# {app.title} — {app.description}")
+    print(analysis.report.summary())
+    status = "matches" if analysis.matches_expected else "DIFFERS from"
+    print(f"Result {status} the paper's Table II row "
+          f"({analysis.mismatch_description()}).")
+    return 0 if analysis.matches_expected else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    with open(args.source, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    module = compile_source(source, module_name=args.source)
+    size, result = trace_to_file(module, args.output)
+    print(f"wrote {size} bytes to {args.output}; program output:")
+    for line in result.output:
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for app in all_apps(include_example=True):
+        expected = ", ".join(f"{k} ({v})" for k, v in app.expected_critical.items())
+        print(f"{app.name:10s} {app.title:15s} expected: {expected}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="autocheck",
+        description="AutoCheck: automatically identify variables for "
+                    "checkpointing by data dependency analysis (SC'24 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command")
+
+    p_analyze = sub.add_parser("analyze", help="analyse an existing trace file")
+    p_analyze.add_argument("trace")
+    p_analyze.add_argument("--function", default="main")
+    p_analyze.add_argument("--start", type=int, required=True,
+                           help="main loop start line")
+    p_analyze.add_argument("--end", type=int, required=True,
+                           help="main loop end line")
+    p_analyze.add_argument("--induction", default=None)
+    p_analyze.add_argument("--parallel", action="store_true")
+    p_analyze.add_argument("--workers", type=int, default=4)
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_app = sub.add_parser("app", help="trace + analyse a bundled benchmark")
+    p_app.add_argument("name")
+    p_app.set_defaults(func=_cmd_app)
+
+    p_trace = sub.add_parser("trace", help="compile and trace a mini-C source file")
+    p_trace.add_argument("source")
+    p_trace.add_argument("-o", "--output", required=True)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_list = sub.add_parser("list", help="list bundled benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+
+    for name, runner, formatter in (
+            ("table2", run_table2, format_table2),
+            ("table3", run_table3, format_table3),
+            ("table4", run_table4, format_table4),
+            ("validate", run_validation, format_validation)):
+        p_cmd = sub.add_parser(name, help=f"regenerate {name}")
+        p_cmd.add_argument("--apps", nargs="*", default=None)
+        p_cmd.set_defaults(func=lambda a, r=runner, f=formatter:
+                           (print(f(r(apps=a.apps))) or 0))
+
+    p_fig = sub.add_parser("figure5", help="regenerate the Fig. 4/5 worked example")
+    p_fig.set_defaults(func=lambda a: (print(run_figure5().summary()) or 0))
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--apps", nargs="*", default=None)
+    p_all.add_argument("--output", default=None)
+    p_all.add_argument("--skip-validation", action="store_true")
+    p_all.set_defaults(func=lambda a: (print(run_all(
+        apps=a.apps, output_path=a.output,
+        include_validation=not a.skip_validation)) or 0))
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return int(args.func(args) or 0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

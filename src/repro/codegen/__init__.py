@@ -1,0 +1,26 @@
+"""``repro.codegen`` — lowering of the mini-C AST to the LLVM-like IR.
+
+Lowering follows the ``clang -O0`` idiom the paper's analysis assumes:
+
+* every source variable gets its own ``Alloca`` (locals/params) or module
+  global; every read is a fresh ``Load`` into a new temporary register and
+  every write a ``Store`` — this is what makes the on-the-fly reg-var map
+  well defined;
+* array element accesses produce a ``BitCast`` of the array storage to an
+  element pointer, explicit ``Mul``/``Add`` flat-index arithmetic, and a
+  ``GetElementPtr`` — the complement instructions listed in paper Table I;
+* function calls pass scalars by value and arrays by decayed element
+  pointers, so the argument/parameter correlation of paper Fig. 6(b) occurs
+  naturally in the traces.
+"""
+
+from repro.codegen.lowering import CodeGenerator, compile_program, compile_source
+from repro.codegen.layout import flat_index_dims, ir_type_of
+
+__all__ = [
+    "CodeGenerator",
+    "compile_program",
+    "compile_source",
+    "flat_index_dims",
+    "ir_type_of",
+]

@@ -1,0 +1,61 @@
+"""Type mapping and array layout helpers shared by codegen and checkpointing."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.minicc import ast_nodes as ast
+from repro.ir.types import ArrayType, F64, I32, IRType, PointerType
+
+
+def ir_type_of(ctype: ast.CType) -> IRType:
+    """Map a mini-C type to its IR representation."""
+    if isinstance(ctype, ast.IntType):
+        return I32
+    if isinstance(ctype, ast.DoubleType):
+        return F64
+    if isinstance(ctype, ast.VoidType):
+        from repro.ir.types import VOID
+
+        return VOID
+    if isinstance(ctype, ast.ArrayType):
+        return ArrayType(element=ir_type_of(ctype.element), dims=tuple(ctype.dims))
+    if isinstance(ctype, ast.PointerType):
+        return PointerType(ir_type_of(ctype.element))
+    raise TypeError(f"unsupported mini-C type {ctype!r}")
+
+
+def element_ctype(ctype: ast.CType) -> ast.CType:
+    """Return the scalar element type of an array/pointer mini-C type."""
+    if isinstance(ctype, (ast.ArrayType, ast.PointerType)):
+        return ctype.element
+    return ctype
+
+
+def flat_index_dims(ctype: ast.CType, num_indices: int) -> Tuple[int, ...]:
+    """Return the dimension sizes used to flatten a multi-dimensional access.
+
+    For an ``ArrayType`` with dims ``(d0, d1, ..., dk)`` indexed with all k+1
+    subscripts the flat index is ``((i0*d1 + i1)*d2 + i2)...`` so the sizes
+    needed are ``dims[1:]``.  For pointer parameters the declared trailing
+    dimensions play the same role; a single-subscript access needs no sizes.
+    """
+    if num_indices <= 1:
+        return ()
+    if isinstance(ctype, ast.ArrayType):
+        dims = ctype.dims
+    elif isinstance(ctype, ast.PointerType):
+        dims = ctype.dims
+    else:
+        raise TypeError("flat_index_dims expects an array or pointer type")
+    if len(dims) < num_indices:
+        raise ValueError(
+            f"access with {num_indices} subscripts on type with dims {dims}")
+    # When the leading dimension is present it is not needed for flattening.
+    return tuple(dims[len(dims) - num_indices + 1:])
+
+
+def byte_size_of(ctype: ast.CType) -> int:
+    """Total byte size of a mini-C variable (used by the storage study)."""
+    ir_ty = ir_type_of(ctype)
+    return ir_ty.size_in_bytes()

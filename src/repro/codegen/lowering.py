@@ -1,0 +1,648 @@
+"""AST → IR lowering (the mini-C "clang -O0" code generator)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.codegen.layout import element_ctype, flat_index_dims, ir_type_of
+from repro.ir.builder import IRBuilder
+from repro.ir.instructions import binary_opcode
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.opcodes import Opcode
+from repro.ir.types import F64, I32, PointerType
+from repro.ir.values import Argument, Constant, GlobalVariable, Register, Value
+from repro.ir.verifier import verify_module
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import SemanticError
+from repro.minicc.parser import parse_program
+from repro.minicc.sema import BUILTIN_FUNCTIONS, SemanticInfo, analyze
+
+
+@dataclass
+class _VarSlot:
+    """Storage backing a resolved mini-C variable."""
+
+    name: str
+    ctype: ast.CType
+    #: Pointer-valued IR entity addressing the storage: an ``Alloca`` result
+    #: register for locals/params or the :class:`GlobalVariable` itself.
+    pointer: Value
+    is_global: bool = False
+    #: For pointer parameters the alloca stores a *pointer* which must itself
+    #: be loaded before use.
+    is_pointer_param: bool = False
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.slots: Dict[str, _VarSlot] = {}
+
+    def declare(self, slot: _VarSlot) -> None:
+        self.slots[slot.name] = slot
+
+    def lookup(self, name: str) -> Optional[_VarSlot]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.slots:
+                return scope.slots[name]
+            scope = scope.parent
+        return None
+
+
+class _LoopContext:
+    """Targets for ``break`` / ``continue`` inside the innermost loop."""
+
+    def __init__(self, continue_block: BasicBlock, break_block: BasicBlock) -> None:
+        self.continue_block = continue_block
+        self.break_block = break_block
+
+
+class CodeGenerator:
+    """Lower an analyzed mini-C program into an IR :class:`Module`."""
+
+    def __init__(self, program: ast.Program, info: SemanticInfo,
+                 module_name: str = "module") -> None:
+        self.program = program
+        self.info = info
+        self.module = Module(name=module_name, source=program.source)
+        self._globals: Dict[str, GlobalVariable] = {}
+        self._builder: Optional[IRBuilder] = None
+        self._scope: Optional[_Scope] = None
+        self._loops: List[_LoopContext] = []
+        self._current_func: Optional[ast.FuncDef] = None
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def generate(self) -> Module:
+        for decl in self.program.globals:
+            self._emit_global(decl)
+        for func in self.program.functions:
+            self._emit_function(func)
+        verify_module(self.module)
+        return self.module
+
+    # ------------------------------------------------------------------ #
+    # Globals
+    # ------------------------------------------------------------------ #
+    def _emit_global(self, decl: ast.VarDecl) -> None:
+        value_type = ir_type_of(decl.ctype)
+        initializer: Optional[Union[int, float]] = None
+        if decl.init is not None:
+            initializer = _const_value(decl.init)
+            if isinstance(decl.ctype, ast.IntType):
+                initializer = int(initializer)
+            else:
+                initializer = float(initializer)
+        gvar = GlobalVariable(type=PointerType(value_type), name=decl.name,
+                              value_type=value_type, initializer=initializer)
+        self.module.add_global(gvar)
+        self._globals[decl.name] = gvar
+
+    # ------------------------------------------------------------------ #
+    # Functions
+    # ------------------------------------------------------------------ #
+    def _emit_function(self, func: ast.FuncDef) -> None:
+        ir_func = Function(name=func.name,
+                           return_type=ir_type_of(func.return_type),
+                           line=func.line)
+        for index, param in enumerate(func.params):
+            ir_func.args.append(Argument(type=ir_type_of(param.ctype),
+                                         name=param.name, index=index))
+        self.module.add_function(ir_func)
+
+        builder = IRBuilder(self.module, ir_func)
+        entry = builder.new_block("entry")
+        builder.set_block(entry)
+        self._builder = builder
+        self._current_func = func
+
+        # Function scope: globals are visible, then parameters.
+        global_scope = _Scope()
+        for name, gvar in self._globals.items():
+            ctype = self.info.global_types[name]
+            global_scope.declare(_VarSlot(name=name, ctype=ctype, pointer=gvar,
+                                          is_global=True))
+        scope = _Scope(global_scope)
+
+        for param, arg in zip(func.params, ir_func.args):
+            param_ir_type = ir_type_of(param.ctype)
+            ptr = builder.alloca(param_ir_type, param.name,
+                                 line=param.line, column=param.column)
+            builder.store(arg, ptr, line=param.line, column=param.column)
+            scope.declare(_VarSlot(
+                name=param.name, ctype=param.ctype, pointer=ptr,
+                is_pointer_param=isinstance(param.ctype, ast.PointerType)))
+
+        self._scope = scope
+        self._emit_block(func.body, scope)
+
+        # Terminate any block left open (implicit return).
+        for block in ir_func.blocks:
+            if not block.is_terminated:
+                builder.set_block(block)
+                if isinstance(func.return_type, ast.VoidType):
+                    builder.ret(None, line=func.body.line)
+                elif isinstance(func.return_type, ast.DoubleType):
+                    builder.ret(builder.const_float(0.0), line=func.body.line)
+                else:
+                    builder.ret(builder.const_int(0), line=func.body.line)
+
+        self._builder = None
+        self._scope = None
+        self._current_func = None
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _emit_block(self, block: ast.Block, parent_scope: _Scope) -> None:
+        scope = _Scope(parent_scope)
+        for stmt in block.statements:
+            self._emit_statement(stmt, scope)
+
+    def _emit_statement(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                self._emit_local_decl(decl, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self._emit_block(stmt, scope)
+        elif isinstance(stmt, ast.Print):
+            self._emit_print(stmt, scope)
+        elif isinstance(stmt, ast.Return):
+            self._emit_return(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._emit_if(stmt, scope)
+        elif isinstance(stmt, ast.While):
+            self._emit_while(stmt, scope)
+        elif isinstance(stmt, ast.For):
+            self._emit_for(stmt, scope)
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise SemanticError("break outside of loop", stmt.line, stmt.column)
+            builder.br(self._loops[-1].break_block, line=stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise SemanticError("continue outside of loop", stmt.line, stmt.column)
+            builder.br(self._loops[-1].continue_block, line=stmt.line)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"cannot lower statement {type(stmt).__name__}",
+                                stmt.line, stmt.column)
+
+    def _emit_local_decl(self, decl: ast.VarDecl, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        ir_ty = ir_type_of(decl.ctype)
+        ptr = builder.alloca(ir_ty, decl.name, line=decl.line, column=decl.column)
+        slot = _VarSlot(name=decl.name, ctype=decl.ctype, pointer=ptr)
+        scope.declare(slot)
+        if decl.init is not None:
+            value, value_ctype = self._emit_expr(decl.init, scope)
+            value = self._convert(value, value_ctype, decl.ctype,
+                                  decl.line, decl.column)
+            builder.store(value, ptr, line=decl.line, column=decl.column)
+
+    def _emit_print(self, stmt: ast.Print, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        operands: List[Value] = []
+        labels: List[Optional[str]] = []
+        pending: Optional[str] = None
+        for arg in stmt.args:
+            if isinstance(arg, ast.StringLiteral):
+                pending = arg.value if pending is None else pending + arg.value
+                continue
+            value, _ = self._emit_expr(arg, scope)
+            operands.append(value)
+            labels.append(pending)
+            pending = None
+        if pending is not None:
+            labels.append(pending)
+        builder.print_(operands, labels, line=stmt.line, column=stmt.column)
+
+    def _emit_return(self, stmt: ast.Return, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        assert self._current_func is not None
+        if stmt.value is None:
+            builder.ret(None, line=stmt.line, column=stmt.column)
+            return
+        value, value_ctype = self._emit_expr(stmt.value, scope)
+        value = self._convert(value, value_ctype, self._current_func.return_type,
+                              stmt.line, stmt.column)
+        builder.ret(value, line=stmt.line, column=stmt.column)
+
+    def _emit_if(self, stmt: ast.If, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        cond = self._emit_condition(stmt.cond, scope)
+        then_block = builder.new_block()
+        end_block = builder.new_block()
+        else_block = builder.new_block() if stmt.else_body is not None else end_block
+        builder.cond_br(cond, then_block, else_block,
+                        line=stmt.line, column=stmt.column)
+
+        builder.set_block(then_block)
+        self._emit_statement(stmt.then_body, _Scope(scope))
+        if not builder.current_block_terminated:
+            builder.br(end_block, line=stmt.line)
+
+        if stmt.else_body is not None:
+            builder.set_block(else_block)
+            self._emit_statement(stmt.else_body, _Scope(scope))
+            if not builder.current_block_terminated:
+                builder.br(end_block, line=stmt.line)
+
+        builder.set_block(end_block)
+
+    def _emit_while(self, stmt: ast.While, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        cond_block = builder.new_block()
+        body_block = builder.new_block()
+        end_block = builder.new_block()
+
+        builder.br(cond_block, line=stmt.line, column=stmt.column)
+        builder.set_block(cond_block)
+        cond = self._emit_condition(stmt.cond, scope)
+        builder.cond_br(cond, body_block, end_block,
+                        line=stmt.line, column=stmt.column)
+
+        self._loops.append(_LoopContext(cond_block, end_block))
+        builder.set_block(body_block)
+        self._emit_statement(stmt.body, _Scope(scope))
+        if not builder.current_block_terminated:
+            builder.br(cond_block, line=stmt.line)
+        self._loops.pop()
+
+        builder.set_block(end_block)
+
+    def _emit_for(self, stmt: ast.For, scope: _Scope) -> None:
+        builder = self._builder
+        assert builder is not None
+        loop_scope = _Scope(scope)
+        if stmt.init is not None:
+            self._emit_statement(stmt.init, loop_scope)
+
+        cond_block = builder.new_block()
+        body_block = builder.new_block()
+        step_block = builder.new_block()
+        end_block = builder.new_block()
+
+        builder.br(cond_block, line=stmt.line, column=stmt.column)
+        builder.set_block(cond_block)
+        if stmt.cond is not None:
+            cond = self._emit_condition(stmt.cond, loop_scope)
+        else:
+            cond = builder.const_int(1)
+        builder.cond_br(cond, body_block, end_block,
+                        line=stmt.line, column=stmt.column)
+
+        self._loops.append(_LoopContext(step_block, end_block))
+        builder.set_block(body_block)
+        self._emit_statement(stmt.body, _Scope(loop_scope))
+        if not builder.current_block_terminated:
+            builder.br(step_block, line=stmt.line)
+        self._loops.pop()
+
+        builder.set_block(step_block)
+        if stmt.step is not None:
+            self._emit_expr(stmt.step, loop_scope)
+        builder.br(cond_block, line=stmt.line, column=stmt.column)
+
+        builder.set_block(end_block)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _emit_condition(self, expr: ast.Expr, scope: _Scope) -> Value:
+        """Evaluate ``expr`` and normalise it to an i32 0/1 value."""
+        builder = self._builder
+        assert builder is not None
+        value, ctype = self._emit_expr(expr, scope)
+        if isinstance(expr, (ast.BinaryOp,)) and expr.op in (
+                "==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return value
+        if isinstance(ctype, ast.DoubleType):
+            return builder.fcmp("ne", value, builder.const_float(0.0),
+                                line=expr.line, column=expr.column)
+        return builder.icmp("ne", value, builder.const_int(0),
+                            line=expr.line, column=expr.column)
+
+    def _emit_expr(self, expr: ast.Expr, scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        if isinstance(expr, ast.IntLiteral):
+            return builder.const_int(expr.value), ast.INT
+        if isinstance(expr, ast.FloatLiteral):
+            return builder.const_float(expr.value), ast.DOUBLE
+        if isinstance(expr, ast.Identifier):
+            return self._emit_identifier_load(expr, scope)
+        if isinstance(expr, ast.ArrayIndex):
+            address, elem_ctype_ = self._emit_element_address(expr, scope)
+            value = builder.load(address, ir_type_of(elem_ctype_),
+                                 line=expr.line, column=expr.column)
+            return value, elem_ctype_
+        if isinstance(expr, ast.UnaryOp):
+            return self._emit_unary(expr, scope)
+        if isinstance(expr, ast.BinaryOp):
+            return self._emit_binary(expr, scope)
+        if isinstance(expr, ast.Assignment):
+            return self._emit_assignment(expr, scope)
+        if isinstance(expr, ast.IncDec):
+            return self._emit_incdec(expr, scope)
+        if isinstance(expr, ast.Call):
+            return self._emit_call(expr, scope)
+        raise SemanticError(f"cannot lower expression {type(expr).__name__}",
+                            expr.line, expr.column)
+
+    def _emit_identifier_load(self, expr: ast.Identifier,
+                              scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        slot = self._lookup(expr.name, scope, expr.line, expr.column)
+        if isinstance(slot.ctype, (ast.ArrayType, ast.PointerType)):
+            # Array-valued identifier in a value context: decay to a pointer
+            # to the first element (used when passing arrays to functions).
+            pointer = self._decayed_pointer(slot, expr.line, expr.column)
+            return pointer, slot.ctype
+        value = builder.load(slot.pointer, ir_type_of(slot.ctype),
+                             line=expr.line, column=expr.column)
+        return value, slot.ctype
+
+    def _emit_unary(self, expr: ast.UnaryOp, scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        value, ctype = self._emit_expr(expr.operand, scope)
+        if expr.op == "-":
+            if isinstance(ctype, ast.DoubleType):
+                result = builder.binary(Opcode.FSUB, builder.const_float(0.0),
+                                        value, F64, line=expr.line, column=expr.column)
+                return result, ast.DOUBLE
+            result = builder.binary(Opcode.SUB, builder.const_int(0), value, I32,
+                                    line=expr.line, column=expr.column)
+            return result, ast.INT
+        if expr.op == "!":
+            if isinstance(ctype, ast.DoubleType):
+                result = builder.fcmp("eq", value, builder.const_float(0.0),
+                                      line=expr.line, column=expr.column)
+            else:
+                result = builder.icmp("eq", value, builder.const_int(0),
+                                      line=expr.line, column=expr.column)
+            return result, ast.INT
+        raise SemanticError(f"unsupported unary operator {expr.op!r}",
+                            expr.line, expr.column)
+
+    def _emit_binary(self, expr: ast.BinaryOp, scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        left, left_ty = self._emit_expr(expr.left, scope)
+        right, right_ty = self._emit_expr(expr.right, scope)
+
+        if expr.op in ("&&", "||"):
+            left_b = self._to_bool(left, left_ty, expr.left)
+            right_b = self._to_bool(right, right_ty, expr.right)
+            opcode = Opcode.AND if expr.op == "&&" else Opcode.OR
+            result = builder.binary(opcode, left_b, right_b, I32,
+                                    line=expr.line, column=expr.column)
+            return result, ast.INT
+
+        if expr.op in ("==", "!=", "<", "<=", ">", ">="):
+            predicate = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le",
+                         ">": "gt", ">=": "ge"}[expr.op]
+            use_float = isinstance(left_ty, ast.DoubleType) or isinstance(
+                right_ty, ast.DoubleType)
+            if use_float:
+                left = self._convert(left, left_ty, ast.DOUBLE, expr.line, expr.column)
+                right = self._convert(right, right_ty, ast.DOUBLE, expr.line, expr.column)
+                result = builder.fcmp(predicate, left, right,
+                                      line=expr.line, column=expr.column)
+            else:
+                result = builder.icmp(predicate, left, right,
+                                      line=expr.line, column=expr.column)
+            return result, ast.INT
+
+        use_float = isinstance(left_ty, ast.DoubleType) or isinstance(
+            right_ty, ast.DoubleType)
+        if expr.op == "%":
+            use_float = False
+        if use_float:
+            left = self._convert(left, left_ty, ast.DOUBLE, expr.line, expr.column)
+            right = self._convert(right, right_ty, ast.DOUBLE, expr.line, expr.column)
+            result_ty: ast.CType = ast.DOUBLE
+            ir_ty = F64
+        else:
+            result_ty = ast.INT
+            ir_ty = I32
+        opcode = binary_opcode(expr.op, use_float)
+        result = builder.binary(opcode, left, right, ir_ty,
+                                line=expr.line, column=expr.column)
+        return result, result_ty
+
+    def _emit_assignment(self, expr: ast.Assignment,
+                         scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        target_addr, target_ctype = self._emit_lvalue_address(expr.target, scope)
+
+        if expr.op == "=":
+            value, value_ctype = self._emit_expr(expr.value, scope)
+            value = self._convert(value, value_ctype, target_ctype,
+                                  expr.line, expr.column)
+        else:
+            current = builder.load(target_addr, ir_type_of(target_ctype),
+                                   line=expr.line, column=expr.column)
+            rhs, rhs_ctype = self._emit_expr(expr.value, scope)
+            op = expr.op[0]  # '+', '-', '*', '/'
+            use_float = isinstance(target_ctype, ast.DoubleType) or isinstance(
+                rhs_ctype, ast.DoubleType)
+            lhs_value = self._convert(current, target_ctype,
+                                      ast.DOUBLE if use_float else ast.INT,
+                                      expr.line, expr.column)
+            rhs_value = self._convert(rhs, rhs_ctype,
+                                      ast.DOUBLE if use_float else ast.INT,
+                                      expr.line, expr.column)
+            opcode = binary_opcode(op, use_float)
+            combined = builder.binary(opcode, lhs_value, rhs_value,
+                                      F64 if use_float else I32,
+                                      line=expr.line, column=expr.column)
+            value = self._convert(combined,
+                                  ast.DOUBLE if use_float else ast.INT,
+                                  target_ctype, expr.line, expr.column)
+        builder.store(value, target_addr, line=expr.line, column=expr.column)
+        return value, target_ctype
+
+    def _emit_incdec(self, expr: ast.IncDec, scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        target_addr, target_ctype = self._emit_lvalue_address(expr.target, scope)
+        current = builder.load(target_addr, ir_type_of(target_ctype),
+                               line=expr.line, column=expr.column)
+        is_double = isinstance(target_ctype, ast.DoubleType)
+        one: Value = builder.const_float(1.0) if is_double else builder.const_int(1)
+        if expr.op == "++":
+            opcode = Opcode.FADD if is_double else Opcode.ADD
+        else:
+            opcode = Opcode.FSUB if is_double else Opcode.SUB
+        updated = builder.binary(opcode, current, one, F64 if is_double else I32,
+                                 line=expr.line, column=expr.column)
+        builder.store(updated, target_addr, line=expr.line, column=expr.column)
+        return (updated if expr.is_prefix else current), target_ctype
+
+    def _emit_call(self, expr: ast.Call, scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        if expr.callee in BUILTIN_FUNCTIONS:
+            param_types, return_ctype = BUILTIN_FUNCTIONS[expr.callee]
+            args: List[Value] = []
+            for index, arg in enumerate(expr.args):
+                value, value_ctype = self._emit_expr(arg, scope)
+                if param_types is not None and index < len(param_types):
+                    value = self._convert(value, value_ctype, param_types[index],
+                                          arg.line, arg.column)
+                args.append(value)
+            result = builder.call(expr.callee, args, ir_type_of(return_ctype),
+                                  is_builtin=True, line=expr.line, column=expr.column)
+            if result is None:
+                return builder.const_int(0), ast.INT
+            return result, return_ctype
+
+        signature = self.info.functions[expr.callee]
+        args = []
+        for arg, param_ctype in zip(expr.args, signature.param_types):
+            if isinstance(param_ctype, ast.PointerType):
+                assert isinstance(arg, ast.Identifier)
+                slot = self._lookup(arg.name, scope, arg.line, arg.column)
+                args.append(self._decayed_pointer(slot, arg.line, arg.column))
+            else:
+                value, value_ctype = self._emit_expr(arg, scope)
+                args.append(self._convert(value, value_ctype, param_ctype,
+                                          arg.line, arg.column))
+        param_names = tuple(param.name for param in signature.definition.params)
+        result = builder.call(expr.callee, args,
+                              ir_type_of(signature.return_type),
+                              is_builtin=False, param_names=param_names,
+                              line=expr.line, column=expr.column)
+        if result is None:
+            return builder.const_int(0), ast.INT
+        return result, signature.return_type
+
+    # ------------------------------------------------------------------ #
+    # Addresses and lvalues
+    # ------------------------------------------------------------------ #
+    def _emit_lvalue_address(self, expr: ast.Expr,
+                             scope: _Scope) -> Tuple[Value, ast.CType]:
+        if isinstance(expr, ast.Identifier):
+            slot = self._lookup(expr.name, scope, expr.line, expr.column)
+            if isinstance(slot.ctype, (ast.ArrayType, ast.PointerType)):
+                raise SemanticError(f"cannot assign to array {expr.name!r}",
+                                    expr.line, expr.column)
+            return slot.pointer, slot.ctype
+        if isinstance(expr, ast.ArrayIndex):
+            return self._emit_element_address(expr, scope)
+        raise SemanticError("invalid assignment target", expr.line, expr.column)
+
+    def _emit_element_address(self, expr: ast.ArrayIndex,
+                              scope: _Scope) -> Tuple[Value, ast.CType]:
+        builder = self._builder
+        assert builder is not None
+        slot = self._lookup(expr.base.name, scope, expr.line, expr.column)
+        elem_ty = element_ctype(slot.ctype)
+        base_pointer = self._decayed_pointer(slot, expr.line, expr.column)
+
+        # Flat index: ((i0 * d1 + i1) * d2 + i2) ...
+        dims = flat_index_dims(slot.ctype, len(expr.indices))
+        flat: Optional[Value] = None
+        for position, index_expr in enumerate(expr.indices):
+            index_value, index_ctype = self._emit_expr(index_expr, scope)
+            index_value = self._convert(index_value, index_ctype, ast.INT,
+                                        index_expr.line, index_expr.column)
+            if flat is None:
+                flat = index_value
+            else:
+                dim = dims[position - 1]
+                scaled = builder.binary(Opcode.MUL, flat, builder.const_int(dim),
+                                        I32, line=expr.line, column=expr.column)
+                flat = builder.binary(Opcode.ADD, scaled, index_value, I32,
+                                      line=expr.line, column=expr.column)
+        assert flat is not None
+        address = builder.gep(base_pointer, flat, ir_type_of(elem_ty),
+                              line=expr.line, column=expr.column)
+        return address, elem_ty
+
+    def _decayed_pointer(self, slot: _VarSlot, line: int, column: int) -> Value:
+        """Return a pointer-to-element value for an array/pointer variable."""
+        builder = self._builder
+        assert builder is not None
+        if isinstance(slot.ctype, ast.PointerType):
+            # Pointer parameters: load the pointer stored in the param alloca.
+            return builder.load(slot.pointer, ir_type_of(slot.ctype),
+                                line=line, column=column)
+        if isinstance(slot.ctype, ast.ArrayType):
+            elem_ir = ir_type_of(slot.ctype.element)
+            return builder.bitcast(slot.pointer, PointerType(elem_ir),
+                                   line=line, column=column)
+        # Scalars passed by pointer are not supported in mini-C.
+        return slot.pointer
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _lookup(self, name: str, scope: _Scope, line: int, column: int) -> _VarSlot:
+        slot = scope.lookup(name)
+        if slot is None:
+            raise SemanticError(f"use of undeclared identifier {name!r}", line, column)
+        return slot
+
+    def _to_bool(self, value: Value, ctype: ast.CType, expr: ast.Expr) -> Value:
+        builder = self._builder
+        assert builder is not None
+        if isinstance(ctype, ast.DoubleType):
+            return builder.fcmp("ne", value, builder.const_float(0.0),
+                                line=expr.line, column=expr.column)
+        return builder.icmp("ne", value, builder.const_int(0),
+                            line=expr.line, column=expr.column)
+
+    def _convert(self, value: Value, from_ctype: ast.CType, to_ctype: ast.CType,
+                 line: int, column: int) -> Value:
+        builder = self._builder
+        assert builder is not None
+        if isinstance(from_ctype, ast.IntType) and isinstance(to_ctype, ast.DoubleType):
+            if isinstance(value, Constant):
+                return builder.const_float(float(value.value))
+            return builder.cast(Opcode.SITOFP, value, F64, line=line, column=column)
+        if isinstance(from_ctype, ast.DoubleType) and isinstance(to_ctype, ast.IntType):
+            if isinstance(value, Constant):
+                return builder.const_int(int(value.value))
+            return builder.cast(Opcode.FPTOSI, value, I32, line=line, column=column)
+        return value
+
+
+def _const_value(expr: ast.Expr) -> Union[int, float]:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return -_const_value(expr.operand)
+    raise SemanticError("expected a constant initializer", expr.line, expr.column)
+
+
+def compile_program(program: ast.Program, info: Optional[SemanticInfo] = None,
+                    module_name: str = "module") -> Module:
+    """Lower an AST (running semantic analysis if needed) into an IR module."""
+    if info is None:
+        info = analyze(program)
+    return CodeGenerator(program, info, module_name=module_name).generate()
+
+
+def compile_source(source: str, module_name: str = "module") -> Module:
+    """Parse, analyze and lower mini-C ``source`` into a verified IR module."""
+    program = parse_program(source)
+    info = analyze(program)
+    return CodeGenerator(program, info, module_name=module_name).generate()

@@ -1,0 +1,76 @@
+"""``repro.core`` — the AutoCheck analytical model itself.
+
+This package implements the three modules of the paper's design (Fig. 2):
+
+1. **Pre-processing** (:mod:`repro.core.preprocessing`) — partition the
+   dynamic trace around the main computation loop and identify the
+   Main-Loop-Input (MLI) variables by matching the variables accessed before
+   and inside the loop (Sec. IV-A, Fig. 3), with the address-based
+   disambiguation of Challenges 1 and 2 (Sec. V-B/V-C).
+2. **Data dependency analysis** (:mod:`repro.core.dependency`,
+   :mod:`repro.core.regmaps`, :mod:`repro.core.ddg`,
+   :mod:`repro.core.contraction`) — selectively iterate the dynamic
+   instructions, build the complete DDG through the on-the-fly *reg-var map*
+   and *reg-reg map* (Sec. IV-B, Fig. 5), and contract it to MLI variables
+   only (Algorithm 1).
+3. **Identification of critical variables** (:mod:`repro.core.rwdeps`,
+   :mod:`repro.core.classify`) — convert the dependencies into an
+   execution-time-ordered Read/Write sequence and apply the WAR / Outcome /
+   RAPO / Index heuristics (Sec. IV-C, Fig. 7).
+
+:class:`repro.core.pipeline.AutoCheck` ties the three modules together and
+reports per-stage timings (the Table III breakdown).
+"""
+
+from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.errors import AnalysisError
+from repro.core.report import (
+    AutoCheckReport,
+    CriticalVariable,
+    DependencyType,
+)
+from repro.core.varmap import VariableInfo, VariableMap
+from repro.core.preprocessing import (
+    MLIVariable,
+    PreprocessingResult,
+    TraceRegions,
+    identify_mli_variables,
+    partition_trace,
+)
+from repro.core.ddg import DDG, DDGNode, NodeKind
+from repro.core.regmaps import RegRegMap, RegVarMap
+from repro.core.dependency import DependencyAnalysis, DependencyResult
+from repro.core.contraction import contract_ddg
+from repro.core.rwdeps import AccessEvent, AccessKind, extract_rw_dependencies
+from repro.core.classify import classify_variables
+from repro.core.pipeline import AutoCheck, analyze_trace
+
+__all__ = [
+    "AutoCheckConfig",
+    "MainLoopSpec",
+    "AnalysisError",
+    "AutoCheckReport",
+    "CriticalVariable",
+    "DependencyType",
+    "VariableInfo",
+    "VariableMap",
+    "MLIVariable",
+    "PreprocessingResult",
+    "TraceRegions",
+    "identify_mli_variables",
+    "partition_trace",
+    "DDG",
+    "DDGNode",
+    "NodeKind",
+    "RegRegMap",
+    "RegVarMap",
+    "DependencyAnalysis",
+    "DependencyResult",
+    "contract_ddg",
+    "AccessEvent",
+    "AccessKind",
+    "extract_rw_dependencies",
+    "classify_variables",
+    "AutoCheck",
+    "analyze_trace",
+]

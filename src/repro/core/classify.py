@@ -1,0 +1,127 @@
+"""Critical-variable identification heuristics (paper Sec. IV-C, Fig. 7).
+
+Four dependency classes are recognised:
+
+* **WAR** (Write-After-Read): within the loop the variable is read before it
+  is (later) overwritten, i.e. its value carries information across
+  iterations — it must be checkpointed or the restarted loop would consume a
+  stale value.
+* **RAPO** (Read-After-Partially-Overwritten): an array whose leading writes
+  in an iteration only touch part of its elements before it is read — the
+  untouched elements carry state from earlier iterations.
+* **Outcome**: the main loop's output — written in the loop and read after
+  it.
+* **Index**: the outermost induction variable of the main computation loop
+  (identified statically; always checkpointed so the restart can jump to the
+  right iteration).
+
+Priority when several classes apply: Index, then WAR, then RAPO, then
+Outcome (matching how the paper labels its Table II variables, e.g. FT's
+``y`` is WAR even though it is also read after the loop, while ``sum`` is the
+Outcome).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.preprocessing import MLIVariable, PreprocessingResult
+from repro.core.report import CriticalVariable, DependencyType
+from repro.core.rwdeps import AccessEvent, AccessKind, RWDependencies
+from repro.core.varmap import VariableInfo
+
+
+def _is_war(events: List[AccessEvent]) -> bool:
+    """First loop access is a read and a later write exists."""
+    if not events:
+        return False
+    if events[0].kind is not AccessKind.READ:
+        return False
+    return any(event.kind is AccessKind.WRITE for event in events[1:])
+
+
+def _is_rapo(info: VariableInfo, events: List[AccessEvent],
+             post_events: List[AccessEvent]) -> bool:
+    """Array partially overwritten before being read (in or after the loop)."""
+    if not info.is_array or not events:
+        return False
+    if events[0].kind is not AccessKind.WRITE:
+        return False
+    written: Set[int] = set()
+    saw_read = False
+    for event in events:
+        if event.kind is AccessKind.WRITE:
+            written.add(event.element_offset)
+        else:
+            saw_read = True
+            break
+    if not saw_read and not post_events:
+        return False
+    return len(written) < info.element_count
+
+
+def _is_outcome(events: List[AccessEvent], post_events: List[AccessEvent]) -> bool:
+    """Written inside the loop and read after it."""
+    if not post_events:
+        return False
+    has_write = any(event.kind is AccessKind.WRITE for event in events)
+    has_post_read = any(event.kind is AccessKind.READ for event in post_events)
+    return has_write and has_post_read
+
+
+def classify_variables(preprocessing: PreprocessingResult,
+                       rw: RWDependencies,
+                       induction: Optional[str] = None,
+                       induction_info: Optional[VariableInfo] = None,
+                       ) -> List[CriticalVariable]:
+    """Apply the WAR / RAPO / Outcome / Index heuristics.
+
+    ``induction`` is the name of the outermost main-loop induction variable
+    (from the static loop analysis); it is reported with the *Index* class
+    and excluded from the other heuristics even if it also matches them.
+    """
+    critical: List[CriticalVariable] = []
+    induction_key: Optional[str] = None
+
+    for variable in preprocessing.mli_variables:
+        info = variable.info
+        if induction is not None and info.name == induction:
+            induction_key = info.key
+            continue
+        events = rw.events_for(info.key)
+        post_events = rw.post_events_for(info.key)
+        dependency: Optional[DependencyType] = None
+        if _is_war(events):
+            dependency = DependencyType.WAR
+        elif _is_rapo(info, events, post_events):
+            dependency = DependencyType.RAPO
+        elif _is_outcome(events, post_events):
+            dependency = DependencyType.OUTCOME
+        if dependency is not None:
+            critical.append(CriticalVariable(
+                name=info.name,
+                dependency=dependency,
+                size_bytes=info.size_bytes,
+                base_address=info.base_address,
+                decl_line=info.decl_line,
+                is_array=info.is_array,
+                is_global=info.is_global,
+            ))
+
+    if induction is not None:
+        info = induction_info
+        if info is None:
+            mli_match = next((var.info for var in preprocessing.mli_variables
+                              if var.name == induction), None)
+            info = mli_match
+        critical.append(CriticalVariable(
+            name=induction,
+            dependency=DependencyType.INDEX,
+            size_bytes=info.size_bytes if info else 4,
+            base_address=info.base_address if info else 0,
+            decl_line=info.decl_line if info else 0,
+            is_array=False,
+            is_global=info.is_global if info else False,
+        ))
+
+    return critical

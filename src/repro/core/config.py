@@ -1,0 +1,64 @@
+"""Configuration objects for the AutoCheck pipeline.
+
+Per the paper (Sec. VII, "Use of AutoCheck") the user supplies:
+
+1. the dynamic execution trace of the target program,
+2. the main computation loop's start and end line numbers, and
+3. the name of the function containing the main computation loop.
+
+:class:`MainLoopSpec` captures (2) and (3); :class:`AutoCheckConfig` adds the
+implementation knobs (parallel pre-processing on/off and worker count —
+Sec. V-A — plus the optional global-variable workaround discussed for FT in
+Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MainLoopSpec:
+    """Location of the main computation loop in the source program."""
+
+    function: str
+    start_line: int
+    end_line: int
+
+    def __post_init__(self) -> None:
+        if self.start_line <= 0 or self.end_line < self.start_line:
+            raise ValueError(
+                f"invalid main computation loop range "
+                f"[{self.start_line}, {self.end_line}]")
+
+    def contains_line(self, line: int) -> bool:
+        return self.start_line <= line <= self.end_line
+
+    @property
+    def mclr(self) -> str:
+        """Human readable MCLR string as used in paper Table II."""
+        return f"{self.start_line}-{self.end_line}"
+
+
+@dataclass
+class AutoCheckConfig:
+    """Tunable options of the analysis."""
+
+    main_loop: MainLoopSpec
+    #: Enable the parallel trace pre-processing optimization (Sec. V-A) when
+    #: the input is a trace file.
+    parallel_preprocessing: bool = False
+    #: Number of workers used by the parallel pre-processing.
+    preprocessing_workers: int = 4
+    #: Use process- instead of thread-based workers for the parallel read.
+    preprocessing_use_processes: bool = False
+    #: Also collect global-variable accesses made inside function calls when
+    #: gathering the before/inside variable sets.  The paper keeps this off
+    #: and instead initializes such globals right before the main loop (the
+    #: FT workaround of Sec. V-B); the switch exists to study that choice.
+    include_global_accesses_in_calls: bool = False
+    #: Name of the induction variable, if the caller already knows it (e.g.
+    #: from the static loop analysis).  When ``None`` the pipeline falls back
+    #: to its own detection.
+    induction_variable: Optional[str] = None

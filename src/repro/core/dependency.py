@@ -1,0 +1,260 @@
+"""Data dependency analysis: building the complete DDG.
+
+Implements Sec. IV-B of the paper.  The analysis *selectively* iterates the
+dynamic instructions of the main computation loop's dynamic extent and
+maintains:
+
+* the **reg-var map** — updated by ``Load``/``Store`` and by the pointer
+  assignments of ``GetElementPtr``/``BitCast`` (paper Table I);
+* the **reg-reg map** — updated by arithmetic instructions and by
+  single-``Call`` records (the Fig. 6a case);
+* the **complete DDG** — variable and register vertices with "depends on"
+  edges; variable vertices gain their incoming edges when ``Store``
+  instructions terminate computations, and function calls with a traced body
+  (the Fig. 6b case) connect arguments to parameters through the recorded
+  argument/parameter correlation.
+
+Every memory access is attributed to its owning variable by address-interval
+lookup (:class:`repro.core.varmap.VariableMap`), which is how the analysis
+distinguishes MLI variables from same-named locals (Challenge 2) and follows
+data through pointer parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.ddg import DDG, NodeKind
+from repro.core.preprocessing import MLIVariable, PreprocessingResult, TraceRegions
+from repro.core.regmaps import RegRegMap, RegVarMap
+from repro.core.varmap import VariableInfo, VariableMap
+from repro.ir.opcodes import FORWARDING_OPCODES, Opcode
+from repro.trace.records import TraceOperand, TraceRecord
+
+
+@dataclass
+class DependencyResult:
+    """Artefacts produced by the dependency analysis."""
+
+    complete_ddg: DDG
+    reg_var_map: RegVarMap
+    reg_reg_map: RegRegMap
+    variable_map: VariableMap
+    param_bindings: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: number of records actually inspected (the "selective" subset)
+    inspected_records: int = 0
+
+
+class DependencyAnalysis:
+    """Build the complete DDG for the main computation loop."""
+
+    def __init__(self, preprocessing: PreprocessingResult) -> None:
+        self.preprocessing = preprocessing
+        self.regions: TraceRegions = preprocessing.regions
+        self.mli_keys: Set[str] = set(preprocessing.mli_keys())
+        self.mli_by_key: Dict[str, MLIVariable] = {
+            var.key: var for var in preprocessing.mli_variables}
+
+        # The dependency analysis needs to attribute addresses to *any*
+        # variable, including locals of called functions; start from the
+        # pre-processing map (globals + main-loop-function allocations) and
+        # extend it on the fly with the Allocas seen inside the loop.
+        self.varmap = VariableMap()
+        for info in preprocessing.variable_map:
+            self.varmap.add(info)
+
+        self.ddg = DDG()
+        self.reg_var = RegVarMap()
+        self.reg_reg = RegRegMap()
+        self.param_bindings: Dict[Tuple[str, str], str] = {}
+        self._inspected = 0
+
+    # ------------------------------------------------------------------ #
+    # Node helpers
+    # ------------------------------------------------------------------ #
+    def _register_key(self, function: str, register: str) -> str:
+        return f"{function}%{register}"
+
+    def _register_node(self, function: str, register: str) -> str:
+        key = self._register_key(function, register)
+        self.ddg.add_node(key, NodeKind.REGISTER, label=f"{function}:%{register}")
+        return key
+
+    def _variable_node(self, info: VariableInfo) -> str:
+        kind = NodeKind.MLI if info.key in self.mli_keys else NodeKind.LOCAL
+        self.ddg.add_node(info.key, kind, label=info.name)
+        return info.key
+
+    def _resolve_memory(self, record: TraceRecord,
+                        operand: TraceOperand) -> Optional[str]:
+        """Resolve a memory operand to a variable node key."""
+        info = self.varmap.resolve(operand.address)
+        if info is not None:
+            return self._variable_node(info)
+        binding = self.param_bindings.get((record.function, operand.name))
+        if binding is not None:
+            return binding
+        if operand.name:
+            key = f"{record.function}:{operand.name}"
+            self.ddg.add_node(key, NodeKind.LOCAL, label=operand.name)
+            return key
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Main walk
+    # ------------------------------------------------------------------ #
+    def run(self) -> DependencyResult:
+        for record in self.regions.inside:
+            self._visit(record)
+        return DependencyResult(
+            complete_ddg=self.ddg,
+            reg_var_map=self.reg_var,
+            reg_reg_map=self.reg_reg,
+            variable_map=self.varmap,
+            param_bindings=self.param_bindings,
+            inspected_records=self._inspected,
+        )
+
+    def _visit(self, record: TraceRecord) -> None:
+        opcode = record.opcode
+        if record.is_alloca:
+            self._inspected += 1
+            self.varmap.add_alloca_record(record)
+            return
+        if record.is_load:
+            self._inspected += 1
+            self._visit_load(record)
+            return
+        if record.is_store:
+            self._inspected += 1
+            self._visit_store(record)
+            return
+        if record.is_gep or Opcode(opcode) in FORWARDING_OPCODES:
+            self._inspected += 1
+            self._visit_forwarding(record)
+            return
+        if record.is_arithmetic:
+            self._inspected += 1
+            self._visit_arithmetic(record)
+            return
+        if record.is_call:
+            self._inspected += 1
+            self._visit_call(record)
+            return
+        # Branches, comparisons and returns carry no data dependencies the
+        # heuristics need; they are skipped ("selective iteration").
+
+    def _visit_load(self, record: TraceRecord) -> None:
+        operand = record.memory_operand()
+        if operand is None or record.result is None:
+            return
+        var_key = self._resolve_memory(record, operand)
+        if var_key is None:
+            return
+        reg_key = self._register_node(record.function, record.result.name)
+        self.ddg.add_edge(var_key, reg_key)
+        self.reg_var.associate(record.function, record.result.name, var_key)
+
+    def _visit_store(self, record: TraceRecord) -> None:
+        if len(record.operands) < 2:
+            return
+        value_operand, memory_operand = record.operands[0], record.operands[1]
+        var_key = self._resolve_memory(record, memory_operand)
+        if var_key is None:
+            return
+        if value_operand.is_register:
+            reg_key = self._register_node(record.function, value_operand.name)
+            self.ddg.add_edge(reg_key, var_key)
+            self.reg_var.associate(record.function, value_operand.name, var_key)
+        elif value_operand.name:
+            # Storing a named non-register value: this is the callee spilling
+            # a formal parameter into its stack slot — connect it to the
+            # argument recorded by the preceding Call instruction (Fig. 6b).
+            binding = self.param_bindings.get((record.function, value_operand.name))
+            if binding is not None:
+                self.ddg.add_edge(binding, var_key)
+
+    def _visit_forwarding(self, record: TraceRecord) -> None:
+        """GetElementPtr / BitCast / numeric casts: pointer or value forwarding."""
+        if record.result is None:
+            return
+        result_key = self._register_node(record.function, record.result.name)
+        if record.is_gep:
+            operand = record.memory_operand()
+            if operand is not None:
+                var_key = self._resolve_memory(record, operand)
+                if var_key is not None:
+                    # Pointer assignment: the result register now stands for
+                    # the variable (recursive source search of Sec. IV-A).
+                    self.reg_var.associate(record.function, record.result.name, var_key)
+            # Index registers feeding the address computation also flow into
+            # the access (e.g. the DDG edge from `it` into `a` in Fig. 5c).
+            for operand in record.operands[1:]:
+                if operand.is_register:
+                    reg_key = self._register_node(record.function, operand.name)
+                    self.ddg.add_edge(reg_key, result_key)
+            return
+        # BitCast and numeric casts forward their single operand.
+        for operand in record.operands:
+            if operand.is_register:
+                reg_key = self._register_node(record.function, operand.name)
+                self.ddg.add_edge(reg_key, result_key)
+                source = self.reg_var.lookup(record.function, operand.name)
+                if source is None and operand.address is not None:
+                    # The register holds a pointer (e.g. the result of an
+                    # array Alloca being decayed) — resolve it by address.
+                    info = self.varmap.resolve(operand.address)
+                    if info is not None:
+                        source = self._variable_node(info)
+                if source is not None:
+                    self.reg_var.associate(record.function, record.result.name, source)
+                self.reg_reg.link(record.function, record.result.name, [operand.name])
+
+    def _visit_arithmetic(self, record: TraceRecord) -> None:
+        if record.result is None:
+            return
+        result_key = self._register_node(record.function, record.result.name)
+        input_registers: List[str] = []
+        for operand in record.operands:
+            if operand.is_register:
+                input_registers.append(operand.name)
+                reg_key = self._register_node(record.function, operand.name)
+                self.ddg.add_edge(reg_key, result_key)
+        self.reg_reg.link(record.function, record.result.name, input_registers)
+
+    def _visit_call(self, record: TraceRecord) -> None:
+        params = record.parameter_operands()
+        args = record.argument_operands()
+        if not params:
+            # Single-Call form (builtin / external, Fig. 6a): behave like an
+            # arithmetic instruction over the argument registers.
+            if record.result is None:
+                return
+            result_key = self._register_node(record.function, record.result.name)
+            input_registers = []
+            for operand in args:
+                if operand.is_register:
+                    input_registers.append(operand.name)
+                    reg_key = self._register_node(record.function, operand.name)
+                    self.ddg.add_edge(reg_key, result_key)
+            self.reg_reg.link(record.function, record.result.name, input_registers)
+            return
+
+        # Call followed by its body (Fig. 6b): append the argument/parameter
+        # correlation to the reg-var map so that the callee's parameter
+        # accesses connect back to the caller's variables.
+        for position, param in enumerate(params):
+            source_key: Optional[str] = None
+            if position < len(args):
+                arg = args[position]
+                if arg.is_register:
+                    source_key = self.reg_var.lookup(record.function, arg.name)
+                    if source_key is None and arg.address is not None:
+                        info = self.varmap.resolve(arg.address)
+                        if info is not None:
+                            source_key = self._variable_node(info)
+                    if source_key is None:
+                        source_key = self._register_node(record.function, arg.name)
+            if source_key is not None:
+                self.param_bindings[(record.callee, param.name)] = source_key

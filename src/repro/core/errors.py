@@ -1,0 +1,8 @@
+"""Errors raised by the AutoCheck analysis pipeline."""
+
+from __future__ import annotations
+
+
+class AnalysisError(Exception):
+    """Raised when the analysis cannot proceed (e.g. no record falls inside
+    the declared main-computation-loop source range, or the trace is empty)."""

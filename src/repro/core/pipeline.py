@@ -1,0 +1,164 @@
+"""The AutoCheck pipeline: pre-processing → dependency analysis → identification.
+
+This is the top-level orchestration of the paper's Fig. 2 workflow, with the
+per-stage timing hooks used to regenerate Table III.  The pipeline accepts
+either an in-memory :class:`repro.trace.records.Trace` or a path to a trace
+file; in the latter case reading/parsing the file is part of the
+pre-processing stage and can optionally use the parallel partitioned reader
+(the OpenMP optimization of Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.analysis.induction import find_induction_variable, find_main_loop
+from repro.analysis.loops import find_loops
+from repro.core.classify import classify_variables
+from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.contraction import contract_ddg
+from repro.core.dependency import DependencyAnalysis
+from repro.core.errors import AnalysisError
+from repro.core.preprocessing import PreprocessingResult, identify_mli_variables
+from repro.core.report import AutoCheckReport, TraceStats
+from repro.core.rwdeps import extract_rw_dependencies
+from repro.core.varmap import VariableInfo
+from repro.ir.module import Module
+from repro.trace.partition import read_trace_file_parallel
+from repro.trace.records import Trace
+from repro.trace.textio import read_trace_file
+from repro.util.timing import TimingBreakdown
+
+
+class AutoCheck:
+    """Run the full AutoCheck analysis for one program trace."""
+
+    def __init__(self, config: AutoCheckConfig,
+                 trace: Optional[Trace] = None,
+                 trace_path: Optional[str] = None,
+                 module: Optional[Module] = None) -> None:
+        if trace is None and trace_path is None:
+            raise ValueError("AutoCheck needs either a Trace or a trace file path")
+        self.config = config
+        self._trace = trace
+        self._trace_path = trace_path
+        self._module = module
+
+    # ------------------------------------------------------------------ #
+    # Stages
+    # ------------------------------------------------------------------ #
+    def _load_trace(self) -> Trace:
+        if self._trace is not None:
+            return self._trace
+        assert self._trace_path is not None
+        if self.config.parallel_preprocessing:
+            return read_trace_file_parallel(
+                self._trace_path,
+                num_workers=self.config.preprocessing_workers,
+                use_processes=self.config.preprocessing_use_processes)
+        return read_trace_file(self._trace_path)
+
+    def _detect_induction(self, preprocessing: PreprocessingResult,
+                          ) -> Tuple[Optional[str], Optional[VariableInfo]]:
+        spec = self.config.main_loop
+        if self.config.induction_variable is not None:
+            name = self.config.induction_variable
+            return name, preprocessing.variable_map.latest_by_name(name)
+
+        # Preferred: static loop analysis over the IR (the paper's
+        # llvm-pass-loop equivalent).
+        if self._module is not None and spec.function in self._module.functions:
+            function = self._module.function(spec.function)
+            loops = find_loops(function)
+            loop = find_main_loop(function, spec.start_line, spec.end_line,
+                                  loop_info=loops)
+            if loop is not None:
+                induction = find_induction_variable(function, loop)
+                if induction is not None:
+                    info = preprocessing.variable_map.latest_by_name(induction.name)
+                    return induction.name, info
+
+        # Fallback: dynamic detection — the variable both read and written by
+        # records at the loop's controlling source line.
+        spec_line = spec.start_line
+        read_names = {}
+        written_names = {}
+        for record in preprocessing.regions.inside:
+            if record.function != spec.function or record.line != spec_line:
+                continue
+            operand = record.memory_operand()
+            if operand is None or operand.address is None:
+                continue
+            info = preprocessing.variable_map.resolve(operand.address)
+            if info is None:
+                continue
+            if record.is_load:
+                read_names[info.name] = info
+            elif record.is_store:
+                written_names[info.name] = info
+        for name, info in written_names.items():
+            if name in read_names:
+                return name, info
+        return None, None
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> AutoCheckReport:
+        timings = TimingBreakdown()
+        spec = self.config.main_loop
+
+        with timings.stage("preprocessing"):
+            trace = self._load_trace()
+            preprocessing = identify_mli_variables(
+                trace, spec,
+                include_global_accesses_in_calls=(
+                    self.config.include_global_accesses_in_calls))
+
+        with timings.stage("dependency_analysis"):
+            dependency = DependencyAnalysis(preprocessing).run()
+            contracted = contract_ddg(dependency.complete_ddg,
+                                      preprocessing.mli_keys())
+
+        with timings.stage("identify_variables"):
+            rw = extract_rw_dependencies(preprocessing,
+                                         variable_map=dependency.variable_map)
+            induction_name, induction_info = self._detect_induction(preprocessing)
+            critical = classify_variables(preprocessing, rw,
+                                          induction=induction_name,
+                                          induction_info=induction_info)
+
+        stats = TraceStats(
+            record_count=len(trace.records),
+            before_count=len(preprocessing.regions.before),
+            inside_count=len(preprocessing.regions.inside),
+            after_count=len(preprocessing.regions.after),
+            global_count=len(trace.globals),
+        )
+
+        return AutoCheckReport(
+            main_loop=spec,
+            critical_variables=critical,
+            mli_variable_names=preprocessing.mli_names(),
+            induction_variable=induction_name,
+            complete_ddg=dependency.complete_ddg,
+            contracted_ddg=contracted,
+            rw_sequence=rw,
+            timings=timings,
+            trace_stats=stats,
+        )
+
+
+def analyze_trace(trace: Union[Trace, str], main_loop: MainLoopSpec,
+                  module: Optional[Module] = None,
+                  **config_kwargs) -> AutoCheckReport:
+    """One-call convenience API.
+
+    ``trace`` may be an in-memory :class:`Trace` or a path to a trace file;
+    extra keyword arguments are forwarded to :class:`AutoCheckConfig`.
+    """
+    config = AutoCheckConfig(main_loop=main_loop, **config_kwargs)
+    if isinstance(trace, str):
+        return AutoCheck(config, trace_path=trace, module=module).run()
+    return AutoCheck(config, trace=trace, module=module).run()

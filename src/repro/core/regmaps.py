@@ -1,0 +1,62 @@
+"""The reg-var map and reg-reg map of the paper's dependency analysis.
+
+* The **reg-var map** (paper Fig. 5a) associates a temporary register with
+  the arithmetic variable it was loaded from / will be stored to.  It is
+  updated on the fly in execution order, so SSA "reload on every use"
+  guarantees the association is always current ("Mutable-register"
+  challenge).
+* The **reg-reg map** (paper Fig. 5b) links an arithmetic instruction's input
+  registers to its output register.
+
+Registers are keyed by ``(function, register name)`` because register
+numbering restarts in every function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+RegKey = Tuple[str, str]
+
+
+@dataclass
+class RegVarMap:
+    """Active register -> variable associations (updated on the fly)."""
+
+    entries: Dict[RegKey, str] = field(default_factory=dict)
+
+    def associate(self, function: str, register: str, variable_key: str) -> None:
+        self.entries[(function, register)] = variable_key
+
+    def lookup(self, function: str, register: str) -> Optional[str]:
+        return self.entries.get((function, register))
+
+    def forget_function(self, function: str) -> None:
+        """Drop associations of a function (on return, its registers die)."""
+        stale = [key for key in self.entries if key[0] == function]
+        for key in stale:
+            del self.entries[key]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class RegRegMap:
+    """Input-register -> output-register links of arithmetic instructions."""
+
+    entries: Dict[RegKey, Set[RegKey]] = field(default_factory=dict)
+
+    def link(self, function: str, output_register: str,
+             input_registers: List[str]) -> None:
+        key = (function, output_register)
+        targets = self.entries.setdefault(key, set())
+        for register in input_registers:
+            targets.add((function, register))
+
+    def inputs_of(self, function: str, register: str) -> Set[RegKey]:
+        return set(self.entries.get((function, register), set()))
+
+    def __len__(self) -> int:
+        return len(self.entries)

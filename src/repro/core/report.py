@@ -1,0 +1,118 @@
+"""Result objects of the AutoCheck pipeline."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import MainLoopSpec
+from repro.util.formatting import format_bytes, render_table
+from repro.util.timing import TimingBreakdown
+
+
+class DependencyType(enum.Enum):
+    """The four dependency classes of paper Fig. 7."""
+
+    WAR = "WAR"
+    OUTCOME = "Outcome"
+    RAPO = "RAPO"
+    INDEX = "Index"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CriticalVariable:
+    """One variable AutoCheck recommends checkpointing."""
+
+    name: str
+    dependency: DependencyType
+    size_bytes: int = 0
+    base_address: int = 0
+    decl_line: int = 0
+    is_array: bool = False
+    is_global: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.dependency.value})"
+
+
+@dataclass
+class TraceStats:
+    """Shape of the analysed trace (Table II's size/record columns)."""
+
+    record_count: int = 0
+    before_count: int = 0
+    inside_count: int = 0
+    after_count: int = 0
+    global_count: int = 0
+    trace_bytes: Optional[int] = None
+
+
+@dataclass
+class AutoCheckReport:
+    """Everything AutoCheck produces for one benchmark run."""
+
+    main_loop: MainLoopSpec
+    critical_variables: List[CriticalVariable] = field(default_factory=list)
+    mli_variable_names: List[str] = field(default_factory=list)
+    induction_variable: Optional[str] = None
+    complete_ddg: Optional[object] = None      # repro.core.ddg.DDG
+    contracted_ddg: Optional[object] = None    # repro.core.ddg.DDG
+    rw_sequence: Optional[object] = None       # repro.core.rwdeps.RWDependencies
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    trace_stats: TraceStats = field(default_factory=TraceStats)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        return [variable.name for variable in self.critical_variables]
+
+    def find(self, name: str) -> Optional[CriticalVariable]:
+        for variable in self.critical_variables:
+            if variable.name == name:
+                return variable
+        return None
+
+    def by_type(self) -> Dict[DependencyType, List[CriticalVariable]]:
+        grouped: Dict[DependencyType, List[CriticalVariable]] = {}
+        for variable in self.critical_variables:
+            grouped.setdefault(variable.dependency, []).append(variable)
+        return grouped
+
+    def checkpoint_bytes(self) -> int:
+        """Total bytes to checkpoint = sum of critical-variable sizes.
+
+        This is the quantity compared against the BLCR whole-process image in
+        paper Table IV.
+        """
+        return sum(variable.size_bytes for variable in self.critical_variables)
+
+    def dependency_string(self) -> str:
+        """Table II style listing, e.g. ``x (WAR), it (Index)``."""
+        return ", ".join(f"{v.name} ({v.dependency.value})"
+                         for v in self.critical_variables)
+
+    def summary(self) -> str:
+        """Human readable multi-line report."""
+        lines = [
+            f"Main computation loop: {self.main_loop.function} "
+            f"lines {self.main_loop.mclr}",
+            f"MLI variables ({len(self.mli_variable_names)}): "
+            + ", ".join(self.mli_variable_names),
+            f"Critical variables ({len(self.critical_variables)}):",
+        ]
+        rows = [(v.name, v.dependency.value, format_bytes(v.size_bytes),
+                 v.decl_line or "-") for v in self.critical_variables]
+        lines.append(render_table(("variable", "dependency", "size", "decl line"),
+                                  rows))
+        lines.append(f"Checkpoint size: {format_bytes(self.checkpoint_bytes())}")
+        lines.append(
+            "Analysis time: "
+            + ", ".join(f"{name}={seconds:.4f}s"
+                        for name, seconds in self.timings.stages.items())
+            + f", total={self.timings.total:.4f}s")
+        return "\n".join(lines)

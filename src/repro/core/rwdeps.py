@@ -1,0 +1,112 @@
+"""Extraction of execution-time-ordered Read/Write dependencies.
+
+The identification module converts the dependency information into a
+sequence of read and write events on each MLI variable, ordered by dynamic
+instruction id (paper Fig. 5e), plus the post-loop reads needed for the
+*Outcome* heuristic.  Array accesses also record the element offset touched,
+which is what the *RAPO* (Read-After-Partially-Overwritten) heuristic
+inspects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.preprocessing import MLIVariable, PreprocessingResult
+from repro.core.varmap import VariableMap
+from repro.trace.records import TraceRecord
+
+
+class AccessKind(enum.Enum):
+    READ = "Read"
+    WRITE = "Write"
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic access to an MLI variable."""
+
+    dyn_id: int
+    variable: str          # MLI variable key
+    name: str              # source-level name
+    kind: AccessKind
+    line: int
+    function: str
+    element_offset: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.name}-{self.kind.value}"
+
+
+@dataclass
+class RWDependencies:
+    """All loop-region and post-loop access events, per MLI variable."""
+
+    loop_events: List[AccessEvent] = field(default_factory=list)
+    post_loop_events: List[AccessEvent] = field(default_factory=list)
+    by_variable: Dict[str, List[AccessEvent]] = field(default_factory=dict)
+    post_by_variable: Dict[str, List[AccessEvent]] = field(default_factory=dict)
+
+    def events_for(self, variable_key: str) -> List[AccessEvent]:
+        return self.by_variable.get(variable_key, [])
+
+    def post_events_for(self, variable_key: str) -> List[AccessEvent]:
+        return self.post_by_variable.get(variable_key, [])
+
+    def sequence_string(self, limit: Optional[int] = None) -> str:
+        """Human readable R/W sequence like the paper's Fig. 5(e)."""
+        events = self.loop_events[:limit] if limit else self.loop_events
+        return "; ".join(f"{i + 1}: {event}" for i, event in enumerate(events))
+
+
+def _record_events(records: List[TraceRecord], varmap: VariableMap,
+                   mli_keys: Set[str], mli_names: Dict[str, str],
+                   sink: List[AccessEvent],
+                   by_variable: Dict[str, List[AccessEvent]]) -> None:
+    for record in records:
+        if record.is_load:
+            operand = record.memory_operand()
+            kind = AccessKind.READ
+        elif record.is_store:
+            operand = record.memory_operand()
+            kind = AccessKind.WRITE
+        else:
+            continue
+        if operand is None or operand.address is None:
+            continue
+        info = varmap.resolve(operand.address)
+        if info is None or info.key not in mli_keys:
+            continue
+        event = AccessEvent(
+            dyn_id=record.dyn_id,
+            variable=info.key,
+            name=mli_names.get(info.key, info.name),
+            kind=kind,
+            line=record.line,
+            function=record.function,
+            element_offset=info.element_offset(operand.address),
+        )
+        sink.append(event)
+        by_variable.setdefault(info.key, []).append(event)
+
+
+def extract_rw_dependencies(preprocessing: PreprocessingResult,
+                            variable_map: Optional[VariableMap] = None,
+                            ) -> RWDependencies:
+    """Extract the ordered R/W events on MLI variables.
+
+    ``variable_map`` should be the dependency analysis' map (which knows
+    about every allocation); when omitted the pre-processing map is used.
+    """
+    varmap = variable_map or preprocessing.variable_map
+    mli_keys = set(preprocessing.mli_keys())
+    mli_names = {var.key: var.name for var in preprocessing.mli_variables}
+
+    result = RWDependencies()
+    _record_events(preprocessing.regions.inside, varmap, mli_keys, mli_names,
+                   result.loop_events, result.by_variable)
+    _record_events(preprocessing.regions.after, varmap, mli_keys, mli_names,
+                   result.post_loop_events, result.post_by_variable)
+    return result

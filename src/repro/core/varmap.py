@@ -1,0 +1,172 @@
+"""Address-interval map from memory addresses to the variables owning them.
+
+The paper resolves two hard cases by looking at memory addresses:
+
+* Challenge 2 (Sec. V-C): local variables of called functions may share their
+  name with an MLI variable; the ``Alloca`` records give every local its
+  address, so a variable is recognised as "the" MLI variable only when its
+  address matches.
+* Accesses made through pointer parameters inside callees (the trace shows
+  the parameter name, e.g. ``p``) fall inside the address range of the
+  caller's array, so interval lookup attributes them to the right variable.
+
+:class:`VariableMap` is built from the globals preamble plus the ``Alloca``
+records seen in the trace, and answers "which variable owns address X?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.trace.records import GlobalSymbol, TraceRecord
+
+
+@dataclass(frozen=True)
+class VariableInfo:
+    """A named storage interval (global or stack allocation)."""
+
+    name: str
+    base_address: int
+    size_bytes: int
+    element_bits: int
+    is_array: bool
+    is_global: bool
+    function: str = ""
+    decl_line: int = 0
+
+    @property
+    def end_address(self) -> int:
+        return self.base_address + self.size_bytes
+
+    @property
+    def element_bytes(self) -> int:
+        return max(1, self.element_bits // 8)
+
+    @property
+    def element_count(self) -> int:
+        return max(1, self.size_bytes // self.element_bytes)
+
+    def contains(self, address: int) -> bool:
+        return self.base_address <= address < self.end_address
+
+    def element_offset(self, address: int) -> int:
+        """Element index of ``address`` within this variable."""
+        return (address - self.base_address) // self.element_bytes
+
+    @property
+    def key(self) -> str:
+        """Stable identity used as a DDG node key."""
+        return f"{self.name}@{self.base_address:#x}"
+
+
+class VariableMap:
+    """Map ``address -> VariableInfo`` with last-registered-wins semantics.
+
+    Stack addresses may be reused by successive calls; registering a new
+    allocation that overlaps an old one shadows it for subsequent lookups,
+    which matches the "on-the-fly, active state only" semantics the paper
+    describes for its maps.
+
+    Lookups are O(1): every element address of a registered variable is
+    indexed (the mini benchmarks keep arrays small, so the index stays tiny).
+    Addresses not on an element boundary fall back to an interval scan.
+    """
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, List[VariableInfo]] = {}
+        self._intervals: List[VariableInfo] = []
+        self._address_index: Dict[int, VariableInfo] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, info: VariableInfo) -> VariableInfo:
+        self._by_name.setdefault(info.name, []).append(info)
+        self._intervals.append(info)
+        step = info.element_bytes
+        for offset in range(0, max(info.size_bytes, step), step):
+            self._address_index[info.base_address + offset] = info
+        return info
+
+    def add_global_symbol(self, symbol: GlobalSymbol, decl_line: int = 0) -> VariableInfo:
+        return self.add(VariableInfo(
+            name=symbol.name, base_address=symbol.address,
+            size_bytes=symbol.size_bytes, element_bits=symbol.element_bits,
+            is_array=symbol.is_array, is_global=True, decl_line=decl_line))
+
+    def add_alloca_record(self, record: TraceRecord) -> Optional[VariableInfo]:
+        """Register a stack variable from an ``Alloca`` trace record."""
+        if not record.is_alloca or record.result is None:
+            return None
+        count = 1
+        for operand in record.operands:
+            if operand.name == "count":
+                count = int(operand.value)
+                break
+        element_bits = record.result.bits or 32
+        size_bytes = count * (element_bits // 8)
+        return self.add(VariableInfo(
+            name=record.result.name,
+            base_address=record.result.address or 0,
+            size_bytes=size_bytes,
+            element_bits=element_bits,
+            is_array=count > 1,
+            is_global=False,
+            function=record.function,
+            decl_line=record.line,
+        ))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def resolve(self, address: Optional[int]) -> Optional[VariableInfo]:
+        """Return the most recently registered variable containing ``address``."""
+        if address is None:
+            return None
+        info = self._address_index.get(address)
+        if info is not None:
+            return info
+        for candidate in reversed(self._intervals):
+            if candidate.contains(address):
+                return candidate
+        return None
+
+    def by_name(self, name: str) -> List[VariableInfo]:
+        return list(self._by_name.get(name, []))
+
+    def latest_by_name(self, name: str) -> Optional[VariableInfo]:
+        infos = self._by_name.get(name)
+        return infos[-1] if infos else None
+
+    def globals(self) -> List[VariableInfo]:
+        return [info for info in self._intervals if info.is_global]
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterable[VariableInfo]:
+        return iter(self._intervals)
+
+
+def build_variable_map(globals_: Iterable[GlobalSymbol],
+                       records: Iterable[TraceRecord],
+                       function: Optional[str] = None) -> VariableMap:
+    """Build a variable map from the preamble plus (optionally filtered) Allocas.
+
+    When ``function`` is given only that function's allocations are indexed —
+    this is the map used to decide whether an accessed address belongs to an
+    MLI variable owned by the main-loop function (Challenge 2); passing
+    ``None`` indexes every allocation (used by the dependency analysis to
+    recognise locals of callees).
+    """
+    varmap = VariableMap()
+    for symbol in globals_:
+        varmap.add_global_symbol(symbol)
+    for record in records:
+        if not record.is_alloca:
+            continue
+        if function is not None and record.function != function:
+            continue
+        varmap.add_alloca_record(record)
+    return varmap

@@ -1,0 +1,81 @@
+"""Run every experiment and produce one combined report.
+
+``python -m repro.experiments.runner`` (or ``autocheck run-all``) regenerates
+the Fig. 5 example, Table II, Table III, Table IV and the validation study,
+printing each in turn and optionally writing the combined text to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.validation import format_validation, run_validation
+
+
+def run_all(apps: Optional[Sequence[str]] = None,
+            output_path: Optional[str] = None,
+            include_validation: bool = True) -> str:
+    """Run all experiments and return the combined textual report."""
+    sections: List[str] = []
+    start = time.perf_counter()
+
+    sections.append("=" * 78)
+    sections.append("Worked example (paper Fig. 4 / Fig. 5)")
+    sections.append("=" * 78)
+    sections.append(run_figure5().summary())
+
+    sections.append("")
+    sections.append("=" * 78)
+    sections.append("Table II — identified critical variables")
+    sections.append("=" * 78)
+    sections.append(format_table2(run_table2(apps=apps)))
+
+    sections.append("")
+    sections.append("=" * 78)
+    sections.append("Table III — efficiency study (seconds)")
+    sections.append("=" * 78)
+    sections.append(format_table3(run_table3(apps=apps)))
+
+    sections.append("")
+    sections.append("=" * 78)
+    sections.append("Table IV — checkpoint storage cost")
+    sections.append("=" * 78)
+    sections.append(format_table4(run_table4(apps=apps)))
+
+    if include_validation:
+        sections.append("")
+        sections.append("=" * 78)
+        sections.append("Validation (Sec. VI-B) — restart sufficiency and necessity")
+        sections.append("=" * 78)
+        sections.append(format_validation(run_validation(apps=apps)))
+
+    sections.append("")
+    sections.append(f"Total experiment wall time: {time.perf_counter() - start:.1f} s")
+    report = "\n".join(sections)
+
+    if output_path is not None:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:  # pragma: no cover
+    parser = argparse.ArgumentParser(description="Run all AutoCheck experiments")
+    parser.add_argument("--apps", nargs="*", default=None,
+                        help="subset of benchmark names (default: all 14)")
+    parser.add_argument("--output", default=None, help="write the report here")
+    parser.add_argument("--skip-validation", action="store_true")
+    args = parser.parse_args(argv)
+    report = run_all(apps=args.apps, output_path=args.output,
+                     include_validation=not args.skip_validation)
+    print(report)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

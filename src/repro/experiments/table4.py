@@ -1,0 +1,109 @@
+"""Table IV — checkpoint storage cost: AutoCheck vs. BLCR.
+
+For every benchmark the harness:
+
+1. analyses the *small* input to obtain the critical variable set (the paper
+   observes — and Sec. VII argues — that the variables to checkpoint do not
+   change with the input size);
+2. executes the *larger* input (paper Table IV uses bigger problems than the
+   analysis runs) and measures
+   - the AutoCheck checkpoint size: the bytes occupied by the critical
+     variables at that input size, and
+   - the BLCR-style whole-process image size (globals + peak stack + process
+     overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import AppDefinition
+from repro.apps.registry import all_apps, get_app
+from repro.checkpoint.blcr import BLCRModel
+from repro.experiments.common import analyze_app, run_untraced, variable_sizes
+from repro.util.formatting import format_bytes, render_table
+
+
+@dataclass
+class Table4Row:
+    """One row of the regenerated Table IV."""
+
+    name: str
+    input_description: str
+    blcr_bytes: int
+    autocheck_bytes: int
+    critical_variables: List[str]
+
+    @property
+    def ratio(self) -> float:
+        if self.autocheck_bytes == 0:
+            return float("inf")
+        return self.blcr_bytes / self.autocheck_bytes
+
+
+def run_table4(apps: Optional[Sequence[str]] = None,
+               model: Optional[BLCRModel] = None,
+               use_large_inputs: bool = True) -> List[Table4Row]:
+    """Regenerate Table IV for the selected benchmarks (default: all 14)."""
+    selected: List[AppDefinition]
+    if apps is None:
+        selected = all_apps()
+    else:
+        selected = [get_app(name) for name in apps]
+    model = model or BLCRModel()
+
+    rows: List[Table4Row] = []
+    for app in selected:
+        # 1. Critical variables from the small (analysis) input.
+        analysis = analyze_app(app)
+        names = analysis.report.names()
+
+        # 2. Measure storage on the larger input.
+        params = app.large_params if (use_large_inputs and app.large_params) else {}
+        execution = run_untraced(app, params=params)
+        sizes = variable_sizes(analysis.module if not params else
+                               _large_module(app, params),
+                               execution, names,
+                               function=app.main_loop_function)
+        autocheck_bytes = sum(sizes.values())
+        blcr_bytes = model.checkpoint_bytes_from_result(execution)
+        rows.append(Table4Row(
+            name=app.title,
+            input_description=", ".join(f"{k}={v}" for k, v in
+                                        (params or app.default_params).items()),
+            blcr_bytes=blcr_bytes,
+            autocheck_bytes=autocheck_bytes,
+            critical_variables=names,
+        ))
+    return rows
+
+
+def _large_module(app: AppDefinition, params: Dict[str, int]):
+    from repro.codegen.lowering import compile_source
+
+    return compile_source(app.source(**params), module_name=app.name)
+
+
+def format_table4(rows: Sequence[Table4Row]) -> str:
+    table_rows = []
+    for row in rows:
+        table_rows.append((
+            row.name,
+            row.input_description,
+            format_bytes(row.blcr_bytes),
+            format_bytes(row.autocheck_bytes),
+            f"{row.ratio:.0f}x",
+        ))
+    return render_table(
+        ("Name", "Input size", "BLCR", "AutoCheck", "Reduction"),
+        table_rows)
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    rows = run_table4()
+    print(format_table4(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,98 @@
+"""``repro.ir`` — an LLVM-like intermediate representation.
+
+The paper's analysis is defined over dynamic *LLVM IR* instruction traces
+(paper Table I lists the instruction classes it inspects: ``Load``,
+``Store``, ``BitCast``, ``GetElementPtr``, the arithmetic family, ``Alloca``
+and ``Call``).  This package provides a small, self-contained IR with exactly
+those instruction classes plus the control-flow instructions needed to run
+real programs (``Br``, ``ICmp``/``FCmp``, ``Ret``).
+
+Design notes
+------------
+
+* Code is kept in ``clang -O0`` style: every source variable lives in an
+  ``Alloca`` (or a module-level :class:`GlobalVariable`) and every use is a
+  fresh ``Load`` into a new virtual register — this is precisely the SSA
+  "reload per use" behaviour the paper's reg-var map relies on.
+* Opcode numbers follow LLVM 3.4 so traces look like the paper's Fig. 1/6
+  (``Alloca=26``, ``Load=27``, ``Store=28``, ``GetElementPtr=29``,
+  ``Call=49``, ...).
+* Comparison results are modelled as ``i32`` (no ``i1`` type) to keep the
+  interpreter and the trace format simple.
+"""
+
+from repro.ir.opcodes import Opcode, ARITHMETIC_OPCODES, MEMORY_OPCODES
+from repro.ir.types import (
+    IRType,
+    IntType,
+    FloatType,
+    PointerType,
+    ArrayType,
+    VoidType,
+    I32,
+    I64,
+    F64,
+    VOID,
+)
+from repro.ir.values import Value, Constant, Register, GlobalVariable, Argument
+from repro.ir.instructions import (
+    Instruction,
+    AllocaInst,
+    LoadInst,
+    StoreInst,
+    BinaryInst,
+    GEPInst,
+    BitCastInst,
+    CastInst,
+    CmpInst,
+    BranchInst,
+    CallInst,
+    PrintInst,
+    RetInst,
+)
+from repro.ir.module import Module, Function, BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_module, print_function
+from repro.ir.verifier import verify_module, VerificationError
+
+__all__ = [
+    "Opcode",
+    "ARITHMETIC_OPCODES",
+    "MEMORY_OPCODES",
+    "IRType",
+    "IntType",
+    "FloatType",
+    "PointerType",
+    "ArrayType",
+    "VoidType",
+    "I32",
+    "I64",
+    "F64",
+    "VOID",
+    "Value",
+    "Constant",
+    "Register",
+    "GlobalVariable",
+    "Argument",
+    "Instruction",
+    "AllocaInst",
+    "LoadInst",
+    "StoreInst",
+    "BinaryInst",
+    "GEPInst",
+    "BitCastInst",
+    "CastInst",
+    "CmpInst",
+    "BranchInst",
+    "CallInst",
+    "PrintInst",
+    "RetInst",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "IRBuilder",
+    "print_module",
+    "print_function",
+    "verify_module",
+    "VerificationError",
+]

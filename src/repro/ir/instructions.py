@@ -1,0 +1,224 @@
+"""IR instruction classes.
+
+Each instruction records the source line/column it was lowered from so the
+dynamic trace can be partitioned around the main computation loop's source
+range, exactly as AutoCheck's inputs require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.opcodes import ARITHMETIC_OPCODES, Opcode
+from repro.ir.types import IRType, PointerType
+from repro.ir.values import Register, Value
+
+
+@dataclass(eq=False)
+class Instruction:
+    """Base class for all instructions."""
+
+    opcode: Opcode
+    operands: List[Value] = field(default_factory=list)
+    result: Optional[Register] = None
+    line: int = 0
+    column: int = 0
+    parent: Optional["object"] = None  # BasicBlock; untyped to avoid import cycle
+
+    @property
+    def mnemonic(self) -> str:
+        return self.opcode.mnemonic
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in (Opcode.BR, Opcode.RET)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.opcode in ARITHMETIC_OPCODES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        res = f"%{self.result.rid} = " if self.result is not None else ""
+        ops = ", ".join(op.display_name() for op in self.operands)
+        return f"{res}{self.mnemonic.lower()} {ops} (line {self.line})"
+
+
+@dataclass(eq=False)
+class AllocaInst(Instruction):
+    """Stack allocation of a named local variable (paper Fig. 6c)."""
+
+    allocated_type: IRType = None  # type: ignore[assignment]
+    var_name: str = ""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.ALLOCA
+
+
+@dataclass(eq=False)
+class LoadInst(Instruction):
+    """Load a scalar from memory: ``operands = [pointer]``."""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.LOAD
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+@dataclass(eq=False)
+class StoreInst(Instruction):
+    """Store a scalar to memory: ``operands = [value, pointer]``."""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.STORE
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+@dataclass(eq=False)
+class BinaryInst(Instruction):
+    """Arithmetic / bitwise binary operation: ``operands = [lhs, rhs]``."""
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+@dataclass(eq=False)
+class GEPInst(Instruction):
+    """``getelementptr``: compute an element address.
+
+    ``operands = [base_pointer, flat_index]``; ``element_type`` is the scalar
+    element addressed (used for byte offsets).
+    """
+
+    element_type: IRType = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.GETELEMENTPTR
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+@dataclass(eq=False)
+class BitCastInst(Instruction):
+    """Pointer-preserving cast (paper Table I lists BitCast as a complement
+    instruction used for the reg-var map)."""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.BITCAST
+
+
+@dataclass(eq=False)
+class CastInst(Instruction):
+    """Numeric conversions (``sitofp``, ``fptosi``, ``sext``, ...)."""
+
+
+_CMP_PREDICATES = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+@dataclass(eq=False)
+class CmpInst(Instruction):
+    """Integer or floating comparison producing an ``i32`` 0/1 value."""
+
+    predicate: str = "eq"
+
+    def __post_init__(self) -> None:
+        if self.predicate not in _CMP_PREDICATES:
+            raise ValueError(f"unknown comparison predicate {self.predicate!r}")
+
+
+@dataclass(eq=False)
+class BranchInst(Instruction):
+    """Conditional or unconditional branch.
+
+    ``operands`` holds the condition when conditional; the targets are kept
+    as block references in ``targets`` (true target first).
+    """
+
+    targets: List["object"] = field(default_factory=list)  # List[BasicBlock]
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.BR
+
+    @property
+    def is_conditional(self) -> bool:
+        return len(self.operands) == 1
+
+
+@dataclass(eq=False)
+class CallInst(Instruction):
+    """A call to a user function or a runtime builtin.
+
+    For user functions the interpreter pushes a new frame and the trace
+    contains the callee body ("Call followed by its function body",
+    paper Fig. 6b).  For builtins (``sqrt``, ``pow``, ...) only a single
+    ``Call`` record is produced ("Call instruction only", Fig. 6a).
+    """
+
+    callee: str = ""
+    is_builtin: bool = False
+    #: formal parameter names of the callee (user functions only) — emitted in
+    #: the trace record so the analysis can correlate arguments and parameters.
+    param_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.CALL
+
+
+@dataclass(eq=False)
+class PrintInst(Instruction):
+    """The ``print`` builtin: produces observable program output.
+
+    ``labels[i]`` (possibly ``None``) is a string literal printed before the
+    ``i``-th numeric operand; trailing labels are allowed.  Modelled as a
+    call in the trace (callee ``print``).
+    """
+
+    labels: List[Optional[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.CALL
+
+
+@dataclass(eq=False)
+class RetInst(Instruction):
+    """Function return; ``operands = [value]`` or empty for ``void``."""
+
+    def __post_init__(self) -> None:
+        self.opcode = Opcode.RET
+
+
+def binary_opcode(op: str, is_float: bool) -> Opcode:
+    """Map a mini-C operator to the matching IR opcode."""
+    table = {
+        "+": (Opcode.ADD, Opcode.FADD),
+        "-": (Opcode.SUB, Opcode.FSUB),
+        "*": (Opcode.MUL, Opcode.FMUL),
+        "/": (Opcode.SDIV, Opcode.FDIV),
+        "%": (Opcode.SREM, Opcode.FREM),
+        "&&": (Opcode.AND, Opcode.AND),
+        "||": (Opcode.OR, Opcode.OR),
+    }
+    if op not in table:
+        raise ValueError(f"unsupported binary operator {op!r}")
+    int_op, float_op = table[op]
+    return float_op if is_float else int_op

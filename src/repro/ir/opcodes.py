@@ -1,0 +1,153 @@
+"""Opcode numbering for the LLVM-like IR.
+
+The numbers follow LLVM 3.4 (the LLVM version used with LLVM-Tracer 1.2 in
+the paper) so that trace records look like the paper's examples: Fig. 1 shows
+``27`` for ``Load`` and Fig. 6 shows ``49`` for ``Call`` and ``26`` for
+``Alloca``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class Opcode(enum.IntEnum):
+    """Instruction opcodes (values match LLVM 3.4's ``Instruction.def``)."""
+
+    RET = 1
+    BR = 2
+
+    ADD = 8
+    FADD = 9
+    SUB = 10
+    FSUB = 11
+    MUL = 12
+    FMUL = 13
+    UDIV = 14
+    SDIV = 15
+    FDIV = 16
+    UREM = 17
+    SREM = 18
+    FREM = 19
+
+    AND = 23
+    OR = 24
+    XOR = 25
+
+    ALLOCA = 26
+    LOAD = 27
+    STORE = 28
+    GETELEMENTPTR = 29
+
+    TRUNC = 33
+    ZEXT = 34
+    SEXT = 35
+    FPTOUI = 36
+    FPTOSI = 37
+    UITOFP = 38
+    SITOFP = 39
+    FPTRUNC = 40
+    FPEXT = 41
+    PTRTOINT = 42
+    INTTOPTR = 43
+    BITCAST = 44
+
+    ICMP = 46
+    FCMP = 47
+    PHI = 48
+    CALL = 49
+    SELECT = 50
+
+    @property
+    def mnemonic(self) -> str:
+        return _MNEMONICS[self]
+
+
+_MNEMONICS = {
+    Opcode.RET: "Ret",
+    Opcode.BR: "Br",
+    Opcode.ADD: "Add",
+    Opcode.FADD: "FAdd",
+    Opcode.SUB: "Sub",
+    Opcode.FSUB: "FSub",
+    Opcode.MUL: "Mul",
+    Opcode.FMUL: "FMul",
+    Opcode.UDIV: "UDiv",
+    Opcode.SDIV: "SDiv",
+    Opcode.FDIV: "FDiv",
+    Opcode.UREM: "URem",
+    Opcode.SREM: "SRem",
+    Opcode.FREM: "FRem",
+    Opcode.AND: "And",
+    Opcode.OR: "Or",
+    Opcode.XOR: "Xor",
+    Opcode.ALLOCA: "Alloca",
+    Opcode.LOAD: "Load",
+    Opcode.STORE: "Store",
+    Opcode.GETELEMENTPTR: "GetElementPtr",
+    Opcode.TRUNC: "Trunc",
+    Opcode.ZEXT: "ZExt",
+    Opcode.SEXT: "SExt",
+    Opcode.FPTOUI: "FPToUI",
+    Opcode.FPTOSI: "FPToSI",
+    Opcode.UITOFP: "UIToFP",
+    Opcode.SITOFP: "SIToFP",
+    Opcode.FPTRUNC: "FPTrunc",
+    Opcode.FPEXT: "FPExt",
+    Opcode.PTRTOINT: "PtrToInt",
+    Opcode.INTTOPTR: "IntToPtr",
+    Opcode.BITCAST: "BitCast",
+    Opcode.ICMP: "ICmp",
+    Opcode.FCMP: "FCmp",
+    Opcode.PHI: "Phi",
+    Opcode.CALL: "Call",
+    Opcode.SELECT: "Select",
+}
+
+#: Opcodes treated as "arithmetic instructions" by the analysis
+#: (paper Table I: Add, FAdd, Sub, FSub, Mul, FMul, UDiv, SDiv, FDiv —
+#: we include the remainder/logical family for completeness).
+ARITHMETIC_OPCODES: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.FADD,
+        Opcode.SUB,
+        Opcode.FSUB,
+        Opcode.MUL,
+        Opcode.FMUL,
+        Opcode.UDIV,
+        Opcode.SDIV,
+        Opcode.FDIV,
+        Opcode.UREM,
+        Opcode.SREM,
+        Opcode.FREM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+    }
+)
+
+#: Opcodes that touch memory through a named variable operand.
+MEMORY_OPCODES: FrozenSet[Opcode] = frozenset(
+    {Opcode.LOAD, Opcode.STORE, Opcode.GETELEMENTPTR, Opcode.ALLOCA}
+)
+
+#: Opcodes that simply forward a pointer/value to a new register
+#: ("pointer assignment" in the paper's pre-processing description).
+FORWARDING_OPCODES: FrozenSet[Opcode] = frozenset(
+    {
+        Opcode.BITCAST,
+        Opcode.TRUNC,
+        Opcode.ZEXT,
+        Opcode.SEXT,
+        Opcode.FPTOSI,
+        Opcode.FPTOUI,
+        Opcode.SITOFP,
+        Opcode.UITOFP,
+        Opcode.FPTRUNC,
+        Opcode.FPEXT,
+        Opcode.PTRTOINT,
+        Opcode.INTTOPTR,
+    }
+)

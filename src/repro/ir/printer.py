@@ -1,0 +1,89 @@
+"""Textual (LLVM-assembly-flavoured) printer for the IR.
+
+Used for debugging, for golden tests of the code generator, and by the
+examples when showing what the lowered benchmark looks like.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BranchInst,
+    CallInst,
+    CmpInst,
+    GEPInst,
+    Instruction,
+    PrintInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Constant, GlobalVariable, Register, Value
+
+
+def _value_str(value: Value) -> str:
+    if isinstance(value, Register):
+        return f"%{value.rid}"
+    if isinstance(value, Constant):
+        return str(value.value)
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    return value.display_name()
+
+
+def _inst_str(inst: Instruction) -> str:
+    prefix = f"%{inst.result.rid} = " if inst.result is not None else ""
+    suffix = f"  ; line {inst.line}" if inst.line else ""
+    if isinstance(inst, AllocaInst):
+        body = f"alloca {inst.allocated_type}, name \"{inst.var_name}\""
+    elif isinstance(inst, GEPInst):
+        body = (f"getelementptr {inst.element_type}, "
+                f"{_value_str(inst.base)}, {_value_str(inst.index)}")
+    elif isinstance(inst, CmpInst):
+        kind = "icmp" if inst.opcode.name == "ICMP" else "fcmp"
+        body = (f"{kind} {inst.predicate} {_value_str(inst.operands[0])}, "
+                f"{_value_str(inst.operands[1])}")
+    elif isinstance(inst, BranchInst):
+        if inst.is_conditional:
+            body = (f"br {_value_str(inst.operands[0])}, "
+                    f"label %{inst.targets[0].name}, label %{inst.targets[1].name}")
+        else:
+            body = f"br label %{inst.targets[0].name}"
+    elif isinstance(inst, PrintInst):
+        args = ", ".join(_value_str(op) for op in inst.operands)
+        body = f"call void @print({args})"
+    elif isinstance(inst, CallInst):
+        args = ", ".join(_value_str(op) for op in inst.operands)
+        body = f"call @{inst.callee}({args})"
+    else:
+        args = ", ".join(_value_str(op) for op in inst.operands)
+        body = f"{inst.mnemonic.lower()} {args}"
+    return f"  {prefix}{body}{suffix}"
+
+
+def print_block(block: BasicBlock) -> str:
+    lines: List[str] = [f"{block.name}:"]
+    lines.extend(_inst_str(inst) for inst in block.instructions)
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    params = ", ".join(f"{arg.type} %{arg.name}" for arg in function.args)
+    lines = [f"define {function.return_type} @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(print_block(block))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    lines: List[str] = [f"; module {module.name}"]
+    for gvar in module.globals:
+        init = f" = {gvar.initializer}" if gvar.initializer is not None else ""
+        lines.append(f"@{gvar.name} : {gvar.value_type}{init}")
+    if module.globals:
+        lines.append("")
+    for function in module.functions.values():
+        lines.append(print_function(function))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""IR-level types.
+
+Only the types needed by mini-C are modelled: 32-bit integers, 64-bit
+doubles, pointers, fixed-size (flattened) arrays and ``void``.  Sizes in
+bits/bytes are used both by the memory model (element addressing) and by the
+checkpoint storage-cost study (Table IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class IRType:
+    """Base class of all IR types."""
+
+    def size_in_bits(self) -> int:
+        raise NotImplementedError
+
+    def size_in_bytes(self) -> int:
+        return self.size_in_bits() // 8
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+
+@dataclass(frozen=True)
+class IntType(IRType):
+    bits: int = 32
+
+    def size_in_bits(self) -> int:
+        return self.bits
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class FloatType(IRType):
+    bits: int = 64
+
+    def size_in_bits(self) -> int:
+        return self.bits
+
+    def __str__(self) -> str:
+        return "double" if self.bits == 64 else f"f{self.bits}"
+
+
+@dataclass(frozen=True)
+class VoidType(IRType):
+    def size_in_bits(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(IRType):
+    pointee: IRType = None  # type: ignore[assignment]
+
+    def size_in_bits(self) -> int:
+        return 64
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(IRType):
+    """A flattened fixed-size array; ``dims`` keeps the source-level shape."""
+
+    element: IRType = None  # type: ignore[assignment]
+    dims: Tuple[int, ...] = ()
+
+    @property
+    def count(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+    def size_in_bits(self) -> int:
+        return self.count * self.element.size_in_bits()
+
+    def __str__(self) -> str:
+        return f"[{ ' x '.join(str(d) for d in self.dims) } x {self.element}]"
+
+
+I32 = IntType(32)
+I64 = IntType(64)
+F64 = FloatType(64)
+VOID = VoidType()
+
+
+def scalar_size_bits(ty: IRType) -> int:
+    """Size of a scalar value of type ``ty`` as reported in trace operands."""
+    if isinstance(ty, ArrayType):
+        return ty.element.size_in_bits()
+    return ty.size_in_bits()

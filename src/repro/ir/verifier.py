@@ -1,0 +1,129 @@
+"""Structural verifier for the LLVM-like IR.
+
+The verifier is run on every module the code generator produces (it is cheap)
+and is also exercised directly by the test suite.  It catches the classes of
+mistakes that would otherwise surface as confusing interpreter failures:
+missing terminators, uses of undefined registers, branches to foreign blocks,
+stores through non-pointer operands, and calls to unknown functions.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BranchInst,
+    CallInst,
+    GEPInst,
+    LoadInst,
+    PrintInst,
+    StoreInst,
+)
+from repro.ir.module import Function, Module
+from repro.ir.types import PointerType
+from repro.ir.values import Argument, Constant, GlobalVariable, Register, Value
+from repro.minicc.sema import BUILTIN_FUNCTIONS
+
+
+class VerificationError(Exception):
+    """Raised when a module violates a structural invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function in ``module``; raise on the first violation."""
+    if not module.functions:
+        raise VerificationError("module has no functions")
+    if "main" not in module.functions:
+        raise VerificationError("module has no 'main' function")
+    global_names = {gvar.name for gvar in module.globals}
+    if len(global_names) != len(module.globals):
+        raise VerificationError("duplicate global variable names")
+    for function in module.functions.values():
+        _verify_function(module, function)
+
+
+def _verify_function(module: Module, function: Function) -> None:
+    if not function.blocks:
+        raise VerificationError(f"function {function.name!r} has no blocks")
+
+    block_set = set(function.blocks)
+    defined: Set[int] = set()
+
+    # First pass: collect register definitions (registers are assigned once
+    # by construction; codegen allocates a fresh id per instruction).
+    for inst in function.instructions():
+        if inst.result is not None:
+            if inst.result.rid in defined:
+                raise VerificationError(
+                    f"{function.name}: register %{inst.result.rid} defined twice")
+            defined.add(inst.result.rid)
+
+    for block in function.blocks:
+        if not block.instructions:
+            raise VerificationError(
+                f"{function.name}/{block.name}: empty basic block")
+        terminator = block.instructions[-1]
+        if not terminator.is_terminator:
+            raise VerificationError(
+                f"{function.name}/{block.name}: block does not end in a terminator")
+        for idx, inst in enumerate(block.instructions):
+            if inst.is_terminator and idx != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{function.name}/{block.name}: terminator in the middle of a block")
+            _verify_instruction(module, function, block.name, inst, defined, block_set)
+
+
+def _verify_instruction(module: Module, function: Function, block_name: str,
+                        inst, defined: Set[int], block_set) -> None:
+    where = f"{function.name}/{block_name}"
+
+    for operand in inst.operands:
+        _verify_operand(where, operand, defined)
+
+    if isinstance(inst, BranchInst):
+        for target in inst.targets:
+            if target not in block_set:
+                raise VerificationError(
+                    f"{where}: branch target {target.name!r} not in function")
+        if inst.is_conditional and len(inst.targets) != 2:
+            raise VerificationError(f"{where}: conditional branch needs two targets")
+        if not inst.is_conditional and len(inst.targets) != 1:
+            raise VerificationError(f"{where}: unconditional branch needs one target")
+    elif isinstance(inst, LoadInst):
+        _require_pointer(where, inst.pointer)
+    elif isinstance(inst, StoreInst):
+        if len(inst.operands) != 2:
+            raise VerificationError(f"{where}: store needs exactly two operands")
+        _require_pointer(where, inst.pointer)
+    elif isinstance(inst, GEPInst):
+        _require_pointer(where, inst.base)
+    elif isinstance(inst, AllocaInst):
+        if not inst.var_name:
+            raise VerificationError(f"{where}: alloca without a variable name")
+    elif isinstance(inst, PrintInst):
+        pass
+    elif isinstance(inst, CallInst):
+        if inst.is_builtin:
+            if inst.callee not in BUILTIN_FUNCTIONS:
+                raise VerificationError(f"{where}: unknown builtin {inst.callee!r}")
+        elif inst.callee not in module.functions:
+            raise VerificationError(f"{where}: call to undefined function {inst.callee!r}")
+
+
+def _verify_operand(where: str, operand: Value, defined: Set[int]) -> None:
+    if isinstance(operand, Register):
+        if operand.rid not in defined:
+            raise VerificationError(f"{where}: use of undefined register %{operand.rid}")
+    elif isinstance(operand, (Constant, GlobalVariable, Argument)):
+        return
+    else:
+        raise VerificationError(f"{where}: unsupported operand kind {type(operand).__name__}")
+
+
+def _require_pointer(where: str, operand: Value) -> None:
+    ptype = operand.type
+    if isinstance(operand, GlobalVariable):
+        return
+    if not isinstance(ptype, PointerType):
+        raise VerificationError(f"{where}: expected a pointer operand, got {ptype}")

@@ -1,0 +1,42 @@
+"""``repro.minicc`` — a small C-like front end.
+
+The paper evaluates AutoCheck on C/C++ HPC benchmarks compiled with Clang and
+traced with LLVM-Tracer.  Neither toolchain is available in this environment,
+so the benchmarks are written in *mini-C*: a deliberately small C subset with
+``int``/``double`` scalars, multi-dimensional arrays, pointer parameters,
+``for``/``while``/``if`` control flow, function calls and a ``print`` builtin.
+
+The front end is a classic three stage design:
+
+* :mod:`repro.minicc.lexer` — hand written scanner producing
+  :class:`repro.minicc.tokens.Token` objects with line/column positions
+  (source line numbers matter: AutoCheck's input includes the main
+  computation loop's start and end lines).
+* :mod:`repro.minicc.parser` — recursive descent parser producing the AST in
+  :mod:`repro.minicc.ast_nodes`.
+* :mod:`repro.minicc.sema` — symbol resolution and type checking, annotating
+  the AST so that :mod:`repro.codegen` can lower it to the LLVM-like IR.
+"""
+
+from repro.minicc.errors import MiniCError, LexError, ParseError, SemanticError
+from repro.minicc.tokens import Token, TokenKind
+from repro.minicc.lexer import Lexer, tokenize
+from repro.minicc import ast_nodes as ast
+from repro.minicc.parser import Parser, parse_program
+from repro.minicc.sema import SemanticAnalyzer, analyze
+
+__all__ = [
+    "MiniCError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "TokenKind",
+    "Lexer",
+    "tokenize",
+    "ast",
+    "Parser",
+    "parse_program",
+    "SemanticAnalyzer",
+    "analyze",
+]

@@ -1,0 +1,302 @@
+"""Abstract syntax tree node definitions for mini-C.
+
+Every node records its 1-based source ``line`` and ``column``; line numbers
+flow all the way to the dynamic trace so AutoCheck can partition the trace
+around the main computation loop's source range.
+
+Type annotations (the ``ctype`` attribute on expressions and declarations)
+are filled in by :mod:`repro.minicc.sema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# --------------------------------------------------------------------------- #
+# Source-level types
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CType:
+    """Base class for mini-C types."""
+
+    def is_numeric(self) -> bool:
+        return isinstance(self, (IntType, DoubleType))
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    """32-bit signed integer."""
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class DoubleType(CType):
+    """64-bit IEEE double."""
+
+    def __str__(self) -> str:
+        return "double"
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    """A (possibly multi-dimensional) array of a scalar element type."""
+
+    element: CType
+    dims: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        return str(self.element) + "".join(f"[{d}]" for d in self.dims)
+
+    @property
+    def count(self) -> int:
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    """Pointer to a scalar element type (array-decayed function parameters).
+
+    ``dims`` optionally records the declared trailing dimensions for
+    multi-dimensional array parameters (e.g. ``double u[8][8]``) so indexing
+    inside the callee can compute flat offsets.  The leading dimension is not
+    needed for address computation and may be present or not.
+    """
+
+    element: CType
+    dims: Tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[{d}]" for d in self.dims)
+        return f"{self.element}*{suffix}"
+
+
+INT = IntType()
+DOUBLE = DoubleType()
+VOID = VoidType()
+
+
+# --------------------------------------------------------------------------- #
+# Base node
+# --------------------------------------------------------------------------- #
+@dataclass
+class Node:
+    line: int
+    column: int
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Expr(Node):
+    """Base class for expressions.  ``ctype`` is set by semantic analysis."""
+
+    ctype: Optional[CType] = field(default=None, init=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``base[i][j]...`` where base is an identifier naming an array/pointer."""
+
+    base: Identifier = None  # type: ignore[assignment]
+    indices: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Assignment(Expr):
+    """``target op target-expression``; ``op`` is '=', '+=', '-=', '*=', '/='."""
+
+    op: str = "="
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IncDec(Expr):
+    """Prefix or postfix ``++`` / ``--`` applied to an lvalue."""
+
+    op: str = "++"
+    target: Expr = None  # type: ignore[assignment]
+    is_prefix: bool = False
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------------- #
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A single declared variable (either global or local)."""
+
+    name: str = ""
+    ctype: CType = INT
+    init: Optional[Expr] = None
+    is_global: bool = False
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """One declaration statement possibly declaring several variables."""
+
+    decls: List[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: Stmt = None  # type: ignore[assignment]
+    else_body: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[DeclStmt, ExprStmt]] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Print(Stmt):
+    """The ``print(...)`` builtin — stands in for ``printf`` in the paper's
+    example code and produces the program output used by restart validation."""
+
+    args: List[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# Top level
+# --------------------------------------------------------------------------- #
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: CType = INT
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: CType = VOID
+    params: List[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Program(Node):
+    globals: List[VarDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+    source: str = ""
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)
+
+    def global_names(self) -> List[str]:
+        return [decl.name for decl in self.globals]
+
+
+def walk(node: Node):
+    """Yield ``node`` and all of its descendant AST nodes (pre-order)."""
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)

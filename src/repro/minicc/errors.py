@@ -1,0 +1,30 @@
+"""Error types raised by the mini-C front end."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for all front-end errors.
+
+    Carries the source position (1-based line and column) so error messages
+    can point back at the offending mini-C source text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" (line {line}, col {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(MiniCError):
+    """Raised when the scanner meets an unexpected character."""
+
+
+class ParseError(MiniCError):
+    """Raised when the parser meets an unexpected token."""
+
+
+class SemanticError(MiniCError):
+    """Raised by semantic analysis (undeclared names, type errors, ...)."""

@@ -1,0 +1,210 @@
+"""Hand-written scanner for mini-C.
+
+Line and column numbers are tracked carefully: the AutoCheck pipeline takes
+the *source line range* of the main computation loop as input (paper
+Sec. VII, "Use of AutoCheck"), and every IR instruction — and therefore every
+dynamic trace record — carries the line number it was lowered from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.minicc.errors import LexError
+from repro.minicc.tokens import KEYWORDS, Token, TokenKind
+
+_TWO_CHAR_OPERATORS = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND_AND,
+    "||": TokenKind.OR_OR,
+    "++": TokenKind.PLUS_PLUS,
+    "--": TokenKind.MINUS_MINUS,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "*=": TokenKind.STAR_ASSIGN,
+    "/=": TokenKind.SLASH_ASSIGN,
+}
+
+_ONE_CHAR_OPERATORS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+    "&": TokenKind.AMP,
+}
+
+
+class Lexer:
+    """Convert mini-C source text into a list of :class:`Token` objects."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------ #
+    # Character-level helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    # ------------------------------------------------------------------ #
+    # Scanning
+    # ------------------------------------------------------------------ #
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                break
+        return tokens
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        if self._at_end():
+            return Token(TokenKind.EOF, "", self.line, self.column)
+
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._scan_number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._scan_identifier(line, column)
+        if ch == '"':
+            return self._scan_string(line, column)
+
+        two = ch + self._peek(1)
+        if two in _TWO_CHAR_OPERATORS:
+            self._advance()
+            self._advance()
+            return Token(_TWO_CHAR_OPERATORS[two], two, line, column)
+        if ch in _ONE_CHAR_OPERATORS:
+            self._advance()
+            return Token(_ONE_CHAR_OPERATORS[ch], ch, line, column)
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while not self._at_end():
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while not self._at_end() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance()
+                self._advance()
+                while not self._at_end() and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self._at_end():
+                    raise LexError("unterminated block comment", self.line, self.column)
+                self._advance()
+                self._advance()
+            else:
+                return
+
+    def _scan_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        is_float = False
+        while not self._at_end() and self._peek().isdigit():
+            self._advance()
+        if not self._at_end() and self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            self._advance()
+            while not self._at_end() and self._peek().isdigit():
+                self._advance()
+        if not self._at_end() and self._peek() in "eE":
+            nxt = self._peek(1)
+            nxt2 = self._peek(2)
+            if nxt.isdigit() or (nxt in "+-" and nxt2.isdigit()):
+                is_float = True
+                self._advance()
+                if self._peek() in "+-":
+                    self._advance()
+                while not self._at_end() and self._peek().isdigit():
+                    self._advance()
+        text = self.source[start : self.pos]
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, text, line, column, float(text))
+        return Token(TokenKind.INT_LIT, text, line, column, int(text))
+
+    def _scan_identifier(self, line: int, column: int) -> Token:
+        start = self.pos
+        while not self._at_end() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column, text)
+
+    def _scan_string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while not self._at_end() and self._peek() != '"':
+            ch = self._advance()
+            if ch == "\\" and not self._at_end():
+                escaped = self._advance()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                chars.append(mapping.get(escaped, escaped))
+            else:
+                chars.append(ch)
+        if self._at_end():
+            raise LexError("unterminated string literal", line, column)
+        self._advance()  # closing quote
+        text = "".join(chars)
+        return Token(TokenKind.STRING_LIT, text, line, column, text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` and return the full token list (EOF included)."""
+    return Lexer(source).tokenize()
+
+
+def token_kinds(tokens: List[Token]) -> List[TokenKind]:
+    """Convenience helper used in tests: strip positions and payloads."""
+    return [token.kind for token in tokens]
+
+
+def find_token(tokens: List[Token], text: str) -> Optional[Token]:
+    """Return the first token whose spelling equals ``text`` (or ``None``)."""
+    for token in tokens:
+        if token.text == text:
+            return token
+    return None

@@ -1,0 +1,462 @@
+"""Recursive-descent parser for mini-C.
+
+Grammar (informal):
+
+.. code-block:: text
+
+    program      := (func_def | global_decl)*
+    global_decl  := type declarator ("," declarator)* ";"
+    declarator   := IDENT ("[" INT "]")* ("=" expr)?
+    func_def     := type IDENT "(" params? ")" block
+    param        := type "*"? IDENT ("[" INT? "]")*
+    block        := "{" stmt* "}"
+    stmt         := decl | expr ";" | for | while | if | return | break
+                    | continue | print | block
+    expr         := assignment
+    assignment   := unary ("="|"+="|"-="|"*="|"/=") assignment | logical_or
+    logical_or   := logical_and ("||" logical_and)*
+    logical_and  := equality ("&&" equality)*
+    equality     := relational (("=="|"!=") relational)*
+    relational   := additive (("<"|"<="|">"|">=") additive)*
+    additive     := multiplicative (("+"|"-") multiplicative)*
+    multiplicative := unary (("*"|"/"|"%") unary)*
+    unary        := ("-"|"!"|"++"|"--") unary | postfix
+    postfix      := primary ("[" expr "]")* ("++"|"--")?
+    primary      := INT | FLOAT | STRING | IDENT | IDENT "(" args ")" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import ParseError
+from repro.minicc.lexer import tokenize
+from repro.minicc.tokens import TYPE_KEYWORDS, Token, TokenKind
+
+_ASSIGN_OPS = {
+    TokenKind.ASSIGN: "=",
+    TokenKind.PLUS_ASSIGN: "+=",
+    TokenKind.MINUS_ASSIGN: "-=",
+    TokenKind.STAR_ASSIGN: "*=",
+    TokenKind.SLASH_ASSIGN: "/=",
+}
+
+
+class Parser:
+    """Parse a token stream into a :class:`repro.minicc.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token], source: str = "") -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source = source
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _check(self, kind: TokenKind, offset: int = 0) -> bool:
+        return self._peek(offset).kind is kind
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _match(self, *kinds: TokenKind) -> Optional[Token]:
+        if self._peek().kind in kinds:
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, context: str = "") -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            expected = kind.value
+            where = f" while parsing {context}" if context else ""
+            raise ParseError(
+                f"expected {expected!r} but found {token.text!r}{where}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> ast.Program:
+        first = self._peek()
+        program = ast.Program(line=first.line, column=first.column, source=self.source)
+        while not self._check(TokenKind.EOF):
+            if self._peek().kind not in TYPE_KEYWORDS:
+                token = self._peek()
+                raise ParseError(
+                    f"expected a type at top level, found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+            # Distinguish function definitions from global declarations by
+            # looking for '(' right after the declared name.
+            if self._check(TokenKind.IDENT, 1) and self._check(TokenKind.LPAREN, 2):
+                program.functions.append(self._parse_function())
+            else:
+                program.globals.extend(self._parse_declaration(is_global=True))
+        return program
+
+    def _parse_base_type(self) -> ast.CType:
+        token = self._advance()
+        if token.kind is TokenKind.KW_INT:
+            return ast.INT
+        if token.kind is TokenKind.KW_DOUBLE:
+            return ast.DOUBLE
+        if token.kind is TokenKind.KW_VOID:
+            return ast.VOID
+        raise ParseError(f"expected a type, found {token.text!r}", token.line, token.column)
+
+    def _parse_function(self) -> ast.FuncDef:
+        type_token = self._peek()
+        return_type = self._parse_base_type()
+        name_token = self._expect(TokenKind.IDENT, "function definition")
+        self._expect(TokenKind.LPAREN, "function parameter list")
+        params: List[ast.Param] = []
+        if not self._check(TokenKind.RPAREN):
+            params.append(self._parse_param())
+            while self._match(TokenKind.COMMA):
+                params.append(self._parse_param())
+        self._expect(TokenKind.RPAREN, "function parameter list")
+        body = self._parse_block()
+        return ast.FuncDef(
+            line=type_token.line,
+            column=type_token.column,
+            name=name_token.text,
+            return_type=return_type,
+            params=params,
+            body=body,
+        )
+
+    def _parse_param(self) -> ast.Param:
+        type_token = self._peek()
+        base = self._parse_base_type()
+        is_pointer = bool(self._match(TokenKind.STAR))
+        name_token = self._expect(TokenKind.IDENT, "parameter")
+        dims: List[int] = []
+        has_brackets = False
+        while self._match(TokenKind.LBRACKET):
+            has_brackets = True
+            if self._check(TokenKind.INT_LIT):
+                dims.append(int(self._advance().value))  # type: ignore[arg-type]
+            self._expect(TokenKind.RBRACKET, "parameter array dimension")
+        if is_pointer or has_brackets:
+            ctype: ast.CType = ast.PointerType(base, tuple(dims))
+        else:
+            ctype = base
+        return ast.Param(
+            line=type_token.line,
+            column=type_token.column,
+            name=name_token.text,
+            ctype=ctype,
+        )
+
+    def _parse_declaration(self, is_global: bool) -> List[ast.VarDecl]:
+        type_token = self._peek()
+        base = self._parse_base_type()
+        if isinstance(base, ast.VoidType):
+            raise ParseError("cannot declare a variable of type void",
+                             type_token.line, type_token.column)
+        decls: List[ast.VarDecl] = []
+        decls.append(self._parse_declarator(base, is_global))
+        while self._match(TokenKind.COMMA):
+            decls.append(self._parse_declarator(base, is_global))
+        self._expect(TokenKind.SEMICOLON, "declaration")
+        return decls
+
+    def _parse_declarator(self, base: ast.CType, is_global: bool) -> ast.VarDecl:
+        name_token = self._expect(TokenKind.IDENT, "declarator")
+        dims: List[int] = []
+        while self._match(TokenKind.LBRACKET):
+            size_token = self._expect(TokenKind.INT_LIT, "array dimension")
+            dims.append(int(size_token.value))  # type: ignore[arg-type]
+            self._expect(TokenKind.RBRACKET, "array dimension")
+        ctype: ast.CType = ast.ArrayType(base, tuple(dims)) if dims else base
+        init: Optional[ast.Expr] = None
+        if self._match(TokenKind.ASSIGN):
+            init = self._parse_expr()
+        return ast.VarDecl(
+            line=name_token.line,
+            column=name_token.column,
+            name=name_token.text,
+            ctype=ctype,
+            init=init,
+            is_global=is_global,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect(TokenKind.LBRACE, "block")
+        statements: List[ast.Stmt] = []
+        while not self._check(TokenKind.RBRACE) and not self._check(TokenKind.EOF):
+            statements.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE, "block")
+        return ast.Block(line=open_token.line, column=open_token.column,
+                         statements=statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind in TYPE_KEYWORDS:
+            decl_token = token
+            decls = self._parse_declaration(is_global=False)
+            return ast.DeclStmt(line=decl_token.line, column=decl_token.column,
+                                decls=decls)
+        if token.kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if token.kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if token.kind is TokenKind.KW_RETURN:
+            self._advance()
+            value: Optional[ast.Expr] = None
+            if not self._check(TokenKind.SEMICOLON):
+                value = self._parse_expr()
+            self._expect(TokenKind.SEMICOLON, "return statement")
+            return ast.Return(line=token.line, column=token.column, value=value)
+        if token.kind is TokenKind.KW_BREAK:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "break statement")
+            return ast.Break(line=token.line, column=token.column)
+        if token.kind is TokenKind.KW_CONTINUE:
+            self._advance()
+            self._expect(TokenKind.SEMICOLON, "continue statement")
+            return ast.Continue(line=token.line, column=token.column)
+        if token.kind is TokenKind.KW_PRINT:
+            return self._parse_print()
+        # Expression statement.
+        expr = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "expression statement")
+        return ast.ExprStmt(line=token.line, column=token.column, expr=expr)
+
+    def _parse_print(self) -> ast.Print:
+        token = self._expect(TokenKind.KW_PRINT)
+        self._expect(TokenKind.LPAREN, "print statement")
+        args: List[ast.Expr] = []
+        if not self._check(TokenKind.RPAREN):
+            args.append(self._parse_expr())
+            while self._match(TokenKind.COMMA):
+                args.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN, "print statement")
+        self._expect(TokenKind.SEMICOLON, "print statement")
+        return ast.Print(line=token.line, column=token.column, args=args)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect(TokenKind.KW_FOR)
+        self._expect(TokenKind.LPAREN, "for statement")
+        init: Optional[ast.Stmt] = None
+        if not self._check(TokenKind.SEMICOLON):
+            if self._peek().kind in TYPE_KEYWORDS:
+                decl_token = self._peek()
+                decls = self._parse_declaration(is_global=False)
+                init = ast.DeclStmt(line=decl_token.line, column=decl_token.column,
+                                    decls=decls)
+            else:
+                expr_token = self._peek()
+                expr = self._parse_expr()
+                self._expect(TokenKind.SEMICOLON, "for initializer")
+                init = ast.ExprStmt(line=expr_token.line, column=expr_token.column,
+                                    expr=expr)
+        else:
+            self._expect(TokenKind.SEMICOLON, "for initializer")
+        cond: Optional[ast.Expr] = None
+        if not self._check(TokenKind.SEMICOLON):
+            cond = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "for condition")
+        step: Optional[ast.Expr] = None
+        if not self._check(TokenKind.RPAREN):
+            step = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "for statement")
+        body = self._parse_statement()
+        return ast.For(line=token.line, column=token.column, init=init,  # type: ignore[arg-type]
+                       cond=cond, step=step, body=body)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN, "while statement")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "while statement")
+        body = self._parse_statement()
+        return ast.While(line=token.line, column=token.column, cond=cond, body=body)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect(TokenKind.KW_IF)
+        self._expect(TokenKind.LPAREN, "if statement")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "if statement")
+        then_body = self._parse_statement()
+        else_body: Optional[ast.Stmt] = None
+        if self._match(TokenKind.KW_ELSE):
+            else_body = self._parse_statement()
+        return ast.If(line=token.line, column=token.column, cond=cond,
+                      then_body=then_body, else_body=else_body)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_logical_or()
+        token = self._peek()
+        if token.kind in _ASSIGN_OPS:
+            self._advance()
+            if not isinstance(left, (ast.Identifier, ast.ArrayIndex)):
+                raise ParseError("assignment target must be a variable or array element",
+                                 token.line, token.column)
+            value = self._parse_assignment()
+            return ast.Assignment(line=token.line, column=token.column,
+                                  op=_ASSIGN_OPS[token.kind], target=left, value=value)
+        return left
+
+    def _parse_binary_chain(self, sub_parser, pairs: Tuple[Tuple[TokenKind, str], ...]) -> ast.Expr:
+        left = sub_parser()
+        while True:
+            token = self._peek()
+            matched = None
+            for kind, op in pairs:
+                if token.kind is kind:
+                    matched = op
+                    break
+            if matched is None:
+                return left
+            self._advance()
+            right = sub_parser()
+            left = ast.BinaryOp(line=token.line, column=token.column, op=matched,
+                                left=left, right=right)
+
+    def _parse_logical_or(self) -> ast.Expr:
+        return self._parse_binary_chain(self._parse_logical_and,
+                                        ((TokenKind.OR_OR, "||"),))
+
+    def _parse_logical_and(self) -> ast.Expr:
+        return self._parse_binary_chain(self._parse_equality,
+                                        ((TokenKind.AND_AND, "&&"),))
+
+    def _parse_equality(self) -> ast.Expr:
+        return self._parse_binary_chain(
+            self._parse_relational,
+            ((TokenKind.EQ, "=="), (TokenKind.NE, "!=")),
+        )
+
+    def _parse_relational(self) -> ast.Expr:
+        return self._parse_binary_chain(
+            self._parse_additive,
+            ((TokenKind.LT, "<"), (TokenKind.LE, "<="),
+             (TokenKind.GT, ">"), (TokenKind.GE, ">=")),
+        )
+
+    def _parse_additive(self) -> ast.Expr:
+        return self._parse_binary_chain(
+            self._parse_multiplicative,
+            ((TokenKind.PLUS, "+"), (TokenKind.MINUS, "-")),
+        )
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        return self._parse_binary_chain(
+            self._parse_unary,
+            ((TokenKind.STAR, "*"), (TokenKind.SLASH, "/"), (TokenKind.PERCENT, "%")),
+        )
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, column=token.column, op="-",
+                               operand=operand)
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, column=token.column, op="!",
+                               operand=operand)
+        if token.kind in (TokenKind.PLUS_PLUS, TokenKind.MINUS_MINUS):
+            self._advance()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Identifier, ast.ArrayIndex)):
+                raise ParseError("++/-- target must be a variable or array element",
+                                 token.line, token.column)
+            op = "++" if token.kind is TokenKind.PLUS_PLUS else "--"
+            return ast.IncDec(line=token.line, column=token.column, op=op,
+                              target=target, is_prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.LBRACKET:
+                if not isinstance(expr, ast.Identifier):
+                    raise ParseError("array base must be a simple identifier",
+                                     token.line, token.column)
+                indices: List[ast.Expr] = []
+                while self._match(TokenKind.LBRACKET):
+                    indices.append(self._parse_expr())
+                    self._expect(TokenKind.RBRACKET, "array subscript")
+                expr = ast.ArrayIndex(line=expr.line, column=expr.column,
+                                      base=expr, indices=indices)
+            elif token.kind in (TokenKind.PLUS_PLUS, TokenKind.MINUS_MINUS):
+                self._advance()
+                if not isinstance(expr, (ast.Identifier, ast.ArrayIndex)):
+                    raise ParseError("++/-- target must be a variable or array element",
+                                     token.line, token.column)
+                op = "++" if token.kind is TokenKind.PLUS_PLUS else "--"
+                expr = ast.IncDec(line=token.line, column=token.column, op=op,
+                                  target=expr, is_prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT_LIT:
+            self._advance()
+            return ast.IntLiteral(line=token.line, column=token.column,
+                                  value=int(token.value))  # type: ignore[arg-type]
+        if token.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLiteral(line=token.line, column=token.column,
+                                    value=float(token.value))  # type: ignore[arg-type]
+        if token.kind is TokenKind.STRING_LIT:
+            self._advance()
+            return ast.StringLiteral(line=token.line, column=token.column,
+                                     value=str(token.value))
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._check(TokenKind.LPAREN):
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    args.append(self._parse_expr())
+                    while self._match(TokenKind.COMMA):
+                        args.append(self._parse_expr())
+                self._expect(TokenKind.RPAREN, "call")
+                return ast.Call(line=token.line, column=token.column,
+                                callee=token.text, args=args)
+            return ast.Identifier(line=token.line, column=token.column, name=token.text)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "parenthesised expression")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r} in expression",
+                         token.line, token.column)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Tokenize and parse mini-C ``source`` into an (unanalyzed) AST."""
+    tokens = tokenize(source)
+    return Parser(tokens, source=source).parse_program()

@@ -1,0 +1,375 @@
+"""Semantic analysis for mini-C.
+
+Responsibilities:
+
+* build symbol tables (globals, functions, parameters, block-scoped locals);
+* annotate every expression with its :class:`repro.minicc.ast_nodes.CType`;
+* reject undeclared identifiers, arity mismatches, malformed indexing,
+  ``void`` misuse and non-numeric arithmetic;
+* expose the table of math/runtime builtins shared with the code generator
+  and the interpreter (``sqrt``, ``pow``, ``rand``, ``clock``, ...).
+
+The checks are intentionally C-like but permissive (implicit ``int`` <->
+``double`` conversions are allowed everywhere a C compiler would insert
+them); the goal is catching mistakes in the 14 mini benchmark sources early,
+not building a full ISO C validator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import SemanticError
+
+# --------------------------------------------------------------------------- #
+# Builtins shared by sema, codegen and the interpreter runtime.
+# Each entry: name -> (parameter types or None for "any numeric", return type)
+# --------------------------------------------------------------------------- #
+BUILTIN_FUNCTIONS: Dict[str, Tuple[Optional[Tuple[ast.CType, ...]], ast.CType]] = {
+    "sqrt": ((ast.DOUBLE,), ast.DOUBLE),
+    "pow": ((ast.DOUBLE, ast.DOUBLE), ast.DOUBLE),
+    "fabs": ((ast.DOUBLE,), ast.DOUBLE),
+    "exp": ((ast.DOUBLE,), ast.DOUBLE),
+    "log": ((ast.DOUBLE,), ast.DOUBLE),
+    "sin": ((ast.DOUBLE,), ast.DOUBLE),
+    "cos": ((ast.DOUBLE,), ast.DOUBLE),
+    "floor": ((ast.DOUBLE,), ast.DOUBLE),
+    "fmin": ((ast.DOUBLE, ast.DOUBLE), ast.DOUBLE),
+    "fmax": ((ast.DOUBLE, ast.DOUBLE), ast.DOUBLE),
+    "abs": ((ast.INT,), ast.INT),
+    "rand": ((), ast.INT),
+    "randf": ((), ast.DOUBLE),
+    "clock": ((), ast.DOUBLE),
+}
+
+
+@dataclass
+class FunctionSignature:
+    """Resolved signature of a user-defined mini-C function."""
+
+    name: str
+    return_type: ast.CType
+    param_types: List[ast.CType]
+    definition: ast.FuncDef
+
+
+@dataclass
+class SemanticInfo:
+    """Result of semantic analysis attached to a parsed program."""
+
+    program: ast.Program
+    functions: Dict[str, FunctionSignature] = field(default_factory=dict)
+    global_types: Dict[str, ast.CType] = field(default_factory=dict)
+
+
+class _Scope:
+    """A lexical scope mapping names to declared types."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.symbols: Dict[str, ast.CType] = {}
+
+    def declare(self, name: str, ctype: ast.CType, line: int, column: int) -> None:
+        if name in self.symbols:
+            raise SemanticError(f"redeclaration of {name!r} in the same scope",
+                                line, column)
+        self.symbols[name] = ctype
+
+    def lookup(self, name: str) -> Optional[ast.CType]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Type-check a parsed program and annotate its AST in place."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.info = SemanticInfo(program=program)
+        self._current_function: Optional[ast.FuncDef] = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def analyze(self) -> SemanticInfo:
+        global_scope = _Scope()
+        for decl in self.program.globals:
+            self._check_global(decl)
+            global_scope.declare(decl.name, decl.ctype, decl.line, decl.column)
+            self.info.global_types[decl.name] = decl.ctype
+
+        # Register all function signatures before checking bodies so that
+        # forward references and mutual recursion work.
+        for func in self.program.functions:
+            if func.name in self.info.functions:
+                raise SemanticError(f"redefinition of function {func.name!r}",
+                                    func.line, func.column)
+            if func.name in BUILTIN_FUNCTIONS:
+                raise SemanticError(f"{func.name!r} is a builtin and cannot be redefined",
+                                    func.line, func.column)
+            self.info.functions[func.name] = FunctionSignature(
+                name=func.name,
+                return_type=func.return_type,
+                param_types=[param.ctype for param in func.params],
+                definition=func,
+            )
+
+        if "main" not in self.info.functions:
+            raise SemanticError("program has no 'main' function",
+                                self.program.line, self.program.column)
+
+        for func in self.program.functions:
+            self._check_function(func, global_scope)
+        return self.info
+
+    # ------------------------------------------------------------------ #
+    # Declarations
+    # ------------------------------------------------------------------ #
+    def _check_global(self, decl: ast.VarDecl) -> None:
+        if isinstance(decl.ctype, ast.ArrayType) and decl.init is not None:
+            raise SemanticError("array globals cannot have initializers",
+                                decl.line, decl.column)
+        if decl.init is not None:
+            if not isinstance(decl.init, (ast.IntLiteral, ast.FloatLiteral, ast.UnaryOp)):
+                raise SemanticError(
+                    f"global {decl.name!r} initializer must be a literal constant",
+                    decl.line, decl.column)
+            self._annotate_constant(decl.init)
+
+    def _annotate_constant(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            expr.ctype = ast.INT
+        elif isinstance(expr, ast.FloatLiteral):
+            expr.ctype = ast.DOUBLE
+        elif isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            self._annotate_constant(expr.operand)
+            expr.ctype = expr.operand.ctype
+        else:
+            raise SemanticError("expected a constant expression", expr.line, expr.column)
+
+    # ------------------------------------------------------------------ #
+    # Functions and statements
+    # ------------------------------------------------------------------ #
+    def _check_function(self, func: ast.FuncDef, global_scope: _Scope) -> None:
+        self._current_function = func
+        scope = _Scope(global_scope)
+        for param in func.params:
+            scope.declare(param.name, param.ctype, param.line, param.column)
+        self._check_block(func.body, scope)
+        self._current_function = None
+
+    def _check_block(self, block: ast.Block, parent_scope: _Scope) -> None:
+        scope = _Scope(parent_scope)
+        for stmt in block.statements:
+            self._check_statement(stmt, scope)
+
+    def _check_statement(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                if decl.init is not None:
+                    init_type = self._check_expr(decl.init, scope)
+                    self._require_numeric(init_type, decl.init)
+                    if isinstance(decl.ctype, ast.ArrayType):
+                        raise SemanticError("array locals cannot have initializers",
+                                            decl.line, decl.column)
+                scope.declare(decl.name, decl.ctype, decl.line, decl.column)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._require_numeric(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._check_statement(stmt.then_body, _Scope(scope))
+            if stmt.else_body is not None:
+                self._check_statement(stmt.else_body, _Scope(scope))
+        elif isinstance(stmt, ast.While):
+            self._require_numeric(self._check_expr(stmt.cond, scope), stmt.cond)
+            self._loop_depth += 1
+            self._check_statement(stmt.body, _Scope(scope))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            loop_scope = _Scope(scope)
+            if stmt.init is not None:
+                self._check_statement(stmt.init, loop_scope)
+            if stmt.cond is not None:
+                self._require_numeric(self._check_expr(stmt.cond, loop_scope), stmt.cond)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, loop_scope)
+            self._loop_depth += 1
+            self._check_statement(stmt.body, _Scope(loop_scope))
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            assert self._current_function is not None
+            expected = self._current_function.return_type
+            if stmt.value is None:
+                if not isinstance(expected, ast.VoidType):
+                    raise SemanticError(
+                        f"function {self._current_function.name!r} must return a value",
+                        stmt.line, stmt.column)
+            else:
+                if isinstance(expected, ast.VoidType):
+                    raise SemanticError(
+                        f"void function {self._current_function.name!r} cannot return a value",
+                        stmt.line, stmt.column)
+                value_type = self._check_expr(stmt.value, scope)
+                self._require_numeric(value_type, stmt.value)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError("break/continue used outside of a loop",
+                                    stmt.line, stmt.column)
+        elif isinstance(stmt, ast.Print):
+            for arg in stmt.args:
+                arg_type = self._check_expr(arg, scope)
+                if not isinstance(arg, ast.StringLiteral):
+                    self._require_numeric(arg_type, arg)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unsupported statement {type(stmt).__name__}",
+                                stmt.line, stmt.column)
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> ast.CType:
+        if isinstance(expr, ast.IntLiteral):
+            expr.ctype = ast.INT
+        elif isinstance(expr, ast.FloatLiteral):
+            expr.ctype = ast.DOUBLE
+        elif isinstance(expr, ast.StringLiteral):
+            expr.ctype = ast.INT  # only usable inside print(); type is irrelevant
+        elif isinstance(expr, ast.Identifier):
+            ctype = scope.lookup(expr.name)
+            if ctype is None:
+                raise SemanticError(f"use of undeclared identifier {expr.name!r}",
+                                    expr.line, expr.column)
+            expr.ctype = ctype
+        elif isinstance(expr, ast.ArrayIndex):
+            expr.ctype = self._check_array_index(expr, scope)
+        elif isinstance(expr, ast.UnaryOp):
+            operand_type = self._check_expr(expr.operand, scope)
+            self._require_numeric(operand_type, expr.operand)
+            expr.ctype = ast.INT if expr.op == "!" else operand_type
+        elif isinstance(expr, ast.BinaryOp):
+            expr.ctype = self._check_binary(expr, scope)
+        elif isinstance(expr, ast.Assignment):
+            expr.ctype = self._check_assignment(expr, scope)
+        elif isinstance(expr, ast.IncDec):
+            target_type = self._check_expr(expr.target, scope)
+            self._require_numeric(target_type, expr.target)
+            expr.ctype = target_type
+        elif isinstance(expr, ast.Call):
+            expr.ctype = self._check_call(expr, scope)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unsupported expression {type(expr).__name__}",
+                                expr.line, expr.column)
+        assert expr.ctype is not None
+        return expr.ctype
+
+    def _check_array_index(self, expr: ast.ArrayIndex, scope: _Scope) -> ast.CType:
+        base_type = scope.lookup(expr.base.name)
+        if base_type is None:
+            raise SemanticError(f"use of undeclared identifier {expr.base.name!r}",
+                                expr.line, expr.column)
+        expr.base.ctype = base_type
+        for index in expr.indices:
+            index_type = self._check_expr(index, scope)
+            self._require_numeric(index_type, index)
+        if isinstance(base_type, ast.ArrayType):
+            if len(expr.indices) != len(base_type.dims):
+                raise SemanticError(
+                    f"array {expr.base.name!r} has {len(base_type.dims)} dimension(s) "
+                    f"but {len(expr.indices)} subscript(s) were given",
+                    expr.line, expr.column)
+            return base_type.element
+        if isinstance(base_type, ast.PointerType):
+            # A pointer parameter declared as `double u[4][4]` may be indexed
+            # either with the full subscript list (flattened internally) or
+            # with a single flat subscript; `int *p` takes one subscript.
+            expected = len(base_type.dims) if base_type.dims else 1
+            if len(expr.indices) not in (1, expected):
+                raise SemanticError(
+                    f"pointer parameter {expr.base.name!r} expects 1 or {expected} "
+                    f"subscripts, got {len(expr.indices)}",
+                    expr.line, expr.column)
+            return base_type.element
+        raise SemanticError(f"{expr.base.name!r} is not an array or pointer",
+                            expr.line, expr.column)
+
+    def _check_binary(self, expr: ast.BinaryOp, scope: _Scope) -> ast.CType:
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        self._require_numeric(left, expr.left)
+        self._require_numeric(right, expr.right)
+        if expr.op == "%":
+            if not isinstance(left, ast.IntType) or not isinstance(right, ast.IntType):
+                raise SemanticError("operands of % must be integers",
+                                    expr.line, expr.column)
+            return ast.INT
+        if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return ast.INT
+        if isinstance(left, ast.DoubleType) or isinstance(right, ast.DoubleType):
+            return ast.DOUBLE
+        return ast.INT
+
+    def _check_assignment(self, expr: ast.Assignment, scope: _Scope) -> ast.CType:
+        target_type = self._check_expr(expr.target, scope)
+        if isinstance(target_type, (ast.ArrayType, ast.PointerType)):
+            raise SemanticError("cannot assign to an entire array/pointer",
+                                expr.line, expr.column)
+        value_type = self._check_expr(expr.value, scope)
+        self._require_numeric(value_type, expr.value)
+        return target_type
+
+    def _check_call(self, expr: ast.Call, scope: _Scope) -> ast.CType:
+        if expr.callee in BUILTIN_FUNCTIONS:
+            param_types, return_type = BUILTIN_FUNCTIONS[expr.callee]
+            if param_types is not None and len(expr.args) != len(param_types):
+                raise SemanticError(
+                    f"builtin {expr.callee!r} expects {len(param_types)} argument(s), "
+                    f"got {len(expr.args)}",
+                    expr.line, expr.column)
+            for arg in expr.args:
+                arg_type = self._check_expr(arg, scope)
+                self._require_numeric(arg_type, arg)
+            return return_type
+        signature = self.info.functions.get(expr.callee)
+        if signature is None:
+            raise SemanticError(f"call to undefined function {expr.callee!r}",
+                                expr.line, expr.column)
+        if len(expr.args) != len(signature.param_types):
+            raise SemanticError(
+                f"function {expr.callee!r} expects {len(signature.param_types)} "
+                f"argument(s), got {len(expr.args)}",
+                expr.line, expr.column)
+        for arg, param_type in zip(expr.args, signature.param_types):
+            arg_type = self._check_expr(arg, scope)
+            if isinstance(param_type, ast.PointerType):
+                if isinstance(arg, ast.Identifier) and isinstance(
+                        arg_type, (ast.ArrayType, ast.PointerType)):
+                    continue
+                raise SemanticError(
+                    f"argument for pointer parameter of {expr.callee!r} must be an "
+                    f"array or pointer variable",
+                    arg.line, arg.column)
+            self._require_numeric(arg_type, arg)
+        return signature.return_type
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _require_numeric(ctype: ast.CType, expr: ast.Expr) -> None:
+        if not ctype.is_numeric():
+            raise SemanticError("expected a numeric (int/double) value here",
+                                expr.line, expr.column)
+
+
+def analyze(program: ast.Program) -> SemanticInfo:
+    """Run semantic analysis on ``program`` (annotating it in place)."""
+    return SemanticAnalyzer(program).analyze()

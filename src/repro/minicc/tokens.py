@@ -1,0 +1,99 @@
+"""Token definitions for the mini-C scanner."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenKind(enum.Enum):
+    """All token categories produced by :class:`repro.minicc.lexer.Lexer`."""
+
+    # Literals and identifiers
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    STRING_LIT = "string_lit"
+    IDENT = "ident"
+
+    # Keywords
+    KW_INT = "int"
+    KW_DOUBLE = "double"
+    KW_VOID = "void"
+    KW_FOR = "for"
+    KW_WHILE = "while"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_RETURN = "return"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_PRINT = "print"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+
+    # Operators
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND_AND = "&&"
+    OR_OR = "||"
+    NOT = "!"
+    AMP = "&"
+
+    EOF = "eof"
+
+
+#: Keyword spelling -> token kind.
+KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "double": TokenKind.KW_DOUBLE,
+    "void": TokenKind.KW_VOID,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "print": TokenKind.KW_PRINT,
+}
+
+#: Type keywords (used by the parser to detect declarations).
+TYPE_KEYWORDS = (TokenKind.KW_INT, TokenKind.KW_DOUBLE, TokenKind.KW_VOID)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: Union[int, float, str, None] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

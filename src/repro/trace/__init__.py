@@ -1,0 +1,54 @@
+"""``repro.trace`` — dynamic instruction execution trace data model and I/O.
+
+This package plays the role of LLVM-Tracer's output format plus the paper's
+trace pre-processing optimization:
+
+* :mod:`repro.trace.records` — the in-memory representation of one dynamic
+  instruction record (source location, function, basic block, opcode, dynamic
+  instruction id, operands with sizes/values/register-or-variable names and
+  memory addresses) and of the global-variable preamble;
+* :mod:`repro.trace.textio` — a line-oriented text encoding of those records
+  (field-for-field equivalent to the LLVM-Tracer excerpts in paper Fig. 1 and
+  Fig. 6) with a writer and a streaming reader;
+* :mod:`repro.trace.partition` — block-boundary-preserving partitioning of a
+  trace file into sub-streams parsed concurrently, reproducing the OpenMP
+  pre-processing optimization of paper Sec. V-A.
+"""
+
+from repro.trace.records import (
+    GlobalSymbol,
+    Trace,
+    TraceOperand,
+    TraceRecord,
+    RESULT_INDEX,
+)
+from repro.trace.textio import (
+    TraceTextReader,
+    TraceTextWriter,
+    read_trace_file,
+    write_trace_file,
+    record_to_lines,
+    parse_record_lines,
+)
+from repro.trace.partition import (
+    TracePartition,
+    partition_offsets,
+    read_trace_file_parallel,
+)
+
+__all__ = [
+    "GlobalSymbol",
+    "Trace",
+    "TraceOperand",
+    "TraceRecord",
+    "RESULT_INDEX",
+    "TraceTextReader",
+    "TraceTextWriter",
+    "read_trace_file",
+    "write_trace_file",
+    "record_to_lines",
+    "parse_record_lines",
+    "TracePartition",
+    "partition_offsets",
+    "read_trace_file_parallel",
+]

@@ -1,0 +1,126 @@
+"""Parallel, block-boundary-preserving trace-file reading.
+
+This reproduces the paper's pre-processing optimization (Sec. V-A): the
+master partitions the input file stream into sub-file-streams *without
+breaking individual instruction blocks* and worker threads/processes parse
+the sub-streams concurrently.  The paper uses 48 OpenMP threads; here the
+worker pool is either a thread pool (default, low overhead) or a
+:class:`concurrent.futures.ProcessPoolExecutor` for genuinely parallel
+parsing of very large traces.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.trace.records import Trace, TraceRecord
+from repro.trace.textio import parse_record_lines, read_preamble
+
+RECORD_PREFIX = "0,"
+
+
+@dataclass(frozen=True)
+class TracePartition:
+    """A byte range of the trace file containing only whole instruction blocks."""
+
+    index: int
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+def _align_to_block_start(handle, offset: int, file_size: int) -> int:
+    """Advance ``offset`` to the beginning of the next instruction block.
+
+    Instruction blocks always start with a line whose first field is ``0``
+    (the same property the paper relies on for LLVM-Tracer output), so the
+    next block boundary is the next line starting with ``0,``.
+    """
+    if offset <= 0:
+        return 0
+    if offset >= file_size:
+        return file_size
+    handle.seek(offset)
+    handle.readline()  # skip the (possibly partial) current line
+    while True:
+        position = handle.tell()
+        line = handle.readline()
+        if not line:
+            return file_size
+        if line.startswith(RECORD_PREFIX):
+            return position
+
+
+def partition_offsets(path: str, num_partitions: int) -> List[TracePartition]:
+    """Split a trace file into ``num_partitions`` block-aligned byte ranges."""
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    file_size = os.path.getsize(path)
+    if file_size == 0:
+        return [TracePartition(index=0, start=0, end=0)]
+
+    boundaries = [0]
+    with open(path, "r", encoding="utf-8") as handle:
+        for index in range(1, num_partitions):
+            target = (file_size * index) // num_partitions
+            aligned = _align_to_block_start(handle, target, file_size)
+            boundaries.append(aligned)
+    boundaries.append(file_size)
+
+    partitions: List[TracePartition] = []
+    for index in range(num_partitions):
+        start = boundaries[index]
+        end = boundaries[index + 1]
+        if end < start:
+            end = start
+        partitions.append(TracePartition(index=index, start=start, end=end))
+    return partitions
+
+
+def _parse_partition(path: str, start: int, end: int) -> List[TraceRecord]:
+    """Worker: parse the byte range ``[start, end)`` of ``path``."""
+    if end <= start:
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        handle.seek(start)
+        data = handle.read(end - start)
+    return parse_record_lines(data.splitlines())
+
+
+def read_trace_file_parallel(path: str, num_workers: int = 4,
+                             use_processes: bool = False) -> Trace:
+    """Read a trace file by parsing block-aligned partitions concurrently.
+
+    The result is identical (record for record, in dynamic-id order) to the
+    serial :func:`repro.trace.textio.read_trace_file`; the property-based
+    tests assert this equivalence.
+    """
+    module_name, globals_ = read_preamble(path)
+    partitions = partition_offsets(path, max(1, num_workers))
+
+    if len(partitions) == 1 or num_workers <= 1:
+        records = _parse_partition(path, partitions[0].start, partitions[-1].end)
+        return Trace(module_name=module_name, globals=globals_, records=records)
+
+    executor_cls = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
+    chunks: List[Optional[List[TraceRecord]]] = [None] * len(partitions)
+    with executor_cls(max_workers=num_workers) as executor:
+        futures = {
+            executor.submit(_parse_partition, path, part.start, part.end): part.index
+            for part in partitions
+        }
+        for future, index in futures.items():
+            chunks[index] = future.result()
+
+    records: List[TraceRecord] = []
+    for chunk in chunks:
+        if chunk:
+            records.extend(chunk)
+    records.sort(key=lambda record: record.dyn_id)
+    return Trace(module_name=module_name, globals=globals_, records=records)

@@ -1,0 +1,178 @@
+"""In-memory representation of dynamic instruction execution traces.
+
+A trace consists of a *globals preamble* (one :class:`GlobalSymbol` per
+module-level variable, giving its base address and extent — information a
+real LLVM-Tracer run exposes through the first ``Load``/``Store`` touching
+the global) followed by one :class:`TraceRecord` per executed IR instruction.
+
+Each record carries exactly the information the paper's Fig. 1 describes:
+
+* the source line of the instruction,
+* the function it executes in,
+* basic block id and label,
+* the opcode (numeric, LLVM 3.4 numbering) and its mnemonic,
+* the dynamic instruction id (position in execution order),
+* one entry per operand and one for the result, each with: operand id, size
+  in bits, runtime value, a register-or-variable flag, the register/variable
+  name, and — for memory operands — the concrete memory address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.ir.opcodes import ARITHMETIC_OPCODES, Opcode
+
+#: Operand index used for instruction results (paper Fig. 1 uses ``r``).
+RESULT_INDEX = "r"
+#: Operand index prefix used for callee formal parameters (paper Fig. 6b).
+PARAM_INDEX_PREFIX = "p"
+
+
+@dataclass(frozen=True)
+class TraceOperand:
+    """One operand (or the result) of a dynamic instruction."""
+
+    index: str
+    bits: int
+    value: Union[int, float]
+    is_register: bool
+    name: str = ""
+    address: Optional[int] = None
+
+    @property
+    def is_parameter(self) -> bool:
+        return self.index.startswith(PARAM_INDEX_PREFIX)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.address is not None
+
+
+@dataclass
+class TraceRecord:
+    """One executed IR instruction."""
+
+    dyn_id: int
+    opcode: int
+    opcode_name: str
+    function: str
+    line: int
+    column: int
+    bb_label: int
+    bb_id: str
+    operands: List[TraceOperand] = field(default_factory=list)
+    result: Optional[TraceOperand] = None
+    callee: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Convenience predicates used throughout the analysis
+    # ------------------------------------------------------------------ #
+    @property
+    def op(self) -> Opcode:
+        return Opcode(self.opcode)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return Opcode(self.opcode) in ARITHMETIC_OPCODES
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode == Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode == Opcode.STORE
+
+    @property
+    def is_alloca(self) -> bool:
+        return self.opcode == Opcode.ALLOCA
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode == Opcode.CALL
+
+    @property
+    def is_gep(self) -> bool:
+        return self.opcode == Opcode.GETELEMENTPTR
+
+    def memory_operand(self) -> Optional[TraceOperand]:
+        """The named-variable memory operand of a Load/Store/GEP/Alloca."""
+        if self.is_load or self.is_gep:
+            return self.operands[0] if self.operands else None
+        if self.is_store:
+            return self.operands[1] if len(self.operands) > 1 else None
+        if self.is_alloca:
+            return self.result
+        return None
+
+    def parameter_operands(self) -> List[TraceOperand]:
+        return [op for op in self.operands if op.is_parameter]
+
+    def argument_operands(self) -> List[TraceOperand]:
+        return [op for op in self.operands if not op.is_parameter]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TraceRecord #{self.dyn_id} {self.opcode_name} "
+                f"{self.function}:{self.line}>")
+
+
+@dataclass(frozen=True)
+class GlobalSymbol:
+    """Globals preamble entry: name, base address and extent of a module global."""
+
+    name: str
+    address: int
+    size_bytes: int
+    element_bits: int
+    is_array: bool
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end_address
+
+
+@dataclass
+class Trace:
+    """A full dynamic trace: globals preamble + execution records."""
+
+    module_name: str = "module"
+    globals: List[GlobalSymbol] = field(default_factory=list)
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        self.records.extend(records)
+
+    def global_symbol(self, name: str) -> Optional[GlobalSymbol]:
+        for symbol in self.globals:
+            if symbol.name == name:
+                return symbol
+        return None
+
+    def functions(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.function not in seen:
+                seen.append(record.function)
+        return seen
+
+    def records_in_function(self, function: str) -> List[TraceRecord]:
+        return [record for record in self.records if record.function == function]
+
+    def slice(self, first_dyn_id: int, last_dyn_id: int) -> List[TraceRecord]:
+        """Records whose dynamic id lies in ``[first_dyn_id, last_dyn_id]``."""
+        return [record for record in self.records
+                if first_dyn_id <= record.dyn_id <= last_dyn_id]

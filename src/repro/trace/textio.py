@@ -1,0 +1,305 @@
+"""Line-oriented text encoding of dynamic traces.
+
+The encoding is comma-separated, one line per entity, and mirrors the
+information content of LLVM-Tracer's output (paper Fig. 1/6):
+
+.. code-block:: text
+
+    #,autocheck-trace,1,<module_name>
+    g,<name>,<hex address>,<size bytes>,<element bits>,<is_array>
+    0,<dyn id>,<opcode>,<opcode name>,<function>,<line>,<column>,<bb label>,<bb id>,<callee>
+    op,<operand id>,<bits>,<is reg>,<name>,<value>,<hex address or ->
+    res,<bits>,<is reg>,<name>,<value>,<hex address or ->
+
+Every instruction block starts with a ``0,`` line (exactly as the paper notes
+for LLVM-Tracer: "The first line of every operation block always starts with
+0"), which is what allows the parallel partitioner to split a trace file at
+block boundaries without understanding record internals.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.trace.records import (
+    GlobalSymbol,
+    RESULT_INDEX,
+    Trace,
+    TraceOperand,
+    TraceRecord,
+)
+
+FORMAT_VERSION = 1
+HEADER_TAG = "#"
+GLOBAL_TAG = "g"
+RECORD_TAG = "0"
+OPERAND_TAG = "op"
+RESULT_TAG = "res"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not follow the expected encoding."""
+
+
+# --------------------------------------------------------------------------- #
+# Encoding helpers
+# --------------------------------------------------------------------------- #
+def _encode_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _decode_value(text: str) -> Union[int, float]:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _encode_address(address: Optional[int]) -> str:
+    return "-" if address is None else hex(address)
+
+
+def _decode_address(text: str) -> Optional[int]:
+    if text == "-" or text == "":
+        return None
+    return int(text, 16)
+
+
+def _operand_line(tag: str, operand: TraceOperand) -> str:
+    fields = [
+        tag,
+        operand.index,
+        str(operand.bits),
+        str(int(operand.is_register)),
+        operand.name,
+        _encode_value(operand.value),
+        _encode_address(operand.address),
+    ]
+    if tag == RESULT_TAG:
+        fields.pop(1)  # results don't repeat their index (it is always "r")
+    return ",".join(fields)
+
+
+def record_to_lines(record: TraceRecord) -> List[str]:
+    """Encode one record as its text lines (header + operands + result)."""
+    header = ",".join([
+        RECORD_TAG,
+        str(record.dyn_id),
+        str(record.opcode),
+        record.opcode_name,
+        record.function,
+        str(record.line),
+        str(record.column),
+        str(record.bb_label),
+        record.bb_id,
+        record.callee,
+    ])
+    lines = [header]
+    for operand in record.operands:
+        lines.append(_operand_line(OPERAND_TAG, operand))
+    if record.result is not None:
+        lines.append(_operand_line(RESULT_TAG, record.result))
+    return lines
+
+
+def _parse_operand(parts: Sequence[str]) -> TraceOperand:
+    # parts: op,<index>,<bits>,<is reg>,<name>,<value>,<addr>
+    return TraceOperand(
+        index=parts[1],
+        bits=int(parts[2]),
+        is_register=bool(int(parts[3])),
+        name=parts[4],
+        value=_decode_value(parts[5]),
+        address=_decode_address(parts[6]),
+    )
+
+
+def _parse_result(parts: Sequence[str]) -> TraceOperand:
+    # parts: res,<bits>,<is reg>,<name>,<value>,<addr>
+    return TraceOperand(
+        index=RESULT_INDEX,
+        bits=int(parts[1]),
+        is_register=bool(int(parts[2])),
+        name=parts[3],
+        value=_decode_value(parts[4]),
+        address=_decode_address(parts[5]),
+    )
+
+
+def _parse_header(parts: Sequence[str]) -> TraceRecord:
+    return TraceRecord(
+        dyn_id=int(parts[1]),
+        opcode=int(parts[2]),
+        opcode_name=parts[3],
+        function=parts[4],
+        line=int(parts[5]),
+        column=int(parts[6]),
+        bb_label=int(parts[7]),
+        bb_id=parts[8],
+        callee=parts[9] if len(parts) > 9 else "",
+    )
+
+
+def parse_record_lines(lines: Iterable[str]) -> List[TraceRecord]:
+    """Parse a sequence of text lines (no preamble) into records.
+
+    Used both by the serial reader and by the parallel partition workers.
+    Lines belonging to the globals preamble or the file header are ignored so
+    that workers do not need to care which chunk they received.
+    """
+    records: List[TraceRecord] = []
+    current: Optional[TraceRecord] = None
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        parts = line.split(",")
+        tag = parts[0]
+        if tag == RECORD_TAG:
+            current = _parse_header(parts)
+            records.append(current)
+        elif tag == OPERAND_TAG:
+            if current is None:
+                raise TraceFormatError(f"operand line before any record: {line!r}")
+            current.operands.append(_parse_operand(parts))
+        elif tag == RESULT_TAG:
+            if current is None:
+                raise TraceFormatError(f"result line before any record: {line!r}")
+            current.result = _parse_result(parts)
+        elif tag in (HEADER_TAG, GLOBAL_TAG):
+            continue
+        else:
+            raise TraceFormatError(f"unrecognised trace line tag {tag!r}")
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Writer
+# --------------------------------------------------------------------------- #
+class TraceTextWriter:
+    """Stream a trace to a text file as it is generated."""
+
+    def __init__(self, path: str, module_name: str = "module") -> None:
+        self.path = path
+        self.module_name = module_name
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._fh.write(f"{HEADER_TAG},autocheck-trace,{FORMAT_VERSION},{module_name}\n")
+        self._record_count = 0
+
+    def write_global(self, symbol: GlobalSymbol) -> None:
+        assert self._fh is not None
+        self._fh.write(",".join([
+            GLOBAL_TAG,
+            symbol.name,
+            hex(symbol.address),
+            str(symbol.size_bytes),
+            str(symbol.element_bits),
+            str(int(symbol.is_array)),
+        ]) + "\n")
+
+    def write_record(self, record: TraceRecord) -> None:
+        assert self._fh is not None
+        self._fh.write("\n".join(record_to_lines(record)) + "\n")
+        self._record_count += 1
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceTextWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_trace_file(trace: Trace, path: str) -> int:
+    """Write an in-memory trace to ``path``; return the file size in bytes."""
+    with TraceTextWriter(path, module_name=trace.module_name) as writer:
+        for symbol in trace.globals:
+            writer.write_global(symbol)
+        for record in trace.records:
+            writer.write_record(record)
+    return os.path.getsize(path)
+
+
+# --------------------------------------------------------------------------- #
+# Reader
+# --------------------------------------------------------------------------- #
+class TraceTextReader:
+    """Read a text trace back into memory (serially)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def read(self) -> Trace:
+        module_name = "module"
+        globals_: List[GlobalSymbol] = []
+        record_lines: List[str] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.rstrip("\n")
+                if not stripped:
+                    continue
+                tag = stripped.split(",", 1)[0]
+                if tag == HEADER_TAG:
+                    parts = stripped.split(",")
+                    if len(parts) >= 4:
+                        module_name = parts[3]
+                elif tag == GLOBAL_TAG:
+                    parts = stripped.split(",")
+                    globals_.append(GlobalSymbol(
+                        name=parts[1],
+                        address=int(parts[2], 16),
+                        size_bytes=int(parts[3]),
+                        element_bits=int(parts[4]),
+                        is_array=bool(int(parts[5])),
+                    ))
+                else:
+                    record_lines.append(stripped)
+        records = parse_record_lines(record_lines)
+        return Trace(module_name=module_name, globals=globals_, records=records)
+
+
+def read_trace_file(path: str) -> Trace:
+    """Convenience wrapper around :class:`TraceTextReader`."""
+    return TraceTextReader(path).read()
+
+
+def read_preamble(path: str) -> Tuple[str, List[GlobalSymbol]]:
+    """Read only the header and the globals preamble of a trace file."""
+    module_name = "module"
+    globals_: List[GlobalSymbol] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.rstrip("\n")
+            if not stripped:
+                continue
+            tag = stripped.split(",", 1)[0]
+            if tag == HEADER_TAG:
+                parts = stripped.split(",")
+                if len(parts) >= 4:
+                    module_name = parts[3]
+            elif tag == GLOBAL_TAG:
+                parts = stripped.split(",")
+                globals_.append(GlobalSymbol(
+                    name=parts[1],
+                    address=int(parts[2], 16),
+                    size_bytes=int(parts[3]),
+                    element_bits=int(parts[4]),
+                    is_array=bool(int(parts[5])),
+                ))
+            else:
+                break
+    return module_name, globals_

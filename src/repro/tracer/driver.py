@@ -1,0 +1,66 @@
+"""High-level entry points tying the front end, code generator and tracer.
+
+These are the convenience functions the examples, tests and the experiment
+harnesses call:
+
+* :func:`compile_and_run` — run a mini-C source without tracing (fast),
+  returning the program output;
+* :func:`run_and_trace` — run a compiled module with an in-memory trace sink,
+  returning both the :class:`repro.trace.records.Trace` and the
+  :class:`repro.tracer.interpreter.ExecutionResult`;
+* :func:`trace_to_file` — run a module streaming the trace to a text file
+  (what the paper's LLVM-Tracer setup produces), returning the file size —
+  the "Trace size" column of paper Table II.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple, Union
+
+from repro.codegen.lowering import compile_source
+from repro.ir.module import Module
+from repro.trace.records import Trace
+from repro.trace.textio import TraceTextWriter
+from repro.tracer.interpreter import ExecutionResult, InMemoryTraceSink, Interpreter
+
+
+def _as_module(program: Union[str, Module], module_name: str) -> Module:
+    if isinstance(program, Module):
+        return program
+    return compile_source(program, module_name=module_name)
+
+
+def compile_and_run(program: Union[str, Module], module_name: str = "module",
+                    seed: int = 314159,
+                    max_steps: int = 50_000_000) -> ExecutionResult:
+    """Compile (if needed) and execute a program without emitting a trace."""
+    module = _as_module(program, module_name)
+    interpreter = Interpreter(module, trace_sink=None, seed=seed, max_steps=max_steps)
+    return interpreter.run()
+
+
+def run_and_trace(program: Union[str, Module], module_name: str = "module",
+                  seed: int = 314159,
+                  max_steps: int = 50_000_000) -> Tuple[Trace, ExecutionResult]:
+    """Execute a program collecting its dynamic trace in memory."""
+    module = _as_module(program, module_name)
+    sink = InMemoryTraceSink(module_name=module.name)
+    interpreter = Interpreter(module, trace_sink=sink, seed=seed, max_steps=max_steps)
+    result = interpreter.run()
+    return sink.trace, result
+
+
+def trace_to_file(program: Union[str, Module], path: str,
+                  module_name: str = "module", seed: int = 314159,
+                  max_steps: int = 50_000_000) -> Tuple[int, ExecutionResult]:
+    """Execute a program streaming its dynamic trace to ``path``.
+
+    Returns the trace file size in bytes together with the execution result.
+    """
+    module = _as_module(program, module_name)
+    with TraceTextWriter(path, module_name=module.name) as writer:
+        interpreter = Interpreter(module, trace_sink=writer, seed=seed,
+                                  max_steps=max_steps)
+        result = interpreter.run()
+    return os.path.getsize(path), result

@@ -1,0 +1,43 @@
+"""Fail-stop fault injection.
+
+The paper validates the identified variables by inserting
+``raise(SIGTERM)`` in the main computation loop, checkpointing the detected
+variables with FTI, and restarting (Sec. VI-B).  The interpreter equivalent
+is a block-entry hook that aborts execution with :class:`SimulatedFailure`
+once the target block (normally the main loop body) has been entered a given
+number of times — i.e. the process "crashes" mid-iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SimulatedFailure(Exception):
+    """Raised to model a fail-stop process failure (power loss, SIGTERM...)."""
+
+    def __init__(self, message: str, iteration: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.iteration = iteration
+
+
+@dataclass
+class FaultInjector:
+    """Abort execution when a block has been entered ``fail_at_entry`` times."""
+
+    function: str
+    block: str
+    fail_at_entry: int
+    fired: bool = False
+
+    def __call__(self, context) -> None:  # context: HookContext
+        if self.fired:
+            return
+        if context.entry_count >= self.fail_at_entry:
+            self.fired = True
+            raise SimulatedFailure(
+                f"simulated fail-stop failure in {self.function}/{self.block} "
+                f"at entry {context.entry_count}",
+                iteration=context.entry_count,
+            )

@@ -1,0 +1,160 @@
+"""Concrete memory model for the tracing interpreter.
+
+Two segments are modelled:
+
+* a **global segment** starting at ``0x1000_0000`` holding module globals —
+  these addresses are stable for the whole execution and are published in the
+  trace's globals preamble;
+* a **stack segment** starting at ``0x7f00_0000_0000`` growing upwards, with
+  one contiguous span per ``Alloca``.  Frames release their span on return,
+  so locals of different calls may legitimately reuse addresses — never
+  overlapping live globals or the main function's frame, which is what makes
+  the paper's address-matching disambiguation (Challenge 2) sound.
+
+The memory also keeps the statistics needed by the Table IV storage study:
+total global footprint and peak stack footprint (the BLCR-style
+whole-process checkpoint size is derived from them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.tracer.values import PointerValue, RuntimeValue
+
+
+class MemoryError_(Exception):
+    """Raised on invalid memory operations (e.g. division of segments)."""
+
+
+GLOBAL_BASE = 0x1000_0000
+STACK_BASE = 0x7F00_0000_0000
+_ALIGNMENT = 8
+
+
+def _align(value: int, alignment: int = _ALIGNMENT) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Metadata describing one allocated variable."""
+
+    name: str
+    address: int
+    size_bytes: int
+    element_bits: int
+    count: int
+    is_array: bool
+    segment: str  # "global" | "stack"
+    function: str = ""
+
+    @property
+    def element_bytes(self) -> int:
+        return self.element_bits // 8
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end_address
+
+    def element_addresses(self) -> List[int]:
+        return [self.address + i * self.element_bytes for i in range(self.count)]
+
+
+class Memory:
+    """Byte-addressed (element-granular) memory with allocation tracking."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[int, RuntimeValue] = {}
+        self._global_cursor = GLOBAL_BASE
+        self._stack_pointer = STACK_BASE
+        self._peak_stack = STACK_BASE
+        self.global_allocations: List[Allocation] = []
+        self.stack_allocations: List[Allocation] = []
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def allocate_global(self, name: str, element_bits: int, count: int,
+                        is_array: bool) -> Allocation:
+        size = _align(count * (element_bits // 8))
+        allocation = Allocation(name=name, address=self._global_cursor,
+                                size_bytes=size, element_bits=element_bits,
+                                count=count, is_array=is_array,
+                                segment="global")
+        self._global_cursor += size
+        self.global_allocations.append(allocation)
+        return allocation
+
+    def allocate_stack(self, name: str, element_bits: int, count: int,
+                       is_array: bool, function: str) -> Allocation:
+        size = _align(count * (element_bits // 8))
+        allocation = Allocation(name=name, address=self._stack_pointer,
+                                size_bytes=size, element_bits=element_bits,
+                                count=count, is_array=is_array,
+                                segment="stack", function=function)
+        self._stack_pointer += size
+        self._peak_stack = max(self._peak_stack, self._stack_pointer)
+        self.stack_allocations.append(allocation)
+        return allocation
+
+    def stack_mark(self) -> int:
+        """Return the current stack pointer (to be restored on frame exit)."""
+        return self._stack_pointer
+
+    def stack_release(self, mark: int) -> None:
+        if mark > self._stack_pointer:
+            raise MemoryError_("cannot release the stack upwards")
+        self._stack_pointer = mark
+
+    # ------------------------------------------------------------------ #
+    # Loads and stores
+    # ------------------------------------------------------------------ #
+    def load(self, address: int, default: RuntimeValue = 0) -> RuntimeValue:
+        return self._cells.get(address, default)
+
+    def store(self, address: int, value: RuntimeValue) -> None:
+        self._cells[address] = value
+
+    def read_block(self, allocation: Allocation,
+                   default: RuntimeValue = 0) -> List[RuntimeValue]:
+        return [self.load(addr, default) for addr in allocation.element_addresses()]
+
+    def write_block(self, allocation: Allocation,
+                    values: List[RuntimeValue]) -> None:
+        addresses = allocation.element_addresses()
+        if len(values) != len(addresses):
+            raise MemoryError_(
+                f"block size mismatch for {allocation.name!r}: "
+                f"{len(values)} values for {len(addresses)} elements")
+        for address, value in zip(addresses, values):
+            self.store(address, value)
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table IV)
+    # ------------------------------------------------------------------ #
+    @property
+    def total_global_bytes(self) -> int:
+        return sum(alloc.size_bytes for alloc in self.global_allocations)
+
+    @property
+    def peak_stack_bytes(self) -> int:
+        return self._peak_stack - STACK_BASE
+
+    @property
+    def process_image_bytes(self) -> int:
+        """Size of the whole simulated process image (globals + peak stack)."""
+        return self.total_global_bytes + self.peak_stack_bytes
+
+    def find_allocation(self, address: int) -> Optional[Allocation]:
+        for allocation in self.global_allocations:
+            if allocation.contains(address):
+                return allocation
+        for allocation in reversed(self.stack_allocations):
+            if allocation.contains(address):
+                return allocation
+        return None

@@ -1,0 +1,57 @@
+"""Formatting helpers used by the experiment harnesses.
+
+The experiment scripts print tables shaped like the paper's Table II/III/IV;
+these helpers keep the rendering consistent and dependency free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+_BYTE_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count with the most natural unit (1024-based).
+
+    >>> format_bytes(2048)
+    '2.00 KB'
+    """
+    value = float(num_bytes)
+    for unit in _BYTE_UNITS:
+        if abs(value) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} TB"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (matching the paper's second-level units)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.2f} min"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table with left-aligned, width-padded columns."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            if idx >= len(widths):
+                widths.extend([0] * (idx + 1 - len(widths)))
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[idx]) for idx, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    sep = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = [fmt_row(list(headers)), sep]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

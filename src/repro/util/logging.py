@@ -1,0 +1,33 @@
+"""Minimal logging setup shared by the library and the experiment harnesses."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a configured logger below the ``repro`` namespace.
+
+    The verbosity is controlled by the ``REPRO_LOG_LEVEL`` environment
+    variable (default ``WARNING``) so tests and benchmarks stay quiet unless
+    the user explicitly asks for diagnostics.
+    """
+    global _CONFIGURED
+    if not _CONFIGURED:
+        level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+        level = getattr(logging, level_name, logging.WARNING)
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        root = logging.getLogger("repro")
+        root.setLevel(level)
+        if not root.handlers:
+            root.addHandler(handler)
+        _CONFIGURED = True
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,48 @@
+"""Deterministic pseudo-random number generation for the mini benchmarks.
+
+Several of the paper's benchmarks (EP, IS, HACC) rely on pseudo-random input
+data.  The interpreter exposes a ``rand()`` builtin backed by this linear
+congruential generator so that traces, checkpoints and restart validations
+are bit-for-bit reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+
+class DeterministicRNG:
+    """A 64-bit linear congruential generator (Knuth MMIX constants)."""
+
+    MULTIPLIER = 6364136223846793005
+    INCREMENT = 1442695040888963407
+    MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int = 314159) -> None:
+        self._state = seed & self.MASK
+        self._seed = seed
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def reseed(self, seed: int) -> None:
+        self._seed = seed
+        self._state = seed & self.MASK
+
+    def next_uint(self) -> int:
+        """Return the next raw 64-bit state."""
+        self._state = (self._state * self.MULTIPLIER + self.INCREMENT) & self.MASK
+        return self._state
+
+    def next_int(self, bound: int) -> int:
+        """Return an integer uniformly distributed in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return (self.next_uint() >> 16) % bound
+
+    def next_double(self) -> float:
+        """Return a float uniformly distributed in ``[0, 1)``."""
+        return (self.next_uint() >> 11) / float(1 << 53)
+
+    def fork(self, salt: int) -> "DeterministicRNG":
+        """Create an independent generator derived from this one."""
+        return DeterministicRNG((self._seed * 1000003 + salt) & self.MASK)

@@ -1,0 +1,112 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (tracing + analysing the paper's example program and a
+couple of benchmarks) are produced once per session and reused across test
+modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import autocheck_source
+from repro.apps import EXAMPLE_APP, get_app
+from repro.codegen.lowering import compile_source
+from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.pipeline import AutoCheck
+from repro.core.preprocessing import identify_mli_variables
+from repro.tracer.driver import run_and_trace
+
+
+@pytest.fixture(scope="session")
+def example_source() -> str:
+    return EXAMPLE_APP.source()
+
+
+@pytest.fixture(scope="session")
+def example_spec(example_source) -> MainLoopSpec:
+    return EXAMPLE_APP.main_loop(example_source)
+
+
+@pytest.fixture(scope="session")
+def example_module(example_source):
+    return compile_source(example_source, module_name="example")
+
+
+@pytest.fixture(scope="session")
+def example_trace_and_result(example_module):
+    return run_and_trace(example_module, module_name="example")
+
+
+@pytest.fixture(scope="session")
+def example_trace(example_trace_and_result):
+    return example_trace_and_result[0]
+
+
+@pytest.fixture(scope="session")
+def example_execution(example_trace_and_result):
+    return example_trace_and_result[1]
+
+
+@pytest.fixture(scope="session")
+def example_preprocessing(example_trace, example_spec):
+    return identify_mli_variables(example_trace, example_spec)
+
+
+@pytest.fixture(scope="session")
+def example_report(example_trace, example_spec, example_module):
+    config = AutoCheckConfig(main_loop=example_spec)
+    return AutoCheck(config, trace=example_trace, module=example_module).run()
+
+
+@pytest.fixture(scope="session")
+def mg_analysis():
+    """A small benchmark analysed end to end (used by checkpoint tests)."""
+    from repro.experiments.common import analyze_app
+
+    return analyze_app(get_app("mg"), params={"n": 24, "iters": 5})
+
+
+SIMPLE_LOOP_SOURCE = """\
+int total;
+
+int accumulate(int *data, int count) {
+    int partial = 0;
+    for (int i = 0; i < count; ++i) {
+        partial = partial + data[i];
+    }
+    return partial;
+}
+
+int main() {
+    int data[6];
+    int limit = 4;
+    total = 0;
+    for (int i = 0; i < 6; ++i) {
+        data[i] = i * 3;
+    }
+    for (int it = 0; it < limit; ++it) {
+        data[it] = data[it] + 1;
+        total = total + accumulate(data, 6);
+    }
+    print("total", total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def simple_loop_source() -> str:
+    return SIMPLE_LOOP_SOURCE
+
+
+@pytest.fixture(scope="session")
+def simple_loop_module(simple_loop_source):
+    return compile_source(simple_loop_source, module_name="simple_loop")
+
+
+@pytest.fixture(scope="session")
+def simple_loop_trace(simple_loop_module):
+    trace, result = run_and_trace(simple_loop_module, module_name="simple_loop")
+    assert not result.failed
+    return trace

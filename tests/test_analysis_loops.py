@@ -1,0 +1,197 @@
+"""Unit tests for CFG / dominators / natural loops / induction variables."""
+
+import pytest
+
+from repro.analysis import (
+    build_cfg,
+    compute_dominators,
+    find_induction_variable,
+    find_loops,
+    find_main_loop,
+    main_loop_induction,
+)
+from repro.apps import find_mclr, get_app
+from repro.codegen import compile_source
+
+
+NESTED_LOOP_SOURCE = """\
+int main() {
+    int total = 0;
+    for (int i = 0; i < 3; ++i) {
+        total = total + 1;
+    }
+    for (int outer = 0; outer < 5; ++outer) {
+        for (int inner = 0; inner < 4; ++inner) {
+            total = total + inner;
+        }
+        total = total + outer;
+    }
+    print(total);
+    return 0;
+}
+"""
+
+WHILE_LOOP_SOURCE = """\
+int main() {
+    int done = 0;
+    int ts = 1;
+    int work = 0;
+    while (!done && ts <= 6) {
+        work = work + ts;
+        ts = ts + 1;
+        if (ts > 6) {
+            done = 1;
+        }
+    }
+    print(work);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def nested_main():
+    return compile_source(NESTED_LOOP_SOURCE).function("main")
+
+
+@pytest.fixture(scope="module")
+def while_main():
+    return compile_source(WHILE_LOOP_SOURCE).function("main")
+
+
+class TestCFG:
+    def test_every_block_has_successor_entry(self, nested_main):
+        cfg = build_cfg(nested_main)
+        assert set(cfg.successors) == set(nested_main.blocks)
+
+    def test_entry_has_no_predecessors(self, nested_main):
+        cfg = build_cfg(nested_main)
+        assert cfg.predecessors[cfg.entry] == []
+
+    def test_predecessors_consistent_with_successors(self, nested_main):
+        cfg = build_cfg(nested_main)
+        for block, successors in cfg.successors.items():
+            for succ in successors:
+                assert block in cfg.predecessors[succ]
+
+    def test_reverse_postorder_starts_at_entry(self, nested_main):
+        cfg = build_cfg(nested_main)
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+        assert len(order) == len(cfg.reachable_blocks())
+
+    def test_all_blocks_reachable_in_generated_code(self, nested_main):
+        cfg = build_cfg(nested_main)
+        assert cfg.reachable_blocks() == set(nested_main.blocks)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self, nested_main):
+        cfg = build_cfg(nested_main)
+        dom = compute_dominators(cfg)
+        for block in cfg.reachable_blocks():
+            assert dom.dominates(cfg.entry, block)
+
+    def test_every_block_dominates_itself(self, nested_main):
+        cfg = build_cfg(nested_main)
+        dom = compute_dominators(cfg)
+        for block in cfg.reachable_blocks():
+            assert dom.dominates(block, block)
+            assert not dom.strictly_dominates(block, block)
+
+    def test_idom_is_strict_dominator(self, nested_main):
+        cfg = build_cfg(nested_main)
+        dom = compute_dominators(cfg)
+        for block, idom in dom.idom.items():
+            if idom is not None:
+                assert dom.strictly_dominates(idom, block)
+
+    def test_entry_has_no_idom(self, nested_main):
+        cfg = build_cfg(nested_main)
+        dom = compute_dominators(cfg)
+        assert dom.idom[cfg.entry] is None
+
+
+class TestLoops:
+    def test_three_loops_found(self, nested_main):
+        info = find_loops(nested_main)
+        assert len(info.loops) == 3
+
+    def test_nesting_depths(self, nested_main):
+        info = find_loops(nested_main)
+        depths = sorted(loop.depth for loop in info.loops)
+        assert depths == [1, 1, 2]
+
+    def test_outermost_loops(self, nested_main):
+        info = find_loops(nested_main)
+        assert len(info.outermost()) == 2
+
+    def test_inner_loop_parent_is_outer(self, nested_main):
+        info = find_loops(nested_main)
+        inner = [loop for loop in info.loops if loop.depth == 2][0]
+        assert inner.parent is not None
+        assert inner in inner.parent.children
+        assert inner.blocks <= inner.parent.blocks
+
+    def test_header_lines_match_source(self, nested_main):
+        info = find_loops(nested_main)
+        header_lines = sorted(loop.header_line for loop in info.loops)
+        assert header_lines == [3, 6, 7]
+
+    def test_loop_line_range_covers_body(self, nested_main):
+        info = find_loops(nested_main)
+        outer = [loop for loop in info.loops if loop.header_line == 6][0]
+        assert 9 in outer.line_range()
+
+    def test_while_loop_detected(self, while_main):
+        info = find_loops(while_main)
+        assert len(info.loops) == 1
+        assert info.loops[0].header_line == 5
+
+
+class TestMainLoopSelection:
+    def test_selects_loop_in_line_range(self, nested_main):
+        loop = find_main_loop(nested_main, 6, 12)
+        assert loop is not None
+        assert loop.header_line == 6
+
+    def test_selects_outermost_among_nested(self, nested_main):
+        loop = find_main_loop(nested_main, 6, 12)
+        assert loop.depth == 1
+
+    def test_returns_none_outside_any_loop(self, nested_main):
+        assert find_main_loop(nested_main, 13, 14) is None
+
+
+class TestInductionVariables:
+    def test_simple_for_loop_induction(self, nested_main):
+        loop = find_main_loop(nested_main, 3, 5)
+        induction = find_induction_variable(nested_main, loop)
+        assert induction is not None
+        assert induction.name == "i"
+
+    def test_outer_loop_induction(self, nested_main):
+        induction = main_loop_induction(nested_main, 6, 12)
+        assert induction.name == "outer"
+
+    def test_while_loop_induction_through_logical_and(self, while_main):
+        induction = main_loop_induction(while_main, 5, 11)
+        assert induction is not None
+        assert induction.name == "ts"
+
+    @pytest.mark.parametrize("app_name,expected", [
+        ("himeno", "n"),
+        ("cg", "it"),
+        ("ep", "k"),
+        ("is", "iteration"),
+        ("lu", "istep"),
+        ("hacc", "step"),
+    ])
+    def test_benchmark_induction_variables(self, app_name, expected):
+        app = get_app(app_name)
+        source = app.source()
+        module = compile_source(source, module_name=app_name)
+        start, end = find_mclr(source)
+        induction = main_loop_induction(module.function("main"), start, end)
+        assert induction is not None
+        assert induction.name == expected

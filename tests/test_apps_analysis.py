@@ -1,0 +1,73 @@
+"""Integration: AutoCheck reproduces paper Table II on every mini benchmark.
+
+This is the headline reproduction test — for each of the 14 benchmarks the
+detected set of (variable, dependency type) pairs must equal the paper's
+Table II row (on the scaled mini-app, with the documented miniAMR deviation
+encoded in its registry entry).
+"""
+
+import pytest
+
+from repro.apps import all_apps, get_app
+from repro.experiments.common import analyze_app
+
+
+@pytest.mark.parametrize("app", all_apps(), ids=lambda app: app.name)
+def test_detected_variables_match_table2(app):
+    analysis = analyze_app(app)
+    got = {v.name: v.dependency.value for v in analysis.report.critical_variables}
+    assert got == dict(app.expected_critical), analysis.mismatch_description()
+
+
+@pytest.mark.parametrize("app", all_apps(), ids=lambda app: app.name)
+def test_program_runs_successfully(app):
+    from repro.tracer.driver import compile_and_run
+
+    result = compile_and_run(app.source(), module_name=app.name)
+    assert not result.failed
+    assert result.output, "every benchmark must produce observable output"
+
+
+class TestAnalysisDetails:
+    def test_cg_case_study(self):
+        """Paper Sec. IV-D: only x (WAR) and the index are critical; the
+        other algorithm-2 inputs are not."""
+        analysis = analyze_app(get_app("cg"))
+        report = analysis.report
+        assert report.find("x").dependency.value == "WAR"
+        assert report.induction_variable == "it"
+        for name in ("z", "p", "q", "r", "A"):
+            assert report.find(name) is None
+
+    def test_is_has_two_rapo_arrays(self):
+        analysis = analyze_app(get_app("is"))
+        by_type = {}
+        for variable in analysis.report.critical_variables:
+            by_type.setdefault(variable.dependency.value, []).append(variable.name)
+        assert sorted(by_type["RAPO"]) == ["bucket_ptrs", "key_array"]
+
+    def test_ft_has_outcome(self):
+        analysis = analyze_app(get_app("ft"))
+        assert analysis.report.find("sum").dependency.value == "Outcome"
+
+    def test_hpccg_timers_are_war(self):
+        analysis = analyze_app(get_app("hpccg"))
+        for timer in ("t1", "t2", "t3"):
+            assert analysis.report.find(timer).dependency.value == "WAR"
+
+    def test_dependency_type_population(self):
+        """Aggregate characterization (paper Sec. VI-B): WAR dominates, with a
+        couple of Outcome and RAPO variables and one Index per benchmark."""
+        counts = {"WAR": 0, "RAPO": 0, "Outcome": 0, "Index": 0}
+        for app in all_apps():
+            for dep in app.expected_critical.values():
+                counts[dep] += 1
+        assert counts["Index"] == 14
+        assert counts["WAR"] > counts["RAPO"] + counts["Outcome"]
+        assert counts["RAPO"] == 2
+        assert counts["Outcome"] == 2
+
+    def test_checkpoint_sizes_are_positive_and_small(self):
+        analysis = analyze_app(get_app("himeno"))
+        total = analysis.report.checkpoint_bytes()
+        assert 0 < total < analysis.execution.memory.process_image_bytes

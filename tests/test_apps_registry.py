@@ -1,0 +1,94 @@
+"""Unit tests for the benchmark registry and app definitions."""
+
+import pytest
+
+from repro.apps import APP_ORDER, all_apps, app_names, find_mclr, get_app
+from repro.apps.base import AppDefinition
+from repro.codegen import compile_source
+from repro.core.config import MainLoopSpec
+
+
+class TestRegistry:
+    def test_fourteen_benchmarks_registered(self):
+        assert len(APP_ORDER) == 14
+        assert len(all_apps()) == 14
+
+    def test_table2_order(self):
+        assert APP_ORDER == ["himeno", "hpccg", "cg", "mg", "ft", "sp", "ep",
+                             "is", "bt", "lu", "comd", "miniamr", "amg", "hacc"]
+
+    def test_example_not_in_study_but_retrievable(self):
+        assert "example" not in app_names()
+        assert "example" in app_names(include_example=True)
+        assert get_app("example").name == "example"
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            get_app("linpack")
+
+    def test_every_app_has_expected_critical_variables(self):
+        for app in all_apps():
+            assert app.expected_critical, app.name
+            assert set(app.expected_critical.values()) <= {
+                "WAR", "RAPO", "Outcome", "Index"}
+
+    def test_every_app_has_exactly_one_index_variable(self):
+        for app in all_apps():
+            index_vars = [name for name, dep in app.expected_critical.items()
+                          if dep == "Index"]
+            assert len(index_vars) == 1, app.name
+
+    def test_necessity_variables_subset_of_expected(self):
+        for app in all_apps():
+            assert set(app.necessity_variables()) <= set(app.expected_critical), \
+                app.name
+
+
+class TestAppDefinitions:
+    @pytest.mark.parametrize("app", all_apps(include_example=True),
+                             ids=lambda app: app.name)
+    def test_source_has_mclr_markers(self, app):
+        start, end = find_mclr(app.source())
+        assert 0 < start < end
+
+    @pytest.mark.parametrize("app", all_apps(include_example=True),
+                             ids=lambda app: app.name)
+    def test_source_compiles_and_verifies(self, app):
+        module = compile_source(app.source(), module_name=app.name)
+        assert "main" in module.functions
+
+    @pytest.mark.parametrize("app", all_apps(), ids=lambda app: app.name)
+    def test_large_source_compiles(self, app):
+        module = compile_source(app.large_source(), module_name=app.name)
+        assert "main" in module.functions
+
+    def test_main_loop_spec_from_markers(self):
+        app = get_app("cg")
+        spec = app.main_loop()
+        assert isinstance(spec, MainLoopSpec)
+        assert spec.function == "main"
+        assert spec.mclr == app.mclr_string
+
+    def test_source_params_override(self):
+        app = get_app("mg")
+        small = app.source(n=16)
+        assert "double u[16];" in small
+        default = app.source()
+        assert "double u[64];" in default
+
+    def test_missing_markers_detected(self):
+        with pytest.raises(ValueError):
+            find_mclr("int main() { return 0; }")
+
+    def test_module_helper(self):
+        module = get_app("himeno").module()
+        assert module.name == "himeno"
+
+    def test_ft_uses_global_call_option(self):
+        app = get_app("ft")
+        assert app.autocheck_options.get("include_global_accesses_in_calls") is True
+
+    def test_metadata_fields_populated(self):
+        for app in all_apps():
+            assert app.title and app.description and app.category
+            assert app.parallel_model

@@ -1,0 +1,66 @@
+"""Integration: restart validation (paper Sec. VI-B) on a benchmark subset.
+
+The full 14-benchmark validation lives in the benchmark harness
+(``benchmarks/bench_validation.py``) and in ``autocheck validate``; here a
+representative subset keeps the unit-test suite fast while still exercising
+every dependency class (WAR arrays and scalars, RAPO arrays, Outcome, Index)
+through a real fail-stop + restart cycle.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.checkpoint import RestartValidator
+from repro.experiments.common import analyze_app
+
+SUBSET = ["himeno", "cg", "ft", "is", "comd"]
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return {name: analyze_app(get_app(name)) for name in SUBSET}
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_restart_with_detected_variables_is_sufficient(analyses, name):
+    analysis = analyses[name]
+    report = analysis.report
+    with RestartValidator(analysis.module, report.main_loop,
+                          benchmark=name) as validator:
+        outcome = validator.validate(report.names(), fail_at_iteration=3)
+    assert outcome.restart_successful, (
+        f"{name}: combined output after restart differs from the "
+        f"failure-free run")
+
+
+@pytest.mark.parametrize("name", SUBSET)
+def test_detected_variables_are_not_false_positives(analyses, name):
+    analysis = analyses[name]
+    app = analysis.app
+    report = analysis.report
+    names = report.names()
+    check = [variable for variable in app.necessity_variables()
+             if variable in names]
+    with RestartValidator(analysis.module, report.main_loop,
+                          benchmark=name) as validator:
+        necessity = validator.necessity_study(names, check_variables=check,
+                                              fail_at_iteration=3)
+    assert necessity.all_necessary, necessity.false_positives
+
+
+def test_restart_at_different_failure_points(analyses):
+    """Failing earlier or later in the loop must not matter."""
+    analysis = analyses["cg"]
+    report = analysis.report
+    with RestartValidator(analysis.module, report.main_loop,
+                          benchmark="cg") as validator:
+        for fail_at in (2, 4):
+            outcome = validator.validate(report.names(), fail_at_iteration=fail_at)
+            assert outcome.restart_successful, f"failure at iteration {fail_at}"
+
+
+def test_checkpoint_much_smaller_than_process_image(analyses):
+    for name, analysis in analyses.items():
+        image = analysis.execution.memory.process_image_bytes
+        checkpoint = analysis.report.checkpoint_bytes()
+        assert checkpoint < image, name

@@ -1,0 +1,153 @@
+"""Unit tests for checkpoint storage and the FTI-like library."""
+
+import os
+
+import pytest
+
+from repro.checkpoint import CheckpointData, CheckpointStorage, FTI, FTIConfig, FTIError
+from repro.checkpoint.fti import FTILevel
+
+
+class TestCheckpointStorage:
+    def test_write_and_latest(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path))
+        storage.write(CheckpointData(iteration=1, variables={"x": [1.0, 2.0]},
+                                     sizes_bytes={"x": 16}))
+        storage.write(CheckpointData(iteration=2, variables={"x": [3.0, 4.0]},
+                                     sizes_bytes={"x": 16}))
+        latest = storage.latest()
+        assert latest.iteration == 2
+        assert latest.variables["x"] == [3.0, 4.0]
+
+    def test_only_latest_kept_by_default(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path))
+        for iteration in range(1, 5):
+            storage.write(CheckpointData(iteration=iteration,
+                                         variables={"x": [iteration]},
+                                         sizes_bytes={"x": 8}))
+        assert storage.checkpoint_count == 1
+
+    def test_history_mode_keeps_all(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path), keep_history=True)
+        for iteration in range(1, 4):
+            storage.write(CheckpointData(iteration=iteration,
+                                         variables={"x": [iteration]},
+                                         sizes_bytes={"x": 8}))
+        assert storage.checkpoint_count == 3
+
+    def test_empty_storage(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path))
+        assert storage.latest() is None
+        assert storage.storage_bytes_on_disk() == 0
+
+    def test_clear(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path))
+        storage.write(CheckpointData(iteration=1, variables={"x": [0]},
+                                     sizes_bytes={"x": 8}))
+        storage.clear()
+        assert storage.latest() is None
+
+    def test_roundtrip_preserves_int_and_float(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path))
+        storage.write(CheckpointData(iteration=1,
+                                     variables={"i": [3], "d": [2.5]},
+                                     sizes_bytes={"i": 4, "d": 8}))
+        latest = storage.latest()
+        assert latest.variables["i"] == [3]
+        assert latest.variables["d"] == [2.5]
+        assert latest.total_bytes == 12
+
+    def test_write_is_atomic_no_tmp_left(self, tmp_path):
+        storage = CheckpointStorage(str(tmp_path))
+        storage.write(CheckpointData(iteration=7, variables={"x": [1]},
+                                     sizes_bytes={"x": 8}))
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+
+class _FakeStore:
+    """In-memory stand-in for a protected variable."""
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def read(self):
+        return list(self.values)
+
+    def write(self, values):
+        self.values = list(values)
+
+
+class TestFTI:
+    def make_fti(self, tmp_path, interval=1):
+        return FTI(FTIConfig(directory=str(tmp_path), level=FTILevel.L1,
+                             checkpoint_interval=interval))
+
+    def test_protect_checkpoint_recover_cycle(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        store = _FakeStore([1.0, 2.0, 3.0])
+        fti.protect(0, "u", 24, store.read, store.write)
+        fti.checkpoint(iteration=1)
+        store.write([9.0, 9.0, 9.0])
+        fti.recover()
+        assert store.values == [1.0, 2.0, 3.0]
+
+    def test_status_reflects_checkpoint_presence(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        store = _FakeStore([5])
+        fti.protect(0, "n", 4, store.read, store.write)
+        assert not fti.status()
+        fti.checkpoint(iteration=1)
+        assert fti.status()
+
+    def test_recover_without_checkpoint_raises(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        with pytest.raises(FTIError):
+            fti.recover()
+
+    def test_duplicate_protection_rejected(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        store = _FakeStore([1])
+        fti.protect(0, "x", 4, store.read, store.write)
+        with pytest.raises(FTIError):
+            fti.protect(0, "y", 4, store.read, store.write)
+        with pytest.raises(FTIError):
+            fti.protect(1, "x", 4, store.read, store.write)
+
+    def test_checkpoint_interval_respected(self, tmp_path):
+        fti = self.make_fti(tmp_path, interval=3)
+        store = _FakeStore([1])
+        fti.protect(0, "x", 4, store.read, store.write)
+        written = [fti.checkpoint(iteration=i) for i in range(1, 7)]
+        assert sum(1 for path in written if path is not None) == 2  # at 3 and 6
+
+    def test_partial_recovery_names(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        a = _FakeStore([1.0])
+        b = _FakeStore([2.0])
+        fti.protect(0, "a", 8, a.read, a.write)
+        fti.protect(1, "b", 8, b.read, b.write)
+        fti.checkpoint(iteration=1)
+        a.write([10.0])
+        b.write([20.0])
+        fti.recover(names=["a"])
+        assert a.values == [1.0]
+        assert b.values == [20.0]
+
+    def test_checkpoint_bytes_and_protected_bytes(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        store = _FakeStore([0.0] * 4)
+        fti.protect(0, "v", 32, store.read, store.write)
+        assert fti.protected_bytes() == 32
+        fti.checkpoint(iteration=1)
+        assert fti.checkpoint_bytes() == 32
+        assert fti.last_checkpoint().iteration == 1
+
+    def test_finalize_blocks_further_checkpoints(self, tmp_path):
+        fti = self.make_fti(tmp_path)
+        store = _FakeStore([1])
+        fti.protect(0, "x", 4, store.read, store.write)
+        fti.finalize()
+        with pytest.raises(FTIError):
+            fti.checkpoint(iteration=1)

@@ -1,0 +1,64 @@
+"""Tests for the command line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.trace.textio import write_trace_file
+
+
+class TestCLI:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "himeno" in out
+        assert "hacc" in out
+        assert "x (WAR)" in out
+
+    def test_app_command_matches_paper(self, capsys):
+        assert main(["app", "himeno"]) == 0
+        out = capsys.readouterr().out
+        assert "WAR" in out and "Index" in out
+        assert "matches" in out
+
+    def test_analyze_command_on_trace_file(self, capsys, tmp_path,
+                                           example_trace, example_spec):
+        path = str(tmp_path / "example.trace")
+        write_trace_file(example_trace, path)
+        code = main(["analyze", path,
+                     "--function", example_spec.function,
+                     "--start", str(example_spec.start_line),
+                     "--end", str(example_spec.end_line)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r" in out and "WAR" in out
+
+    def test_trace_command(self, capsys, tmp_path, example_source):
+        source_path = str(tmp_path / "prog.mc")
+        with open(source_path, "w", encoding="utf-8") as handle:
+            handle.write(example_source)
+        out_path = str(tmp_path / "prog.trace")
+        assert main(["trace", source_path, "-o", out_path]) == 0
+        assert os.path.getsize(out_path) > 0
+        assert "sum 300" in capsys.readouterr().out
+
+    def test_figure5_command(self, capsys):
+        assert main(["figure5"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical variables" in out
+        assert "RAPO" in out
+
+    def test_table2_subset(self, capsys):
+        assert main(["table2", "--apps", "himeno"]) == 0
+        out = capsys.readouterr().out
+        assert "Himeno" in out and "p (WAR)" in out
+
+    def test_table4_subset(self, capsys):
+        assert main(["table4", "--apps", "himeno"]) == 0
+        out = capsys.readouterr().out
+        assert "BLCR" in out

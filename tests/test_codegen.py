@@ -1,0 +1,270 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.codegen import compile_source, flat_index_dims, ir_type_of
+from repro.codegen.layout import byte_size_of, element_ctype
+from repro.ir import ArrayType, F64, I32, Opcode, PointerType
+from repro.ir.instructions import (
+    AllocaInst,
+    BitCastInst,
+    CallInst,
+    CastInst,
+    CmpInst,
+    GEPInst,
+    LoadInst,
+    PrintInst,
+    StoreInst,
+)
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import SemanticError
+from repro.tracer.driver import compile_and_run
+
+
+def compile_main(body: str):
+    module = compile_source("int main() {\n" + body + "\nreturn 0;\n}")
+    return module, module.function("main")
+
+
+def opcodes_of(function):
+    return [inst.opcode for inst in function.instructions()]
+
+
+class TestLayoutHelpers:
+    def test_ir_type_of_scalars(self):
+        assert ir_type_of(ast.INT) == I32
+        assert ir_type_of(ast.DOUBLE) == F64
+
+    def test_ir_type_of_array(self):
+        ir_ty = ir_type_of(ast.ArrayType(ast.DOUBLE, (3, 4)))
+        assert isinstance(ir_ty, ArrayType)
+        assert ir_ty.count == 12
+
+    def test_ir_type_of_pointer(self):
+        ir_ty = ir_type_of(ast.PointerType(ast.IntType(), (8,)))
+        assert isinstance(ir_ty, PointerType)
+
+    def test_flat_index_dims_full_subscripts(self):
+        assert flat_index_dims(ast.ArrayType(ast.DOUBLE, (4, 5, 6)), 3) == (5, 6)
+
+    def test_flat_index_dims_single_subscript(self):
+        assert flat_index_dims(ast.ArrayType(ast.DOUBLE, (9,)), 1) == ()
+
+    def test_flat_index_dims_pointer_param(self):
+        assert flat_index_dims(ast.PointerType(ast.DOUBLE, (8, 8)), 2) == (8,)
+
+    def test_flat_index_dims_too_many_subscripts(self):
+        with pytest.raises(ValueError):
+            flat_index_dims(ast.ArrayType(ast.DOUBLE, (4,)), 3)
+
+    def test_element_ctype(self):
+        assert element_ctype(ast.ArrayType(ast.INT, (3,))) == ast.INT
+        assert element_ctype(ast.DOUBLE) == ast.DOUBLE
+
+    def test_byte_size_of(self):
+        assert byte_size_of(ast.ArrayType(ast.DOUBLE, (10,))) == 80
+        assert byte_size_of(ast.INT) == 4
+
+
+class TestLoweringShapes:
+    def test_every_local_gets_an_alloca(self):
+        _, main = compile_main("int a; double b; int c = 3;")
+        allocas = [inst for inst in main.instructions() if isinstance(inst, AllocaInst)]
+        assert {inst.var_name for inst in allocas} == {"a", "b", "c"}
+
+    def test_scalar_reads_are_fresh_loads(self):
+        _, main = compile_main("int a = 1; int b = a + a;")
+        loads = [inst for inst in main.instructions() if isinstance(inst, LoadInst)]
+        # `a` is loaded twice (SSA reload-per-use), exactly what the reg-var
+        # map relies on.
+        assert len(loads) == 2
+
+    def test_array_access_produces_bitcast_and_gep(self):
+        _, main = compile_main("double u[4][4]; double x = u[1][2];")
+        kinds = [type(inst) for inst in main.instructions()]
+        assert BitCastInst in kinds
+        assert GEPInst in kinds
+
+    def test_flat_index_arithmetic_for_2d_access(self):
+        _, main = compile_main("double u[4][6]; u[2][3] = 1.0;")
+        muls = [inst for inst in main.instructions() if inst.opcode == Opcode.MUL]
+        assert muls, "2D access should emit flat-index multiplication"
+        # the multiplier is the trailing dimension (6)
+        assert any(getattr(op, "value", None) == 6
+                   for inst in muls for op in inst.operands)
+
+    def test_int_to_double_conversion_inserted(self):
+        _, main = compile_main("int n = 3; double x = n;")
+        casts = [inst for inst in main.instructions() if isinstance(inst, CastInst)]
+        assert any(inst.opcode == Opcode.SITOFP for inst in casts)
+
+    def test_double_to_int_conversion_inserted(self):
+        _, main = compile_main("double d = 2.5; int n = d;")
+        casts = [inst for inst in main.instructions() if isinstance(inst, CastInst)]
+        assert any(inst.opcode == Opcode.FPTOSI for inst in casts)
+
+    def test_float_arithmetic_uses_float_opcodes(self):
+        _, main = compile_main("double a = 1.0; double b = a * 2.0;")
+        assert Opcode.FMUL in opcodes_of(main)
+
+    def test_int_arithmetic_uses_int_opcodes(self):
+        _, main = compile_main("int a = 1; int b = a * 2;")
+        assert Opcode.MUL in opcodes_of(main)
+
+    def test_modulo_lowered_to_srem(self):
+        _, main = compile_main("int a = 7; int b = a % 3;")
+        assert Opcode.SREM in opcodes_of(main)
+
+    def test_for_loop_block_structure(self):
+        _, main = compile_main("int s = 0; for (int i = 0; i < 4; ++i) { s = s + i; }")
+        # entry + cond + body + step + end
+        assert len(main.blocks) >= 5
+        cond_branches = [inst for inst in main.instructions()
+                         if inst.opcode == Opcode.BR and inst.operands]
+        assert cond_branches, "loop must have a conditional branch"
+
+    def test_while_loop_and_logical_and(self):
+        _, main = compile_main("int i = 0; while (i < 5 && i >= 0) { i = i + 1; }")
+        assert Opcode.AND in opcodes_of(main)
+
+    def test_if_else_produces_conditional_branch(self):
+        _, main = compile_main("int x = 1; if (x > 0) { x = 2; } else { x = 3; }")
+        cmps = [inst for inst in main.instructions() if isinstance(inst, CmpInst)]
+        assert cmps
+
+    def test_builtin_call_marked_builtin(self):
+        _, main = compile_main("double y = sqrt(2.0);")
+        calls = [inst for inst in main.instructions() if isinstance(inst, CallInst)]
+        assert calls and calls[0].is_builtin and calls[0].callee == "sqrt"
+
+    def test_user_call_records_param_names(self):
+        module = compile_source(
+            "void foo(int *p, int *q) { q[0] = p[0]; }\n"
+            "int main() { int a[2]; int b[2]; foo(a, b); return 0; }")
+        main = module.function("main")
+        calls = [inst for inst in main.instructions()
+                 if isinstance(inst, CallInst) and not isinstance(inst, PrintInst)]
+        assert calls[0].param_names == ("p", "q")
+        assert not calls[0].is_builtin
+
+    def test_print_lowered_with_labels(self):
+        _, main = compile_main('int v = 3; print("value", v);')
+        prints = [inst for inst in main.instructions() if isinstance(inst, PrintInst)]
+        assert prints and prints[0].labels == ["value"]
+
+    def test_source_lines_attached(self):
+        module = compile_source("int main() {\n  int x = 1;\n  x = x + 1;\n  return x;\n}")
+        main = module.function("main")
+        lines = {inst.line for inst in main.instructions() if inst.line}
+        assert {2, 3, 4} <= lines
+
+    def test_global_initializer_kept(self):
+        module = compile_source("double scale = 2.5;\nint main() { return 0; }")
+        assert module.global_variable("scale").initializer == pytest.approx(2.5)
+
+    def test_array_argument_decay(self):
+        module = compile_source(
+            "double total(double *v) { return v[0]; }\n"
+            "int main() { double data[3]; double t = total(data); return 0; }")
+        main = module.function("main")
+        assert any(isinstance(inst, BitCastInst) for inst in main.instructions())
+
+    def test_assigning_to_array_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_main("int a[3]; a = 4;")
+
+
+class TestLoweringSemantics:
+    """Behavioural checks: the lowered program computes the right values."""
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+        ("10 / 3", 3),
+        ("10 % 3", 1),
+        ("7 - 10", -3),
+        ("1 < 2", 1),
+        ("2 < 1", 0),
+        ("1 <= 1", 1),
+        ("3 != 3", 0),
+        ("!0", 1),
+        ("!7", 0),
+        ("-(3 + 4)", -7),
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 5", 1),
+    ])
+    def test_integer_expression_value(self, expr, expected):
+        result = compile_and_run(
+            "int main() { int v = %s; print(v); return 0; }" % expr)
+        assert result.output == [str(expected)]
+
+    def test_double_expression_value(self):
+        result = compile_and_run(
+            "int main() { double v = 1.5 * 4.0 + 1.0; print(v); return 0; }")
+        assert result.output == ["7"]
+
+    def test_compound_assignment_semantics(self):
+        result = compile_and_run(
+            "int main() { int x = 10; x += 5; x *= 2; x -= 4; x /= 2; "
+            "print(x); return 0; }")
+        assert result.output == ["13"]
+
+    def test_pre_and_post_increment(self):
+        result = compile_and_run(
+            "int main() { int i = 3; int a = i++; int b = ++i; "
+            "print(a, b, i); return 0; }")
+        assert result.output == ["3 5 5"]
+
+    def test_nested_loop_sum(self):
+        result = compile_and_run(
+            "int main() { int s = 0;"
+            " for (int i = 0; i < 4; ++i) { for (int j = 0; j < 3; ++j) { s = s + i * j; } }"
+            " print(s); return 0; }")
+        assert result.output == ["18"]
+
+    def test_break_and_continue(self):
+        result = compile_and_run(
+            "int main() { int s = 0;"
+            " for (int i = 0; i < 10; ++i) {"
+            "   if (i == 2) { continue; }"
+            "   if (i == 5) { break; }"
+            "   s = s + i; }"
+            " print(s); return 0; }")
+        assert result.output == ["8"]  # 0+1+3+4
+
+    def test_while_loop_semantics(self):
+        result = compile_and_run(
+            "int main() { int n = 1; while (n < 100) { n = n * 3; } "
+            "print(n); return 0; }")
+        assert result.output == ["243"]
+
+    def test_recursion(self):
+        result = compile_and_run(
+            "int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n"
+            "int main() { print(fact(6)); return 0; }")
+        assert result.output == ["720"]
+
+    def test_2d_array_semantics(self):
+        result = compile_and_run(
+            "double m[3][3];\n"
+            "int main() {"
+            " for (int i = 0; i < 3; ++i) { for (int j = 0; j < 3; ++j) {"
+            "   m[i][j] = i * 10 + j; } }"
+            " print(m[2][1], m[0][2]);"
+            " return 0; }")
+        assert result.output == ["21 2"]
+
+    def test_pointer_param_mutation_visible_in_caller(self):
+        result = compile_and_run(
+            "void fill(int *v, int n) { for (int i = 0; i < n; ++i) { v[i] = i * i; } }\n"
+            "int main() { int data[5]; fill(data, 5); print(data[4]); return 0; }")
+        assert result.output == ["16"]
+
+    def test_global_accumulation_across_calls(self):
+        result = compile_and_run(
+            "int hits;\n"
+            "void bump() { hits = hits + 1; }\n"
+            "int main() { hits = 0; for (int i = 0; i < 7; ++i) { bump(); } "
+            "print(hits); return 0; }")
+        assert result.output == ["7"]

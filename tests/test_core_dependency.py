@@ -1,0 +1,133 @@
+"""Unit tests for complete-DDG construction, R/W extraction and classification."""
+
+import pytest
+
+from repro.core import MainLoopSpec
+from repro.core.classify import classify_variables
+from repro.core.dependency import DependencyAnalysis
+from repro.core.ddg import NodeKind
+from repro.core.preprocessing import identify_mli_variables
+from repro.core.report import DependencyType
+from repro.core.rwdeps import AccessKind, extract_rw_dependencies
+from repro.core.varmap import VariableInfo
+
+
+@pytest.fixture(scope="module")
+def example_dependency(example_preprocessing):
+    return DependencyAnalysis(example_preprocessing).run()
+
+
+class TestDependencyAnalysis:
+    def test_complete_ddg_contains_all_node_kinds(self, example_dependency):
+        kinds = {node.kind for node in example_dependency.complete_ddg.nodes()}
+        assert NodeKind.MLI in kinds
+        assert NodeKind.REGISTER in kinds
+        assert NodeKind.LOCAL in kinds
+
+    def test_mli_nodes_present(self, example_dependency, example_preprocessing):
+        labels = {node.label for node in example_dependency.complete_ddg.mli_nodes()}
+        assert labels == set(example_preprocessing.mli_names())
+
+    def test_reg_var_map_populated(self, example_dependency):
+        assert len(example_dependency.reg_var_map) > 0
+
+    def test_reg_reg_map_populated(self, example_dependency):
+        assert len(example_dependency.reg_reg_map) > 0
+
+    def test_param_binding_links_argument_to_parameter(self, example_dependency):
+        # foo(a, b): parameter p of foo must be bound to the caller's `a`
+        # (reg-var triplet correlation of paper Fig. 6b).
+        bindings = example_dependency.param_bindings
+        assert ("foo", "p") in bindings
+        assert bindings[("foo", "p")].startswith("a@")
+        assert bindings[("foo", "q")].startswith("b@")
+
+    def test_selective_iteration_skips_control_flow(self, example_dependency,
+                                                    example_preprocessing):
+        inspected = example_dependency.inspected_records
+        total_inside = len(example_preprocessing.regions.inside)
+        assert 0 < inspected < total_inside
+
+    def test_dependency_paths_from_r_to_a_to_sum(self, example_dependency,
+                                                 example_preprocessing):
+        ddg = example_dependency.complete_ddg
+        keys = {var.name: var.key for var in example_preprocessing.mli_variables}
+        assert keys["r"] in ddg.ancestors_of(keys["a"])
+        assert keys["a"] in ddg.ancestors_of(keys["sum"])
+        # sum never feeds anything
+        assert ddg.children_of(keys["sum"]) == set()
+
+
+class TestRWExtraction:
+    def test_example_sequence_prefix_matches_figure5e(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        prefix = [str(event) for event in rw.loop_events[:6]]
+        # Paper Fig. 5(e): s-Write; s-Read; r-Read; a-Write; a-Read; b-Write
+        assert prefix == ["s-Write", "s-Read", "r-Read", "a-Write", "a-Read",
+                          "b-Write"]
+
+    def test_events_sorted_by_dynamic_id(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        ids = [event.dyn_id for event in rw.loop_events]
+        assert ids == sorted(ids)
+
+    def test_post_loop_read_of_sum(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        sum_key = example_preprocessing.find("sum").key
+        post = rw.post_events_for(sum_key)
+        assert post and post[0].kind is AccessKind.READ
+
+    def test_element_offsets_recorded_for_arrays(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        a_key = example_preprocessing.find("a").key
+        offsets = {event.element_offset for event in rw.events_for(a_key)}
+        assert len(offsets) == 10  # a[0] .. a[9] all touched over the run
+
+    def test_sequence_string_format(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        text = rw.sequence_string(limit=3)
+        assert text.startswith("1: s-Write; 2: s-Read; 3: r-Read")
+
+
+class TestClassification:
+    def test_example_classification(self, example_report):
+        got = {v.name: v.dependency for v in example_report.critical_variables}
+        assert got == {
+            "r": DependencyType.WAR,
+            "a": DependencyType.RAPO,
+            "sum": DependencyType.OUTCOME,
+            "it": DependencyType.INDEX,
+        }
+
+    def test_read_only_and_write_first_variables_not_critical(self, example_report):
+        assert example_report.find("s") is None
+        assert example_report.find("b") is None
+
+    def test_induction_excluded_from_war(self, example_report):
+        it = example_report.find("it")
+        assert it.dependency is DependencyType.INDEX
+
+    def test_classification_without_induction(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        critical = classify_variables(example_preprocessing, rw, induction=None)
+        names = {v.name for v in critical}
+        assert "it" not in names
+        assert {"r", "a", "sum"} <= names
+
+    def test_induction_info_used_for_size(self, example_preprocessing):
+        rw = extract_rw_dependencies(example_preprocessing)
+        info = VariableInfo(name="it", base_address=0x42, size_bytes=4,
+                            element_bits=32, is_array=False, is_global=False)
+        critical = classify_variables(example_preprocessing, rw,
+                                      induction="it", induction_info=info)
+        index_var = [v for v in critical if v.dependency is DependencyType.INDEX][0]
+        assert index_var.size_bytes == 4
+        assert index_var.base_address == 0x42
+
+    def test_critical_variable_sizes_positive(self, example_report):
+        for variable in example_report.critical_variables:
+            assert variable.size_bytes > 0
+
+    def test_checkpoint_bytes_is_sum_of_sizes(self, example_report):
+        assert example_report.checkpoint_bytes() == sum(
+            v.size_bytes for v in example_report.critical_variables)

@@ -1,0 +1,102 @@
+"""Unit tests for the address-interval variable map."""
+
+import pytest
+
+from repro.core.varmap import VariableInfo, VariableMap, build_variable_map
+from repro.trace.records import GlobalSymbol
+
+
+def info(name, base, size=32, elem_bits=64, is_array=True, is_global=False,
+         function="main"):
+    return VariableInfo(name=name, base_address=base, size_bytes=size,
+                        element_bits=elem_bits, is_array=is_array,
+                        is_global=is_global, function=function)
+
+
+class TestVariableInfo:
+    def test_extent_properties(self):
+        v = info("u", 0x1000, size=80, elem_bits=64)
+        assert v.end_address == 0x1050
+        assert v.element_bytes == 8
+        assert v.element_count == 10
+
+    def test_contains_and_offset(self):
+        v = info("u", 0x1000, size=80, elem_bits=64)
+        assert v.contains(0x1000)
+        assert v.contains(0x1048)
+        assert not v.contains(0x1050)
+        assert v.element_offset(0x1010) == 2
+
+    def test_key_is_unique_per_allocation(self):
+        a = info("x", 0x1000)
+        b = info("x", 0x2000)
+        assert a.key != b.key
+
+
+class TestVariableMap:
+    def test_resolve_exact_and_interior_addresses(self):
+        varmap = VariableMap()
+        v = varmap.add(info("u", 0x1000, size=80, elem_bits=64))
+        assert varmap.resolve(0x1000) is v
+        assert varmap.resolve(0x1000 + 3 * 8) is v
+        assert varmap.resolve(0x2000) is None
+        assert varmap.resolve(None) is None
+
+    def test_latest_registration_shadows_older(self):
+        varmap = VariableMap()
+        varmap.add(info("old", 0x1000, size=32))
+        newer = varmap.add(info("new", 0x1000, size=32))
+        assert varmap.resolve(0x1000) is newer
+
+    def test_by_name_and_latest(self):
+        varmap = VariableMap()
+        first = varmap.add(info("i", 0x1000, size=4, elem_bits=32, is_array=False))
+        second = varmap.add(info("i", 0x2000, size=4, elem_bits=32, is_array=False))
+        assert varmap.by_name("i") == [first, second]
+        assert varmap.latest_by_name("i") is second
+        assert varmap.latest_by_name("missing") is None
+
+    def test_globals_listing_and_iteration(self):
+        varmap = VariableMap()
+        varmap.add_global_symbol(GlobalSymbol("g", 0x100, 8, 64, False))
+        varmap.add(info("local", 0x9000))
+        assert [v.name for v in varmap.globals()] == ["g"]
+        assert len(varmap) == 2
+        assert {v.name for v in varmap} == {"g", "local"}
+
+
+class TestBuildFromTrace:
+    def test_globals_and_main_allocas_indexed(self, example_trace):
+        varmap = build_variable_map(example_trace.globals, example_trace.records,
+                                    function="main")
+        # the example has no globals but main allocates a, b, sum, s, r, i, it, m
+        names = {v.name for v in varmap}
+        assert {"a", "b", "sum", "s", "r", "it"} <= names
+        a_info = varmap.latest_by_name("a")
+        assert a_info.is_array and a_info.size_bytes == 40  # int a[10]
+
+    def test_function_filter_excludes_callee_locals(self, example_trace):
+        only_main = build_variable_map(example_trace.globals, example_trace.records,
+                                       function="main")
+        everything = build_variable_map(example_trace.globals, example_trace.records,
+                                        function=None)
+        # foo's parameter allocas (p, q) and its loop variable i appear only
+        # in the unfiltered map.
+        assert only_main.latest_by_name("p") is None
+        assert everything.latest_by_name("p") is not None
+        assert len(everything) > len(only_main)
+
+    def test_alloca_record_sizes(self, example_trace):
+        varmap = build_variable_map(example_trace.globals, example_trace.records,
+                                    function="main")
+        sum_info = varmap.latest_by_name("sum")
+        assert sum_info.size_bytes == 4
+        assert not sum_info.is_array
+
+    def test_resolve_element_address_of_array(self, example_trace):
+        varmap = build_variable_map(example_trace.globals, example_trace.records,
+                                    function="main")
+        a_info = varmap.latest_by_name("a")
+        third_element = a_info.base_address + 2 * a_info.element_bytes
+        assert varmap.resolve(third_element) is a_info
+        assert a_info.element_offset(third_element) == 2

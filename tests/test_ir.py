@@ -1,0 +1,185 @@
+"""Unit tests for the IR layer: types, values, opcodes, builder, printer."""
+
+import pytest
+
+from repro.ir import (
+    ARITHMETIC_OPCODES,
+    ArrayType,
+    Constant,
+    F64,
+    GlobalVariable,
+    I32,
+    IRBuilder,
+    IntType,
+    Module,
+    Function,
+    Opcode,
+    PointerType,
+    VOID,
+    print_function,
+    print_module,
+)
+from repro.ir.instructions import binary_opcode
+from repro.ir.opcodes import FORWARDING_OPCODES, MEMORY_OPCODES
+from repro.ir.types import scalar_size_bits
+from repro.ir.values import Argument, Register
+
+
+class TestTypes:
+    def test_int_size(self):
+        assert I32.size_in_bits() == 32
+        assert I32.size_in_bytes() == 4
+
+    def test_double_size(self):
+        assert F64.size_in_bits() == 64
+
+    def test_pointer_size_is_64(self):
+        assert PointerType(F64).size_in_bits() == 64
+
+    def test_array_type_count_and_size(self):
+        arr = ArrayType(element=F64, dims=(4, 5))
+        assert arr.count == 20
+        assert arr.size_in_bytes() == 160
+
+    def test_scalar_size_of_array_is_element_size(self):
+        arr = ArrayType(element=I32, dims=(8,))
+        assert scalar_size_bits(arr) == 32
+
+    def test_void_has_zero_size(self):
+        assert VOID.size_in_bits() == 0
+
+    def test_type_predicates(self):
+        assert I32.is_int and not I32.is_float
+        assert F64.is_float
+        assert PointerType(I32).is_pointer
+
+    def test_str_representations(self):
+        assert str(I32) == "i32"
+        assert str(F64) == "double"
+        assert "x" in str(ArrayType(element=I32, dims=(2, 3)))
+
+
+class TestOpcodes:
+    def test_paper_opcode_numbers(self):
+        # The numbers the paper's figures rely on (LLVM 3.4 numbering).
+        assert int(Opcode.LOAD) == 27
+        assert int(Opcode.ALLOCA) == 26
+        assert int(Opcode.STORE) == 28
+        assert int(Opcode.GETELEMENTPTR) == 29
+        assert int(Opcode.CALL) == 49
+
+    def test_mnemonics(self):
+        assert Opcode.LOAD.mnemonic == "Load"
+        assert Opcode.FMUL.mnemonic == "FMul"
+
+    def test_arithmetic_set_matches_paper_table1(self):
+        for name in ("ADD", "FADD", "SUB", "FSUB", "MUL", "FMUL",
+                     "UDIV", "SDIV", "FDIV"):
+            assert Opcode[name] in ARITHMETIC_OPCODES
+
+    def test_memory_and_forwarding_sets_disjoint_from_arithmetic(self):
+        assert not (MEMORY_OPCODES & ARITHMETIC_OPCODES)
+        assert not (FORWARDING_OPCODES & ARITHMETIC_OPCODES)
+
+    def test_binary_opcode_mapping(self):
+        assert binary_opcode("+", is_float=False) is Opcode.ADD
+        assert binary_opcode("+", is_float=True) is Opcode.FADD
+        assert binary_opcode("/", is_float=True) is Opcode.FDIV
+        with pytest.raises(ValueError):
+            binary_opcode("**", is_float=False)
+
+
+class TestValues:
+    def test_constant_display(self):
+        assert Constant(type=I32, value=7).display_name() == "7"
+
+    def test_register_is_register(self):
+        reg = Register(type=I32, rid=5)
+        assert reg.is_register
+        assert reg.display_name() == "5"
+
+    def test_global_variable_size(self):
+        gvar = GlobalVariable(type=PointerType(ArrayType(element=F64, dims=(10,))),
+                              name="u",
+                              value_type=ArrayType(element=F64, dims=(10,)))
+        assert gvar.size_in_bytes == 80
+        assert gvar.is_array
+
+    def test_argument_display(self):
+        arg = Argument(type=F64, name="alpha", index=0)
+        assert arg.display_name() == "alpha"
+
+
+def build_simple_function():
+    module = Module(name="m")
+    function = Function(name="main", return_type=I32)
+    module.add_function(function)
+    builder = IRBuilder(module, function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    slot = builder.alloca(I32, "x", line=1)
+    builder.store(builder.const_int(41), slot, line=2)
+    loaded = builder.load(slot, I32, line=3)
+    total = builder.binary(Opcode.ADD, loaded, builder.const_int(1), I32, line=3)
+    builder.ret(total, line=4)
+    return module, function, builder
+
+
+class TestBuilderAndModule:
+    def test_register_numbering_is_sequential(self):
+        _, function, _ = build_simple_function()
+        rids = [inst.result.rid for inst in function.instructions()
+                if inst.result is not None]
+        assert rids == sorted(rids)
+        assert len(set(rids)) == len(rids)
+
+    def test_block_terminated_after_ret(self):
+        _, function, builder = build_simple_function()
+        assert function.entry.is_terminated
+        assert builder.current_block_terminated
+
+    def test_instructions_after_terminator_are_dropped(self):
+        module, function, builder = build_simple_function()
+        before = len(function.entry.instructions)
+        builder.store(builder.const_int(0), function.entry.instructions[0].result)
+        assert len(function.entry.instructions) == before
+
+    def test_module_bookkeeping(self):
+        module, function, _ = build_simple_function()
+        assert module.function("main") is function
+        assert module.instruction_count() == len(function.entry.instructions)
+        with pytest.raises(ValueError):
+            module.add_function(Function(name="main"))
+
+    def test_block_successors_from_branch(self):
+        module = Module(name="m")
+        function = module.add_function(Function(name="main", return_type=VOID))
+        builder = IRBuilder(module, function)
+        entry = builder.new_block("entry")
+        exit_block = builder.new_block("exit")
+        builder.set_block(entry)
+        builder.br(exit_block)
+        builder.set_block(exit_block)
+        builder.ret()
+        assert entry.successors() == [exit_block]
+        assert exit_block.successors() == []
+
+    def test_global_lookup(self):
+        module = Module(name="m")
+        gvar = GlobalVariable(type=PointerType(I32), name="n", value_type=I32)
+        module.add_global(gvar)
+        assert module.global_variable("n") is gvar
+        with pytest.raises(KeyError):
+            module.global_variable("missing")
+
+    def test_printer_contains_key_pieces(self):
+        module, _, _ = build_simple_function()
+        text = print_module(module)
+        assert "define i32 @main" in text
+        assert "alloca" in text
+        assert "; line" in text
+
+    def test_print_function_for_compiled_example(self, example_module):
+        text = print_function(example_module.function("foo"))
+        assert "getelementptr" in text
+        assert "br" in text

@@ -1,0 +1,132 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    Function,
+    GlobalVariable,
+    I32,
+    IRBuilder,
+    Module,
+    Opcode,
+    PointerType,
+    VOID,
+    VerificationError,
+    verify_module,
+)
+from repro.ir.instructions import CallInst, CmpInst, LoadInst, StoreInst
+from repro.ir.values import Register
+
+
+def make_module_with_main():
+    module = Module(name="m")
+    function = module.add_function(Function(name="main", return_type=I32))
+    builder = IRBuilder(module, function)
+    entry = builder.new_block("entry")
+    builder.set_block(entry)
+    return module, function, builder
+
+
+class TestVerifier:
+    def test_valid_module_passes(self, example_module):
+        verify_module(example_module)
+
+    def test_empty_module_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_module(Module(name="m"))
+
+    def test_missing_main_rejected(self):
+        module = Module(name="m")
+        function = module.add_function(Function(name="helper", return_type=VOID))
+        builder = IRBuilder(module, function)
+        builder.set_block(builder.new_block())
+        builder.ret()
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_missing_terminator_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.alloca(I32, "x")
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(module)
+
+    def test_empty_block_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.ret(builder.const_int(0))
+        function.add_block("dangling")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_module(module)
+
+    def test_use_of_undefined_register_rejected(self):
+        module, function, builder = make_module_with_main()
+        ghost = Register(type=I32, rid=999)
+        builder.binary(Opcode.ADD, ghost, builder.const_int(1), I32)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="undefined register"):
+            verify_module(module)
+
+    def test_duplicate_register_definition_rejected(self):
+        module, function, builder = make_module_with_main()
+        slot = builder.alloca(I32, "x")
+        dup = LoadInst(opcode=Opcode.LOAD, operands=[slot],
+                       result=Register(type=I32, rid=slot.rid))
+        function.entry.append(dup)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="defined twice"):
+            verify_module(module)
+
+    def test_store_through_non_pointer_rejected(self):
+        module, function, builder = make_module_with_main()
+        value = builder.binary(Opcode.ADD, builder.const_int(1),
+                               builder.const_int(2), I32)
+        bad = StoreInst(opcode=Opcode.STORE,
+                        operands=[builder.const_int(0), value], result=None)
+        function.entry.append(bad)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="pointer"):
+            verify_module(module)
+
+    def test_call_to_unknown_function_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.call("nonexistent", [], VOID, is_builtin=False)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="undefined function"):
+            verify_module(module)
+
+    def test_unknown_builtin_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.call("made_up_builtin", [], F64, is_builtin=True)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="builtin"):
+            verify_module(module)
+
+    def test_branch_to_foreign_block_rejected(self):
+        module, function, builder = make_module_with_main()
+        other_module, other_function, other_builder = make_module_with_main()
+        foreign = other_builder.new_block()
+        builder.br(foreign)
+        with pytest.raises(VerificationError, match="branch target"):
+            verify_module(module)
+
+    def test_duplicate_global_names_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.ret(builder.const_int(0))
+        module.add_global(GlobalVariable(type=PointerType(I32), name="g",
+                                         value_type=I32))
+        module.add_global(GlobalVariable(type=PointerType(I32), name="g",
+                                         value_type=I32))
+        with pytest.raises(VerificationError, match="duplicate global"):
+            verify_module(module)
+
+    def test_alloca_without_name_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.alloca(I32, "")
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="alloca"):
+            verify_module(module)
+
+    def test_cmp_predicate_validation(self):
+        with pytest.raises(ValueError):
+            CmpInst(opcode=Opcode.ICMP, operands=[], result=None,
+                    predicate="bogus")

@@ -1,0 +1,167 @@
+"""Unit tests for the mini-C lexer."""
+
+import pytest
+
+from repro.minicc.errors import LexError
+from repro.minicc.lexer import Lexer, find_token, token_kinds, tokenize
+from repro.minicc.tokens import Token, TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_whitespace_only(self):
+        tokens = tokenize("   \n\t  \n")
+        assert [t.kind for t in tokens] == [TokenKind.EOF]
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.kind is TokenKind.INT_LIT
+        assert token.value == 42
+
+    def test_float_literal(self):
+        token = tokenize("3.25")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == pytest.approx(3.25)
+
+    def test_float_with_exponent(self):
+        token = tokenize("1e3")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == pytest.approx(1000.0)
+
+    def test_float_with_negative_exponent(self):
+        token = tokenize("2.5e-2")[0]
+        assert token.value == pytest.approx(0.025)
+
+    def test_leading_dot_float(self):
+        token = tokenize(".5")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == pytest.approx(0.5)
+
+    def test_identifier(self):
+        token = tokenize("rtrans_1")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "rtrans_1"
+
+    def test_identifier_with_leading_underscore(self):
+        token = tokenize("_tmp")[0]
+        assert token.kind is TokenKind.IDENT
+
+    def test_string_literal(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind is TokenKind.STRING_LIT
+        assert token.value == "hello world"
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\nb\tc"')[0]
+        assert token.value == "a\nb\tc"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+
+class TestKeywordsAndOperators:
+    @pytest.mark.parametrize("text,kind", [
+        ("int", TokenKind.KW_INT),
+        ("double", TokenKind.KW_DOUBLE),
+        ("void", TokenKind.KW_VOID),
+        ("for", TokenKind.KW_FOR),
+        ("while", TokenKind.KW_WHILE),
+        ("if", TokenKind.KW_IF),
+        ("else", TokenKind.KW_ELSE),
+        ("return", TokenKind.KW_RETURN),
+        ("break", TokenKind.KW_BREAK),
+        ("continue", TokenKind.KW_CONTINUE),
+        ("print", TokenKind.KW_PRINT),
+    ])
+    def test_keyword(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("formula")[0].kind is TokenKind.IDENT
+
+    @pytest.mark.parametrize("text,kind", [
+        ("==", TokenKind.EQ), ("!=", TokenKind.NE), ("<=", TokenKind.LE),
+        (">=", TokenKind.GE), ("&&", TokenKind.AND_AND), ("||", TokenKind.OR_OR),
+        ("++", TokenKind.PLUS_PLUS), ("--", TokenKind.MINUS_MINUS),
+        ("+=", TokenKind.PLUS_ASSIGN), ("-=", TokenKind.MINUS_ASSIGN),
+        ("*=", TokenKind.STAR_ASSIGN), ("/=", TokenKind.SLASH_ASSIGN),
+    ])
+    def test_two_char_operator(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    @pytest.mark.parametrize("text,kind", [
+        ("+", TokenKind.PLUS), ("-", TokenKind.MINUS), ("*", TokenKind.STAR),
+        ("/", TokenKind.SLASH), ("%", TokenKind.PERCENT), ("<", TokenKind.LT),
+        (">", TokenKind.GT), ("=", TokenKind.ASSIGN), ("!", TokenKind.NOT),
+        (";", TokenKind.SEMICOLON), (",", TokenKind.COMMA),
+        ("(", TokenKind.LPAREN), (")", TokenKind.RPAREN),
+        ("{", TokenKind.LBRACE), ("}", TokenKind.RBRACE),
+        ("[", TokenKind.LBRACKET), ("]", TokenKind.RBRACKET),
+    ])
+    def test_one_char_operator(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    def test_operator_sequence_without_spaces(self):
+        assert kinds("a+=b*2;") == [
+            TokenKind.IDENT, TokenKind.PLUS_ASSIGN, TokenKind.IDENT,
+            TokenKind.STAR, TokenKind.INT_LIT, TokenKind.SEMICOLON]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a = 3 @ 4;")
+        assert "@" in str(err.value)
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment here\n b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* ignore\n me */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_line_numbers(self):
+        tokens = tokenize("int a;\nint b;\n\nint c;")
+        lines = [t.line for t in tokens if t.kind is TokenKind.IDENT]
+        assert lines == [1, 2, 4]
+
+    def test_column_numbers(self):
+        tokens = tokenize("  x = 1;")
+        x_token = find_token(tokens, "x")
+        assert x_token is not None
+        assert x_token.column == 3
+
+    def test_lines_tracked_through_comments(self):
+        tokens = tokenize("/* one\n two\n three */ x")
+        x_token = find_token(tokens, "x")
+        assert x_token.line == 3
+
+    def test_division_not_confused_with_comment(self):
+        assert kinds("a / b") == [TokenKind.IDENT, TokenKind.SLASH, TokenKind.IDENT]
+
+
+class TestHelpers:
+    def test_token_kinds_helper(self):
+        tokens = tokenize("int x;")
+        assert token_kinds(tokens)[:3] == [
+            TokenKind.KW_INT, TokenKind.IDENT, TokenKind.SEMICOLON]
+
+    def test_find_token_missing(self):
+        assert find_token(tokenize("a b"), "zzz") is None
+
+    def test_full_program_tokenizes(self, example_source):
+        tokens = tokenize(example_source)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert len(tokens) > 100

@@ -1,0 +1,225 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import ParseError
+from repro.minicc.parser import parse_program
+
+
+def parse_main_body(body: str) -> ast.FuncDef:
+    program = parse_program("int main() {\n" + body + "\nreturn 0;\n}")
+    return program.function("main")
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_main_body(body).body.statements[0]
+
+
+class TestTopLevel:
+    def test_global_scalar(self):
+        program = parse_program("int counter;\nint main() { return 0; }")
+        assert program.global_names() == ["counter"]
+        assert isinstance(program.globals[0].ctype, ast.IntType)
+
+    def test_global_with_initializer(self):
+        program = parse_program("double pi = 3.14;\nint main() { return 0; }")
+        assert isinstance(program.globals[0].init, ast.FloatLiteral)
+
+    def test_global_array(self):
+        program = parse_program("double u[4][5];\nint main() { return 0; }")
+        ctype = program.globals[0].ctype
+        assert isinstance(ctype, ast.ArrayType)
+        assert ctype.dims == (4, 5)
+
+    def test_multiple_declarators(self):
+        program = parse_program("int a, b, c;\nint main() { return 0; }")
+        assert program.global_names() == ["a", "b", "c"]
+
+    def test_function_with_params(self):
+        program = parse_program(
+            "void foo(int *p, double x, double u[4][4]) {}\n"
+            "int main() { return 0; }")
+        foo = program.function("foo")
+        assert [p.name for p in foo.params] == ["p", "x", "u"]
+        assert isinstance(foo.params[0].ctype, ast.PointerType)
+        assert isinstance(foo.params[1].ctype, ast.DoubleType)
+        assert isinstance(foo.params[2].ctype, ast.PointerType)
+        assert foo.params[2].ctype.dims == (4, 4)
+
+    def test_missing_main_is_parse_ok(self):
+        # The parser itself does not require main; sema does.
+        program = parse_program("void foo() {}")
+        assert "foo" in [f.name for f in program.functions]
+
+    def test_unknown_top_level_token(self):
+        with pytest.raises(ParseError):
+            parse_program("banana main() {}")
+
+    def test_function_lookup_keyerror(self):
+        program = parse_program("int main() { return 0; }")
+        with pytest.raises(KeyError):
+            program.function("nope")
+
+
+class TestStatements:
+    def test_declaration_statement(self):
+        stmt = first_stmt("int x = 3;")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert stmt.decls[0].name == "x"
+        assert isinstance(stmt.decls[0].init, ast.IntLiteral)
+
+    def test_array_declaration(self):
+        stmt = first_stmt("double buf[7];")
+        assert isinstance(stmt.decls[0].ctype, ast.ArrayType)
+        assert stmt.decls[0].ctype.dims == (7,)
+
+    def test_for_loop_structure(self):
+        stmt = first_stmt("for (int i = 0; i < 10; ++i) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert isinstance(stmt.cond, ast.BinaryOp)
+        assert isinstance(stmt.step, ast.IncDec)
+        assert stmt.step.is_prefix
+
+    def test_for_loop_with_expression_init(self):
+        stmt = first_stmt("int i; for (i = 0; i < 4; i = i + 1) { }")
+        for_stmt = parse_main_body("int i; for (i = 0; i < 4; i = i + 1) { }").body.statements[1]
+        assert isinstance(for_stmt, ast.For)
+        assert isinstance(for_stmt.init, ast.ExprStmt)
+
+    def test_for_loop_empty_clauses(self):
+        stmt = first_stmt("for (;;) { break; }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_loop(self):
+        stmt = first_stmt("while (1) { break; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_if_else(self):
+        stmt = first_stmt("if (1) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body is not None
+
+    def test_if_without_else(self):
+        stmt = first_stmt("if (1) { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body is None
+
+    def test_break_continue(self):
+        body = parse_main_body("while (1) { break; continue; }").body
+        loop = body.statements[0]
+        inner = loop.body.statements
+        assert isinstance(inner[0], ast.Break)
+        assert isinstance(inner[1], ast.Continue)
+
+    def test_print_statement(self):
+        stmt = first_stmt('print("value", 42);')
+        assert isinstance(stmt, ast.Print)
+        assert isinstance(stmt.args[0], ast.StringLiteral)
+        assert isinstance(stmt.args[1], ast.IntLiteral)
+
+    def test_return_void(self):
+        program = parse_program("void f() { return; }\nint main() { return 0; }")
+        ret = program.function("f").body.statements[0]
+        assert isinstance(ret, ast.Return)
+        assert ret.value is None
+
+    def test_nested_blocks(self):
+        stmt = first_stmt("{ int x; { int y; } }")
+        assert isinstance(stmt, ast.Block)
+        assert isinstance(stmt.statements[1], ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main_body("int x = 3")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        stmt = first_stmt("int x = 1 + 2 * 3;")
+        init = stmt.decls[0].init
+        assert isinstance(init, ast.BinaryOp)
+        assert init.op == "+"
+        assert isinstance(init.right, ast.BinaryOp)
+        assert init.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        stmt = first_stmt("int x = (1 + 2) * 3;")
+        init = stmt.decls[0].init
+        assert init.op == "*"
+        assert init.left.op == "+"
+
+    def test_comparison_and_logic(self):
+        stmt = first_stmt("int x = a < 3 && b >= 2 || !c;")
+        init = stmt.decls[0].init
+        assert init.op == "||"
+        assert init.left.op == "&&"
+        assert isinstance(init.right, ast.UnaryOp)
+
+    def test_assignment_right_associative(self):
+        stmt = first_stmt("a = b = 3;")
+        expr = stmt.expr
+        assert isinstance(expr, ast.Assignment)
+        assert isinstance(expr.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        stmt = first_stmt("total += 4;")
+        assert isinstance(stmt.expr, ast.Assignment)
+        assert stmt.expr.op == "+="
+
+    def test_array_index_multi_dim(self):
+        stmt = first_stmt("u[1][2] = 3.0;")
+        target = stmt.expr.target
+        assert isinstance(target, ast.ArrayIndex)
+        assert target.base.name == "u"
+        assert len(target.indices) == 2
+
+    def test_call_expression(self):
+        stmt = first_stmt("double y = pow(2.0, 8.0);")
+        init = stmt.decls[0].init
+        assert isinstance(init, ast.Call)
+        assert init.callee == "pow"
+        assert len(init.args) == 2
+
+    def test_call_no_args(self):
+        stmt = first_stmt("double t = clock();")
+        assert isinstance(stmt.decls[0].init, ast.Call)
+
+    def test_postfix_increment(self):
+        stmt = first_stmt("r++;")
+        assert isinstance(stmt.expr, ast.IncDec)
+        assert not stmt.expr.is_prefix
+
+    def test_unary_minus(self):
+        stmt = first_stmt("int x = -5;")
+        assert isinstance(stmt.decls[0].init, ast.UnaryOp)
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main_body("3 = x;")
+
+    def test_incdec_on_call_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main_body("++foo();")
+
+    def test_array_base_must_be_identifier(self):
+        with pytest.raises(ParseError):
+            parse_main_body("(a + b)[0] = 1;")
+
+    def test_line_information_on_nodes(self):
+        program = parse_program("int main() {\n  int x = 1;\n  x = 2;\n  return 0;\n}")
+        statements = program.function("main").body.statements
+        assert statements[0].line == 2
+        assert statements[1].line == 3
+
+    def test_example_program_parses(self, example_source):
+        program = parse_program(example_source)
+        assert {f.name for f in program.functions} == {"foo", "main"}
+
+    def test_walk_visits_nested_nodes(self):
+        program = parse_program("int main() { int x = 1 + 2; return x; }")
+        kinds = {type(node).__name__ for node in ast.walk(program)}
+        assert "BinaryOp" in kinds
+        assert "Return" in kinds

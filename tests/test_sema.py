@@ -1,0 +1,172 @@
+"""Unit tests for mini-C semantic analysis."""
+
+import pytest
+
+from repro.minicc import ast_nodes as ast
+from repro.minicc.errors import SemanticError
+from repro.minicc.parser import parse_program
+from repro.minicc.sema import BUILTIN_FUNCTIONS, analyze
+
+
+def analyze_source(source: str):
+    program = parse_program(source)
+    return program, analyze(program)
+
+
+def analyze_main(body: str):
+    return analyze_source("int main() {\n" + body + "\nreturn 0;\n}")
+
+
+class TestProgramStructure:
+    def test_missing_main_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source("void foo() {}")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source("void f() {}\nvoid f() {}\nint main() { return 0; }")
+
+    def test_builtin_redefinition_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source("double sqrt(double x) { return x; }\n"
+                           "int main() { return 0; }")
+
+    def test_function_signatures_recorded(self):
+        _, info = analyze_source(
+            "double scale(double v, int k) { return v * k; }\n"
+            "int main() { double r = scale(2.0, 3); return 0; }")
+        signature = info.functions["scale"]
+        assert isinstance(signature.return_type, ast.DoubleType)
+        assert len(signature.param_types) == 2
+
+    def test_global_types_recorded(self):
+        _, info = analyze_source("double u[8];\nint n;\nint main() { return 0; }")
+        assert isinstance(info.global_types["u"], ast.ArrayType)
+        assert isinstance(info.global_types["n"], ast.IntType)
+
+    def test_forward_reference_allowed(self):
+        analyze_source("int main() { helper(); return 0; }\nvoid helper() {}")
+
+
+class TestDeclarationsAndScopes:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError):
+            analyze_main("x = 3;")
+
+    def test_redeclaration_in_same_scope(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int x; int x;")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        analyze_main("int x; { int x; x = 1; }")
+
+    def test_for_loop_variable_scoped_to_loop(self):
+        with pytest.raises(SemanticError):
+            analyze_main("for (int i = 0; i < 3; ++i) { } i = 5;")
+
+    def test_global_visible_in_function(self):
+        analyze_source("int total;\nint main() { total = 3; return 0; }")
+
+    def test_array_local_with_initializer_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int a[3] = 5;")
+
+    def test_global_array_with_initializer_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source("int a[3] = 5;\nint main() { return 0; }")
+
+    def test_global_requires_constant_initializer(self):
+        with pytest.raises(SemanticError):
+            analyze_source("int a = b;\nint main() { return 0; }")
+
+    def test_negative_constant_global(self):
+        analyze_source("double offset = -2.5;\nint main() { return 0; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(Exception):
+            analyze_source("void x;\nint main() { return 0; }")
+
+
+class TestTypesAndExpressions:
+    def test_expression_types_annotated(self):
+        program, _ = analyze_main("int a = 2; double b = 1.5; double c = a + b;")
+        main = program.function("main")
+        decl_c = main.body.statements[2].decls[0]
+        assert isinstance(decl_c.init.ctype, ast.DoubleType)
+
+    def test_int_only_modulo(self):
+        with pytest.raises(SemanticError):
+            analyze_main("double x = 3.0; int y = 4 % x;")
+
+    def test_comparison_yields_int(self):
+        program, _ = analyze_main("double a = 1.0; int c = a < 2.0;")
+        decl = program.function("main").body.statements[1].decls[0]
+        assert isinstance(decl.init.ctype, ast.IntType)
+
+    def test_array_subscript_count_checked(self):
+        with pytest.raises(SemanticError):
+            analyze_main("double u[4][4]; u[1] = 3.0;")
+
+    def test_indexing_non_array_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int x; x[0] = 1;")
+
+    def test_assigning_whole_array_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("int a[3]; int b[3]; a = b;")
+
+    def test_pointer_param_indexing(self):
+        analyze_source(
+            "void fill(double *v, int n) { for (int i = 0; i < n; ++i) { v[i] = 0.0; } }\n"
+            "int main() { double buf[5]; fill(buf, 5); return 0; }")
+
+    def test_multidim_pointer_param_indexing(self):
+        analyze_source(
+            "void touch(double u[4][4]) { u[1][2] = 3.0; }\n"
+            "int main() { double grid[4][4]; touch(grid); return 0; }")
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_main("break;")
+
+    def test_continue_inside_loop_ok(self):
+        analyze_main("for (int i = 0; i < 3; ++i) { continue; }")
+
+
+class TestCallsAndReturns:
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            analyze_main("mystery(3);")
+
+    def test_wrong_arity_user_function(self):
+        with pytest.raises(SemanticError):
+            analyze_source("void f(int a) {}\nint main() { f(); return 0; }")
+
+    def test_wrong_arity_builtin(self):
+        with pytest.raises(SemanticError):
+            analyze_main("double x = pow(2.0);")
+
+    def test_pointer_argument_must_be_array(self):
+        with pytest.raises(SemanticError):
+            analyze_source("void f(int *p) {}\nint main() { f(3); return 0; }")
+
+    def test_void_function_cannot_return_value(self):
+        with pytest.raises(SemanticError):
+            analyze_source("void f() { return 3; }\nint main() { return 0; }")
+
+    def test_value_function_must_return_value(self):
+        with pytest.raises(SemanticError):
+            analyze_source("int f() { return; }\nint main() { return 0; }")
+
+    def test_builtin_table_well_formed(self):
+        for name, (params, ret) in BUILTIN_FUNCTIONS.items():
+            assert isinstance(name, str)
+            assert ret.is_numeric()
+            if params is not None:
+                for param in params:
+                    assert param.is_numeric()
+
+    def test_example_program_analyzes(self, example_source):
+        program = parse_program(example_source)
+        info = analyze(program)
+        assert set(info.functions) == {"foo", "main"}

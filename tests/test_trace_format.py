@@ -1,0 +1,165 @@
+"""Unit tests for trace records and the text trace format."""
+
+import os
+
+import pytest
+
+from repro.ir.opcodes import Opcode
+from repro.trace import (
+    GlobalSymbol,
+    Trace,
+    TraceOperand,
+    TraceRecord,
+    parse_record_lines,
+    read_trace_file,
+    record_to_lines,
+    write_trace_file,
+)
+from repro.trace.textio import TraceFormatError, TraceTextWriter, read_preamble
+
+
+def make_record(dyn_id=1, opcode=Opcode.LOAD, function="main", line=5,
+                name="x", address=0x1000, value=3.5):
+    return TraceRecord(
+        dyn_id=dyn_id,
+        opcode=int(opcode),
+        opcode_name=opcode.mnemonic,
+        function=function,
+        line=line,
+        column=2,
+        bb_label=1,
+        bb_id="5:1",
+        operands=[TraceOperand(index="1", bits=64, value=value,
+                               is_register=False, name=name, address=address)],
+        result=TraceOperand(index="r", bits=64, value=value, is_register=True,
+                            name="8", address=None),
+    )
+
+
+class TestRecordPredicates:
+    def test_load_predicates(self):
+        record = make_record(opcode=Opcode.LOAD)
+        assert record.is_load and not record.is_store
+        assert record.memory_operand().name == "x"
+
+    def test_store_memory_operand_is_second(self):
+        record = TraceRecord(dyn_id=2, opcode=int(Opcode.STORE), opcode_name="Store",
+                             function="main", line=6, column=1, bb_label=0,
+                             bb_id="6:0",
+                             operands=[
+                                 TraceOperand("1", 64, 1.0, True, "9", None),
+                                 TraceOperand("2", 64, 1.0, False, "y", 0x2000),
+                             ])
+        assert record.is_store
+        assert record.memory_operand().name == "y"
+
+    def test_alloca_memory_operand_is_result(self):
+        record = TraceRecord(dyn_id=3, opcode=int(Opcode.ALLOCA), opcode_name="Alloca",
+                             function="foo", line=2, column=1, bb_label=0,
+                             bb_id="2:0",
+                             operands=[TraceOperand("1", 32, 4, False, "count", None)],
+                             result=TraceOperand("r", 32, 0, False, "buf", 0x3000))
+        assert record.is_alloca
+        assert record.memory_operand().name == "buf"
+
+    def test_arithmetic_predicate(self):
+        record = make_record(opcode=Opcode.FMUL)
+        assert record.is_arithmetic
+
+    def test_call_parameter_split(self):
+        record = TraceRecord(dyn_id=4, opcode=int(Opcode.CALL), opcode_name="Call",
+                             function="main", line=9, column=1, bb_label=0,
+                             bb_id="9:0", callee="foo",
+                             operands=[
+                                 TraceOperand("1", 64, 0x10, True, "6", 0x10),
+                                 TraceOperand("p1", 64, 0x10, False, "p", 0x10),
+                             ])
+        assert [op.name for op in record.argument_operands()] == ["6"]
+        assert [op.name for op in record.parameter_operands()] == ["p"]
+
+    def test_trace_container_helpers(self):
+        trace = Trace(module_name="m")
+        trace.append(make_record(dyn_id=1, function="main"))
+        trace.extend([make_record(dyn_id=2, function="foo")])
+        assert len(trace) == 2
+        assert trace.functions() == ["main", "foo"]
+        assert len(trace.records_in_function("foo")) == 1
+        assert [r.dyn_id for r in trace.slice(2, 2)] == [2]
+
+    def test_global_symbol_contains(self):
+        symbol = GlobalSymbol(name="u", address=0x100, size_bytes=80,
+                              element_bits=64, is_array=True)
+        assert symbol.contains(0x100)
+        assert symbol.contains(0x14F)
+        assert not symbol.contains(0x150)
+
+
+class TestTextRoundTrip:
+    def test_record_to_lines_structure(self):
+        lines = record_to_lines(make_record())
+        assert lines[0].startswith("0,")
+        assert lines[1].startswith("op,")
+        assert lines[2].startswith("res,")
+
+    def test_parse_record_lines_roundtrip(self):
+        record = make_record(value=2.5)
+        parsed = parse_record_lines(record_to_lines(record))
+        assert len(parsed) == 1
+        out = parsed[0]
+        assert out.dyn_id == record.dyn_id
+        assert out.opcode == record.opcode
+        assert out.function == record.function
+        assert out.operands[0].name == "x"
+        assert out.operands[0].address == 0x1000
+        assert out.operands[0].value == 2.5
+        assert out.result.is_register
+
+    def test_parse_rejects_orphan_operand(self):
+        with pytest.raises(TraceFormatError):
+            parse_record_lines(["op,1,64,0,x,1,0x10"])
+
+    def test_parse_rejects_unknown_tag(self):
+        with pytest.raises(TraceFormatError):
+            parse_record_lines(["zz,what"])
+
+    def test_negative_and_int_values_roundtrip(self):
+        record = make_record(value=-7)
+        parsed = parse_record_lines(record_to_lines(record))[0]
+        assert parsed.operands[0].value == -7
+        assert isinstance(parsed.operands[0].value, int)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = Trace(module_name="demo",
+                      globals=[GlobalSymbol("g", 0x1000, 32, 64, True)],
+                      records=[make_record(dyn_id=i + 1) for i in range(5)])
+        path = str(tmp_path / "demo.trace")
+        size = write_trace_file(trace, path)
+        assert size == os.path.getsize(path)
+        loaded = read_trace_file(path)
+        assert loaded.module_name == "demo"
+        assert len(loaded.globals) == 1
+        assert loaded.globals[0].name == "g"
+        assert [r.dyn_id for r in loaded.records] == [1, 2, 3, 4, 5]
+
+    def test_streaming_writer_counts_records(self, tmp_path):
+        path = str(tmp_path / "stream.trace")
+        with TraceTextWriter(path, module_name="m") as writer:
+            writer.write_global(GlobalSymbol("g", 0x1000, 8, 64, False))
+            writer.write_record(make_record(dyn_id=1))
+            writer.write_record(make_record(dyn_id=2))
+            assert writer.record_count == 2
+        module_name, globals_ = read_preamble(path)
+        assert module_name == "m"
+        assert [g.name for g in globals_] == ["g"]
+
+    def test_real_trace_roundtrip(self, example_trace, tmp_path):
+        path = str(tmp_path / "example.trace")
+        write_trace_file(example_trace, path)
+        loaded = read_trace_file(path)
+        assert len(loaded.records) == len(example_trace.records)
+        for original, parsed in zip(example_trace.records[:200], loaded.records[:200]):
+            assert original.dyn_id == parsed.dyn_id
+            assert original.opcode == parsed.opcode
+            assert original.function == parsed.function
+            assert original.line == parsed.line
+            assert len(original.operands) == len(parsed.operands)

@@ -1,0 +1,96 @@
+"""Unit tests for the parallel, block-preserving trace-file partitioning."""
+
+import pytest
+
+from repro.trace import (
+    partition_offsets,
+    read_trace_file,
+    read_trace_file_parallel,
+    write_trace_file,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_file(example_trace, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "example.trace")
+    write_trace_file(example_trace, path)
+    return path
+
+
+class TestPartitioning:
+    def test_partitions_cover_whole_file(self, trace_file):
+        import os
+
+        partitions = partition_offsets(trace_file, 4)
+        assert partitions[0].start == 0
+        assert partitions[-1].end == os.path.getsize(trace_file)
+        for previous, current in zip(partitions, partitions[1:]):
+            assert previous.end == current.start
+
+    def test_partition_boundaries_fall_on_record_starts(self, trace_file):
+        partitions = partition_offsets(trace_file, 5)
+        with open(trace_file, "r", encoding="utf-8") as handle:
+            data = handle.read()
+        for part in partitions[1:]:
+            if part.start < len(data):
+                assert data[part.start:part.start + 2] == "0,", \
+                    "partition must start at an instruction block boundary"
+
+    def test_single_partition(self, trace_file):
+        partitions = partition_offsets(trace_file, 1)
+        assert len(partitions) == 1
+
+    def test_more_partitions_than_records_is_safe(self, tmp_path, example_trace):
+        from repro.trace.records import Trace
+
+        tiny = Trace(module_name="tiny", globals=list(example_trace.globals),
+                     records=example_trace.records[:3])
+        path = str(tmp_path / "tiny.trace")
+        write_trace_file(tiny, path)
+        partitions = partition_offsets(path, 16)
+        assert len(partitions) == 16
+        parallel = read_trace_file_parallel(path, num_workers=16)
+        assert len(parallel.records) == 3
+
+    def test_invalid_partition_count(self, trace_file):
+        with pytest.raises(ValueError):
+            partition_offsets(trace_file, 0)
+
+
+class TestParallelRead:
+    def test_parallel_equals_serial(self, trace_file):
+        serial = read_trace_file(trace_file)
+        parallel = read_trace_file_parallel(trace_file, num_workers=4)
+        assert len(serial.records) == len(parallel.records)
+        assert [r.dyn_id for r in serial.records] == \
+               [r.dyn_id for r in parallel.records]
+        assert [r.opcode for r in serial.records] == \
+               [r.opcode for r in parallel.records]
+        assert [g.name for g in serial.globals] == [g.name for g in parallel.globals]
+
+    def test_parallel_operand_fidelity(self, trace_file):
+        serial = read_trace_file(trace_file)
+        parallel = read_trace_file_parallel(trace_file, num_workers=3)
+        for s_record, p_record in zip(serial.records, parallel.records):
+            assert len(s_record.operands) == len(p_record.operands)
+            for s_op, p_op in zip(s_record.operands, p_record.operands):
+                assert s_op.name == p_op.name
+                assert s_op.address == p_op.address
+                assert s_op.value == p_op.value
+
+    def test_single_worker_path(self, trace_file):
+        single = read_trace_file_parallel(trace_file, num_workers=1)
+        serial = read_trace_file(trace_file)
+        assert len(single.records) == len(serial.records)
+
+    def test_analysis_identical_on_serial_and_parallel_read(self, trace_file,
+                                                            example_spec):
+        from repro.core import AutoCheck, AutoCheckConfig
+
+        serial_report = AutoCheck(AutoCheckConfig(main_loop=example_spec),
+                                  trace_path=trace_file).run()
+        parallel_report = AutoCheck(
+            AutoCheckConfig(main_loop=example_spec, parallel_preprocessing=True,
+                            preprocessing_workers=4),
+            trace_path=trace_file).run()
+        assert serial_report.dependency_string() == parallel_report.dependency_string()

@@ -1,0 +1,105 @@
+"""Unit tests for the runtime builtins and output formatting."""
+
+import math
+
+import pytest
+
+from repro.tracer.runtime import Runtime, RuntimeError_, format_print_output
+from repro.util.rng import DeterministicRNG
+
+
+class TestBuiltins:
+    def test_sqrt(self):
+        assert Runtime().call("sqrt", [9.0]) == pytest.approx(3.0)
+
+    def test_sqrt_negative_rejected(self):
+        with pytest.raises(RuntimeError_):
+            Runtime().call("sqrt", [-1.0])
+
+    def test_pow(self):
+        assert Runtime().call("pow", [2.0, 10.0]) == pytest.approx(1024.0)
+
+    def test_log_and_exp(self):
+        runtime = Runtime()
+        assert runtime.call("log", [math.e]) == pytest.approx(1.0)
+        assert runtime.call("exp", [0.0]) == pytest.approx(1.0)
+
+    def test_log_non_positive_rejected(self):
+        with pytest.raises(RuntimeError_):
+            Runtime().call("log", [0.0])
+
+    def test_trig(self):
+        runtime = Runtime()
+        assert runtime.call("sin", [0.0]) == pytest.approx(0.0)
+        assert runtime.call("cos", [0.0]) == pytest.approx(1.0)
+
+    def test_fabs_floor_fmin_fmax_abs(self):
+        runtime = Runtime()
+        assert runtime.call("fabs", [-2.5]) == 2.5
+        assert runtime.call("floor", [2.9]) == 2
+        assert runtime.call("fmin", [1.0, 2.0]) == 1.0
+        assert runtime.call("fmax", [1.0, 2.0]) == 2.0
+        assert runtime.call("abs", [-7]) == 7
+
+    def test_unknown_builtin(self):
+        with pytest.raises(RuntimeError_):
+            Runtime().call("frobnicate", [])
+
+    def test_known(self):
+        runtime = Runtime()
+        assert runtime.known("sqrt")
+        assert not runtime.known("nope")
+
+
+class TestDeterminism:
+    def test_rand_sequence_reproducible_across_instances(self):
+        a = Runtime(seed=42)
+        b = Runtime(seed=42)
+        seq_a = [a.call("rand", []) for _ in range(10)]
+        seq_b = [b.call("rand", []) for _ in range(10)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        a = Runtime(seed=1)
+        b = Runtime(seed=2)
+        assert [a.call("rand", []) for _ in range(5)] != \
+               [b.call("rand", []) for _ in range(5)]
+
+    def test_randf_in_unit_interval(self):
+        runtime = Runtime()
+        for _ in range(100):
+            value = runtime.call("randf", [])
+            assert 0.0 <= value < 1.0
+
+    def test_clock_monotonic(self):
+        runtime = Runtime()
+        values = [runtime.call("clock", []) for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_rng_fork_independent(self):
+        rng = DeterministicRNG(7)
+        fork = rng.fork(1)
+        assert rng.next_uint() != fork.next_uint()
+
+    def test_rng_bounds(self):
+        rng = DeterministicRNG(3)
+        for _ in range(50):
+            assert 0 <= rng.next_int(10) < 10
+        with pytest.raises(ValueError):
+            rng.next_int(0)
+
+
+class TestPrintFormatting:
+    def test_labels_interleaved(self):
+        assert format_print_output(["x", None], [1, 2.0]) == "x 1 2"
+
+    def test_trailing_label(self):
+        assert format_print_output([None, "done"], [5]) == "5 done"
+
+    def test_float_formatting_stable(self):
+        text = format_print_output([None], [1.0 / 3.0])
+        assert text == f"{1.0/3.0:.10g}"
+
+    def test_no_values(self):
+        assert format_print_output(["hello"], []) == "hello"
