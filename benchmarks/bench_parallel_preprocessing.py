@@ -1,43 +1,169 @@
-"""Benchmark: the parallel trace pre-processing optimization (paper Sec. V-A).
+"""Benchmark: the trace I/O and pre-processing matrix (paper Sec. V-A).
 
 The paper partitions the trace file into block-aligned sub-streams parsed by
-worker threads.  This benchmark measures serial vs. partitioned reading of
-the largest generated trace and checks the parallel result is identical
-record for record (the speedup itself is hardware dependent; the paper
-reports ~16x with 48 OpenMP threads on multi-hundred-MB traces).
+worker threads.  This benchmark tracks the full matrix the repo now
+supports, on the largest generated trace (the ``cg`` app):
+
+====================  =========================================
+axis                  variants
+====================  =========================================
+encoding              text (LLVM-Tracer-like) vs. block-indexed binary
+read strategy         serial vs. partition-parallel
+pre-processing        materialized vs. single-pass streaming
+====================  =========================================
+
+Every variant is checked for *full record equality* (not just dynamic-id
+equality) against the serial text reader, so a speedup can never come from
+silently dropping or duplicating records — the failure mode of the old
+byte/character-confused partitioner.  The binary serial read is additionally
+asserted to be at least 2x faster than the text serial read, which is the
+speedup the block-indexed format exists to deliver.
 """
+
+import gc
+import time
 
 import pytest
 
 from repro.apps import get_app
 from repro.codegen import compile_source
+from repro.core import AutoCheck, AutoCheckConfig
 from repro.tracer.driver import trace_to_file
+from repro.trace.binio import (
+    read_trace_file_binary,
+    read_trace_file_binary_parallel,
+)
 from repro.trace.partition import read_trace_file_parallel
 from repro.trace.textio import read_trace_file
 
 
 @pytest.fixture(scope="module")
-def big_trace_file(tmp_path_factory):
+def big_trace_files(tmp_path_factory):
+    """The cg trace in both encodings, plus its main-loop spec."""
     app = get_app("cg")
     source = app.source()
     module = compile_source(source, module_name="cg")
-    path = str(tmp_path_factory.mktemp("bench-traces") / "cg.trace")
-    size, _ = trace_to_file(module, path)
-    return path, size
+    directory = tmp_path_factory.mktemp("bench-traces")
+    text_path = str(directory / "cg.trace")
+    binary_path = str(directory / "cg.btrace")
+    text_size, _ = trace_to_file(module, text_path, fmt="text")
+    binary_size, _ = trace_to_file(module, binary_path, fmt="binary")
+    spec = app.main_loop(source)
+    return {
+        "text": (text_path, text_size),
+        "binary": (binary_path, binary_size),
+        "spec": spec,
+    }
 
 
-def test_serial_trace_read(benchmark, big_trace_file):
-    path, size = big_trace_file
+@pytest.fixture(scope="module")
+def reference_records(big_trace_files):
+    """Ground truth: the serial text reader's records."""
+    path, _ = big_trace_files["text"]
+    return read_trace_file(path).records
+
+
+def _best_of(function, *args, rounds=3):
+    """Best-of-N wall time with the GC paused (the other benchmark tests in
+    this module keep whole traces alive, and collector pauses triggered by
+    those millions of unrelated objects would otherwise dominate the
+    comparison)."""
+    best = float("inf")
+    result = None
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = function(*args)
+            best = min(best, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result, best
+
+
+# --------------------------------------------------------------------------- #
+# Serial reads: text vs. binary
+# --------------------------------------------------------------------------- #
+def test_serial_trace_read(benchmark, big_trace_files):
+    path, size = big_trace_files["text"]
     trace = benchmark(read_trace_file, path)
     assert len(trace.records) > 10_000
-    print(f"\nserial read of {size} bytes -> {len(trace.records)} records")
+    print(f"\ntext serial read of {size} bytes -> {len(trace.records)} records")
+
+
+def test_binary_serial_trace_read(benchmark, big_trace_files,
+                                  reference_records):
+    path, size = big_trace_files["binary"]
+    trace = benchmark(read_trace_file_binary, path)
+    assert trace.records == reference_records
+    print(f"\nbinary serial read of {size} bytes -> {len(trace.records)} records")
+
+
+def test_binary_serial_is_2x_faster_than_text(big_trace_files):
+    """The headline acceptance number for the binary format."""
+    text_path, text_size = big_trace_files["text"]
+    binary_path, binary_size = big_trace_files["binary"]
+    text_trace, text_seconds = _best_of(read_trace_file, text_path)
+    binary_trace, binary_seconds = _best_of(read_trace_file_binary, binary_path)
+    assert binary_trace.records == text_trace.records
+    speedup = text_seconds / binary_seconds
+    print(f"\ntext {text_size}B in {text_seconds:.3f}s vs binary "
+          f"{binary_size}B in {binary_seconds:.3f}s -> {speedup:.2f}x")
+    assert speedup >= 2.0, (
+        f"binary serial read must be >= 2x faster than text "
+        f"({text_seconds:.3f}s vs {binary_seconds:.3f}s = {speedup:.2f}x)")
+
+
+# --------------------------------------------------------------------------- #
+# Parallel reads
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("workers", [2, 4, 8])
+def test_parallel_trace_read(benchmark, big_trace_files, reference_records,
+                             workers):
+    path, size = big_trace_files["text"]
+    trace = benchmark(read_trace_file_parallel, path, num_workers=workers)
+    assert trace.records == reference_records
+    print(f"\ntext parallel read ({workers} workers) of {size} bytes -> "
+          f"{len(trace.records)} records")
 
 
 @pytest.mark.parametrize("workers", [2, 4, 8])
-def test_parallel_trace_read(benchmark, big_trace_file, workers):
-    path, size = big_trace_file
-    trace = benchmark(read_trace_file_parallel, path, num_workers=workers)
-    serial = read_trace_file(path)
-    assert [r.dyn_id for r in trace.records] == [r.dyn_id for r in serial.records]
-    print(f"\nparallel read ({workers} workers) of {size} bytes -> "
+def test_binary_parallel_trace_read(benchmark, big_trace_files,
+                                    reference_records, workers):
+    path, size = big_trace_files["binary"]
+    trace = benchmark(read_trace_file_binary_parallel, path,
+                      num_workers=workers)
+    assert trace.records == reference_records
+    print(f"\nbinary parallel read ({workers} workers) of {size} bytes -> "
           f"{len(trace.records)} records")
+
+
+# --------------------------------------------------------------------------- #
+# Streaming vs. materialized pre-processing
+# --------------------------------------------------------------------------- #
+def _run_pipeline(path, spec, streaming):
+    config = AutoCheckConfig(main_loop=spec,
+                             streaming_preprocessing=streaming)
+    return AutoCheck(config, trace_path=path).run()
+
+
+@pytest.mark.parametrize("encoding", ["text", "binary"])
+def test_materialized_pipeline(benchmark, big_trace_files, encoding):
+    path, _ = big_trace_files[encoding]
+    report = benchmark(_run_pipeline, path, big_trace_files["spec"], False)
+    assert report.critical_variables
+    print(f"\nmaterialized pipeline ({encoding}): "
+          f"{report.dependency_string()}")
+
+
+@pytest.mark.parametrize("encoding", ["text", "binary"])
+def test_streaming_pipeline(benchmark, big_trace_files, encoding):
+    path, _ = big_trace_files[encoding]
+    report = benchmark(_run_pipeline, path, big_trace_files["spec"], True)
+    reference = _run_pipeline(path, big_trace_files["spec"], False)
+    assert report.dependency_string() == reference.dependency_string()
+    assert report.mli_variable_names == reference.mli_variable_names
+    print(f"\nstreaming pipeline ({encoding}): {report.dependency_string()}")

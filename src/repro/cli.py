@@ -45,6 +45,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     config = AutoCheckConfig(main_loop=spec,
                              parallel_preprocessing=args.parallel,
                              preprocessing_workers=args.workers,
+                             streaming_preprocessing=args.streaming,
                              induction_variable=args.induction)
     report = AutoCheck(config, trace_path=args.trace).run()
     print(report.summary())
@@ -66,8 +67,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     with open(args.source, "r", encoding="utf-8") as handle:
         source = handle.read()
     module = compile_source(source, module_name=args.source)
-    size, result = trace_to_file(module, args.output)
-    print(f"wrote {size} bytes to {args.output}; program output:")
+    size, result = trace_to_file(module, args.output, fmt=args.format)
+    print(f"wrote {size} bytes ({args.format}) to {args.output}; "
+          f"program output:")
     for line in result.output:
         print(f"  {line}")
     return 0
@@ -97,6 +99,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                            help="main loop end line")
     p_analyze.add_argument("--induction", default=None)
     p_analyze.add_argument("--parallel", action="store_true")
+    p_analyze.add_argument("--streaming", action="store_true",
+                           help="single-pass streaming pre-processing "
+                                "(bounded memory for very large traces)")
     p_analyze.add_argument("--workers", type=int, default=4)
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -107,6 +112,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_trace = sub.add_parser("trace", help="compile and trace a mini-C source file")
     p_trace.add_argument("source")
     p_trace.add_argument("-o", "--output", required=True)
+    p_trace.add_argument("-f", "--format", choices=("text", "binary"),
+                         default="text",
+                         help="trace encoding (binary is smaller and much "
+                              "faster to parse)")
     p_trace.set_defaults(func=_cmd_trace)
 
     p_list = sub.add_parser("list", help="list bundled benchmarks")

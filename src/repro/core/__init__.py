@@ -33,8 +33,11 @@ from repro.core.varmap import VariableInfo, VariableMap
 from repro.core.preprocessing import (
     MLIVariable,
     PreprocessingResult,
+    StreamingTraceRegions,
+    TraceRecordRegionView,
     TraceRegions,
     identify_mli_variables,
+    identify_mli_variables_streaming,
     partition_trace,
 )
 from repro.core.ddg import DDG, DDGNode, NodeKind
@@ -56,8 +59,11 @@ __all__ = [
     "VariableMap",
     "MLIVariable",
     "PreprocessingResult",
+    "StreamingTraceRegions",
+    "TraceRecordRegionView",
     "TraceRegions",
     "identify_mli_variables",
+    "identify_mli_variables_streaming",
     "partition_trace",
     "DDG",
     "DDGNode",

@@ -53,6 +53,14 @@ class AutoCheckConfig:
     preprocessing_workers: int = 4
     #: Use process- instead of thread-based workers for the parallel read.
     preprocessing_use_processes: bool = False
+    #: Stream the trace file through the pre-processing stage in a single
+    #: pass instead of materializing every record in memory first.  The
+    #: region partitioning and the before/inside variable collection happen
+    #: on the fly, so memory stays bounded by the variable sets rather than
+    #: the trace size (the later pipeline stages re-stream only the
+    #: inside/after regions they need).  Requires a trace *file* input;
+    #: ignored for in-memory traces.
+    streaming_preprocessing: bool = False
     #: Also collect global-variable accesses made inside function calls when
     #: gathering the before/inside variable sets.  The paper keeps this off
     #: and instead initializes such globals right before the main loop (the
@@ -62,3 +70,11 @@ class AutoCheckConfig:
     #: from the static loop analysis).  When ``None`` the pipeline falls back
     #: to its own detection.
     induction_variable: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.parallel_preprocessing and self.streaming_preprocessing:
+            raise ValueError(
+                "parallel_preprocessing and streaming_preprocessing are "
+                "mutually exclusive: the streaming mode is a single "
+                "sequential pass and would silently ignore the parallel "
+                "reader — pick one")

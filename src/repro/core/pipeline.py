@@ -4,8 +4,12 @@ This is the top-level orchestration of the paper's Fig. 2 workflow, with the
 per-stage timing hooks used to regenerate Table III.  The pipeline accepts
 either an in-memory :class:`repro.trace.records.Trace` or a path to a trace
 file; in the latter case reading/parsing the file is part of the
-pre-processing stage and can optionally use the parallel partitioned reader
-(the OpenMP optimization of Sec. V-A).
+pre-processing stage and can either use the parallel partitioned reader
+(the OpenMP optimization of Sec. V-A) or — with
+``AutoCheckConfig.streaming_preprocessing`` — a single-pass streaming mode
+that never materializes the trace: region partitioning and variable
+collection happen on the fly, and the later stages re-stream just the
+inside/after regions they need through bounded-memory file-backed views.
 """
 
 from __future__ import annotations
@@ -20,7 +24,11 @@ from repro.core.config import AutoCheckConfig, MainLoopSpec
 from repro.core.contraction import contract_ddg
 from repro.core.dependency import DependencyAnalysis
 from repro.core.errors import AnalysisError
-from repro.core.preprocessing import PreprocessingResult, identify_mli_variables
+from repro.core.preprocessing import (
+    PreprocessingResult,
+    identify_mli_variables,
+    identify_mli_variables_streaming,
+)
 from repro.core.report import AutoCheckReport, TraceStats
 from repro.core.rwdeps import extract_rw_dependencies
 from repro.core.varmap import VariableInfo
@@ -109,12 +117,25 @@ class AutoCheck:
         timings = TimingBreakdown()
         spec = self.config.main_loop
 
+        use_streaming = (self.config.streaming_preprocessing
+                         and self._trace is None
+                         and self._trace_path is not None)
         with timings.stage("preprocessing"):
-            trace = self._load_trace()
-            preprocessing = identify_mli_variables(
-                trace, spec,
-                include_global_accesses_in_calls=(
-                    self.config.include_global_accesses_in_calls))
+            if use_streaming:
+                preprocessing = identify_mli_variables_streaming(
+                    self._trace_path, spec,
+                    include_global_accesses_in_calls=(
+                        self.config.include_global_accesses_in_calls))
+                record_count = preprocessing.regions.total_records
+                global_count = len(preprocessing.variable_map.globals())
+            else:
+                trace = self._load_trace()
+                preprocessing = identify_mli_variables(
+                    trace, spec,
+                    include_global_accesses_in_calls=(
+                        self.config.include_global_accesses_in_calls))
+                record_count = len(trace.records)
+                global_count = len(trace.globals)
 
         with timings.stage("dependency_analysis"):
             dependency = DependencyAnalysis(preprocessing).run()
@@ -130,11 +151,11 @@ class AutoCheck:
                                           induction_info=induction_info)
 
         stats = TraceStats(
-            record_count=len(trace.records),
+            record_count=record_count,
             before_count=len(preprocessing.regions.before),
             inside_count=len(preprocessing.regions.inside),
             after_count=len(preprocessing.regions.after),
-            global_count=len(trace.globals),
+            global_count=global_count,
         )
 
         return AutoCheckReport(

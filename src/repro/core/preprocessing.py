@@ -26,12 +26,13 @@ superset interpretation that reproduces the paper's reported MLI sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.config import MainLoopSpec
 from repro.core.errors import AnalysisError
 from repro.core.varmap import VariableInfo, VariableMap, build_variable_map
 from repro.trace.records import Trace, TraceRecord
+from repro.trace.textio import iter_trace_records, read_preamble
 
 
 @dataclass
@@ -44,6 +45,84 @@ class TraceRegions:
     after: List[TraceRecord] = field(default_factory=list)
     first_loop_dyn_id: int = 0
     last_loop_dyn_id: int = 0
+
+    @property
+    def total_records(self) -> int:
+        return len(self.before) + len(self.inside) + len(self.after)
+
+
+class TraceRecordRegionView:
+    """A re-iterable, bounded-memory view of ``records[start:start + count]``.
+
+    Every iteration re-streams the trace file (binary traces seek straight
+    to the region via their block index; text traces skip forward — prefer
+    the binary format when streaming, since each iteration of a text view
+    re-parses the file from the top), so the region is never resident in
+    memory as a list.  Supports the operations the pipeline actually
+    performs on a region: iteration and ``len``.
+    """
+
+    def __init__(self, path: str, start_record: int, count: int,
+                 reader: Optional[object] = None) -> None:
+        self.path = path
+        self.start_record = start_record
+        self.count = count
+        #: cached :class:`repro.trace.binio.TraceBinaryReader` for binary
+        #: traces, so repeated iterations do not re-decode the footer
+        #: (globals + string table + block index)
+        self._reader = reader
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _records(self) -> Iterator[TraceRecord]:
+        if self._reader is not None:
+            return self._reader.iter_records(start_record=self.start_record)
+        return iter_trace_records(self.path, start_record=self.start_record)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        remaining = self.count
+        if remaining <= 0:
+            return
+        for record in self._records():
+            yield record
+            remaining -= 1
+            if remaining == 0:
+                return
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TraceRecordRegionView {self.path!r} "
+                f"[{self.start_record}:{self.start_record + self.count}]>")
+
+
+class StreamingTraceRegions:
+    """Trace regions backed by the trace *file* instead of record lists.
+
+    Mirrors the :class:`TraceRegions` interface (``before`` / ``inside`` /
+    ``after`` are iterable and sized, the loop's dynamic-id extent is
+    recorded) but each region is a :class:`TraceRecordRegionView`, so a
+    multi-hundred-MB trace never has to be materialized to run the pipeline.
+    """
+
+    def __init__(self, spec: MainLoopSpec, path: str, first_index: int,
+                 last_index: int, record_count: int,
+                 first_loop_dyn_id: int, last_loop_dyn_id: int) -> None:
+        self.spec = spec
+        self.path = path
+        self.first_loop_dyn_id = first_loop_dyn_id
+        self.last_loop_dyn_id = last_loop_dyn_id
+        # Decode the binary footer once and share it across all region views
+        # and iterations.
+        from repro.trace.binio import TraceBinaryReader, is_binary_trace_file
+
+        reader = TraceBinaryReader(path) if is_binary_trace_file(path) else None
+        self.before = TraceRecordRegionView(path, 0, first_index, reader)
+        self.inside = TraceRecordRegionView(path, first_index,
+                                            last_index - first_index + 1,
+                                            reader)
+        self.after = TraceRecordRegionView(path, last_index + 1,
+                                           record_count - last_index - 1,
+                                           reader)
 
     @property
     def total_records(self) -> int:
@@ -135,30 +214,40 @@ def partition_trace(trace: Trace, spec: MainLoopSpec) -> TraceRegions:
 # --------------------------------------------------------------------------- #
 # Variable collection and matching
 # --------------------------------------------------------------------------- #
-def _collect_variables(records: List[TraceRecord], spec: MainLoopSpec,
+def _accessed_variable(record: TraceRecord, spec: MainLoopSpec,
                        varmap: VariableMap,
-                       include_global_accesses_in_calls: bool) -> Dict[str, VariableInfo]:
-    """Collect the variables accessed by ``records`` (keyed by identity).
+                       include_global_accesses_in_calls: bool,
+                       ) -> Optional[VariableInfo]:
+    """The variable ``record`` accesses, if the collection rules admit it.
 
     Records executing in functions other than the main-loop function are
     bypassed (Challenge 1) unless ``include_global_accesses_in_calls`` is set
     and the touched address belongs to a module global.
     """
+    if not (record.is_load or record.is_store or record.is_gep):
+        return None
+    operand = record.memory_operand()
+    if operand is None or operand.address is None:
+        return None
+    info = varmap.resolve(operand.address)
+    if info is None:
+        return None
+    if record.function != spec.function:
+        if not (include_global_accesses_in_calls and info.is_global):
+            return None
+    return info
+
+
+def _collect_variables(records: List[TraceRecord], spec: MainLoopSpec,
+                       varmap: VariableMap,
+                       include_global_accesses_in_calls: bool) -> Dict[str, VariableInfo]:
+    """Collect the variables accessed by ``records`` (keyed by identity)."""
     collected: Dict[str, VariableInfo] = {}
     for record in records:
-        if not (record.is_load or record.is_store or record.is_gep):
-            continue
-        operand = record.memory_operand()
-        if operand is None or operand.address is None:
-            continue
-        in_main_function = record.function == spec.function
-        info = varmap.resolve(operand.address)
-        if info is None:
-            continue
-        if not in_main_function:
-            if not (include_global_accesses_in_calls and info.is_global):
-                continue
-        collected.setdefault(info.key, info)
+        info = _accessed_variable(record, spec, varmap,
+                                  include_global_accesses_in_calls)
+        if info is not None:
+            collected.setdefault(info.key, info)
     return collected
 
 
@@ -180,17 +269,113 @@ def identify_mli_variables(trace: Trace, spec: MainLoopSpec,
     inside_vars = _collect_variables(regions.inside, spec, varmap,
                                      include_global_accesses_in_calls)
 
-    mli: List[MLIVariable] = []
-    for key, info in inside_vars.items():
-        if key in before_vars:
-            mli.append(MLIVariable(info=info))
+    return PreprocessingResult(
+        regions=regions,
+        variable_map=varmap,
+        mli_variables=_match_mli(before_vars, inside_vars),
+        before_variables=before_vars,
+        inside_variables=inside_vars,
+    )
+
+
+def _match_mli(before_vars: Dict[str, VariableInfo],
+               inside_vars: Dict[str, VariableInfo]) -> List[MLIVariable]:
+    """Variables accessed both before and inside the loop, stably ordered."""
+    mli = [MLIVariable(info=info) for key, info in inside_vars.items()
+           if key in before_vars]
     # Stable, readable order: globals first, then by name.
     mli.sort(key=lambda var: (not var.info.is_global, var.name))
+    return mli
+
+
+def identify_mli_variables_streaming(path: str, spec: MainLoopSpec,
+                                     include_global_accesses_in_calls: bool = False,
+                                     ) -> PreprocessingResult:
+    """Run the pre-processing module in a single streaming pass over a file.
+
+    Functionally equivalent to reading the trace and calling
+    :func:`identify_mli_variables`, but the trace is never materialized:
+    one pass over the record stream simultaneously
+
+    * builds the variable map (globals preamble + the main-loop function's
+      ``Alloca`` records, registered in trace order exactly as
+      :func:`repro.core.varmap.build_variable_map` would),
+    * finds the main loop's dynamic extent (first/last record whose function
+      and source line match the spec), and
+    * collects the before/inside variable sets — records seen after the
+      latest loop record are collected *tentatively* and committed to the
+      inside set only when a later loop record proves they fall within the
+      loop's extent; at end of stream the still-pending set is the after
+      region and is discarded.
+
+    Memory is bounded by the variable sets, not the trace length.  The
+    returned regions are :class:`StreamingTraceRegions`, whose views
+    re-stream the file on demand (the binary format's block index makes the
+    seeks cheap), so the later pipeline stages run unchanged.
+
+    One semantic note: accesses are resolved against the allocations seen
+    *so far* rather than against the completed map.  At ``-O0`` every
+    ``Alloca`` of the main-loop function precedes any access to it, so the
+    two resolutions agree — the equivalence tests assert identical reports
+    on every registered benchmark.
+    """
+    module_name, globals_ = read_preamble(path)
+    del module_name
+    varmap = VariableMap()
+    for symbol in globals_:
+        varmap.add_global_symbol(symbol)
+
+    before_vars: Dict[str, VariableInfo] = {}
+    inside_vars: Dict[str, VariableInfo] = {}
+    pending_vars: Dict[str, VariableInfo] = {}
+    first_index: Optional[int] = None
+    last_index = -1
+    first_dyn_id = last_dyn_id = 0
+    index = -1
+
+    for index, record in enumerate(iter_trace_records(path)):
+        if record.is_alloca and record.function == spec.function:
+            varmap.add_alloca_record(record)
+        in_loop = (record.function == spec.function
+                   and spec.contains_line(record.line))
+        if in_loop:
+            if first_index is None:
+                first_index = index
+                first_dyn_id = record.dyn_id
+            last_index = index
+            last_dyn_id = record.dyn_id
+            # Everything seen since the previous loop record is now known to
+            # lie inside the loop's dynamic extent: commit it (in stream
+            # order, before this record's own access).
+            for key, info in pending_vars.items():
+                inside_vars.setdefault(key, info)
+            pending_vars.clear()
+        info = _accessed_variable(record, spec, varmap,
+                                  include_global_accesses_in_calls)
+        if info is not None:
+            if first_index is None:
+                before_vars.setdefault(info.key, info)
+            elif in_loop:
+                inside_vars.setdefault(info.key, info)
+            else:
+                pending_vars.setdefault(info.key, info)
+
+    if first_index is None:
+        raise AnalysisError(
+            f"no trace record falls inside the main computation loop range "
+            f"{spec.mclr} of function {spec.function!r}")
+    # pending_vars now holds accesses after the last loop record — the after
+    # region — which the matching deliberately ignores.
+
+    regions = StreamingTraceRegions(
+        spec=spec, path=path, first_index=first_index, last_index=last_index,
+        record_count=index + 1, first_loop_dyn_id=first_dyn_id,
+        last_loop_dyn_id=last_dyn_id)
 
     return PreprocessingResult(
         regions=regions,
         variable_map=varmap,
-        mli_variables=mli,
+        mli_variables=_match_mli(before_vars, inside_vars),
         before_variables=before_vars,
         inside_variables=inside_vars,
     )

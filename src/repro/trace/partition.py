@@ -7,6 +7,20 @@ the sub-streams concurrently.  The paper uses 48 OpenMP threads; here the
 worker pool is either a thread pool (default, low overhead) or a
 :class:`concurrent.futures.ProcessPoolExecutor` for genuinely parallel
 parsing of very large traces.
+
+Two on-disk encodings are supported and sniffed automatically:
+
+* the line-oriented **text** format (:mod:`repro.trace.textio`) — partition
+  boundaries are found by scanning forward for the next ``0,`` block-start
+  line.  All offsets are *byte* offsets and all handles are opened in
+  **binary** mode: seeking through a text-mode handle with byte offsets
+  derived from ``os.path.getsize`` misaligns partitions as soon as the trace
+  contains a multi-byte (non-ASCII) identifier or ``\\r\\n`` line endings.
+  Each aligned chunk is whole lines by construction, so it is decoded as
+  UTF-8 per chunk before parsing.
+* the block-indexed **binary** format (:mod:`repro.trace.binio`) — partition
+  boundaries come straight from the block-offset index in the footer, so no
+  scanning is needed at all.
 """
 
 from __future__ import annotations
@@ -14,12 +28,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
+from repro.trace.binio import is_binary_trace_file, read_trace_file_binary_parallel
 from repro.trace.records import Trace, TraceRecord
 from repro.trace.textio import parse_record_lines, read_preamble
 
-RECORD_PREFIX = "0,"
+#: Every instruction block starts with a line whose first field is ``0``.
+RECORD_PREFIX = b"0,"
 
 
 @dataclass(frozen=True)
@@ -40,7 +56,9 @@ def _align_to_block_start(handle, offset: int, file_size: int) -> int:
 
     Instruction blocks always start with a line whose first field is ``0``
     (the same property the paper relies on for LLVM-Tracer output), so the
-    next block boundary is the next line starting with ``0,``.
+    next block boundary is the next line starting with ``0,``.  ``handle``
+    must be opened in binary mode so that ``tell()`` returns exact byte
+    offsets regardless of the characters in the trace.
     """
     if offset <= 0:
         return 0
@@ -58,7 +76,7 @@ def _align_to_block_start(handle, offset: int, file_size: int) -> int:
 
 
 def partition_offsets(path: str, num_partitions: int) -> List[TracePartition]:
-    """Split a trace file into ``num_partitions`` block-aligned byte ranges."""
+    """Split a text trace file into ``num_partitions`` block-aligned byte ranges."""
     if num_partitions < 1:
         raise ValueError("num_partitions must be >= 1")
     file_size = os.path.getsize(path)
@@ -66,7 +84,7 @@ def partition_offsets(path: str, num_partitions: int) -> List[TracePartition]:
         return [TracePartition(index=0, start=0, end=0)]
 
     boundaries = [0]
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "rb") as handle:
         for index in range(1, num_partitions):
             target = (file_size * index) // num_partitions
             aligned = _align_to_block_start(handle, target, file_size)
@@ -84,23 +102,33 @@ def partition_offsets(path: str, num_partitions: int) -> List[TracePartition]:
 
 
 def _parse_partition(path: str, start: int, end: int) -> List[TraceRecord]:
-    """Worker: parse the byte range ``[start, end)`` of ``path``."""
+    """Worker: parse the byte range ``[start, end)`` of ``path``.
+
+    The range is read in binary mode — partition offsets are byte offsets —
+    and decoded per chunk; block alignment guarantees the chunk contains
+    whole lines, so no multi-byte character is ever split.
+    """
     if end <= start:
         return []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "rb") as handle:
         handle.seek(start)
         data = handle.read(end - start)
-    return parse_record_lines(data.splitlines())
+    return parse_record_lines(data.decode("utf-8").splitlines())
 
 
 def read_trace_file_parallel(path: str, num_workers: int = 4,
                              use_processes: bool = False) -> Trace:
     """Read a trace file by parsing block-aligned partitions concurrently.
 
-    The result is identical (record for record, in dynamic-id order) to the
-    serial :func:`repro.trace.textio.read_trace_file`; the property-based
-    tests assert this equivalence.
+    Sniffs the on-disk format: block-indexed binary traces are dispatched to
+    :func:`repro.trace.binio.read_trace_file_binary_parallel`.  The result is
+    identical (record for record) to the serial
+    :func:`repro.trace.textio.read_trace_file`; the property-based tests
+    assert this equivalence.
     """
+    if is_binary_trace_file(path):
+        return read_trace_file_binary_parallel(path, num_workers=num_workers,
+                                               use_processes=use_processes)
     module_name, globals_ = read_preamble(path)
     partitions = partition_offsets(path, max(1, num_workers))
 

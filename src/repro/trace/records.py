@@ -30,9 +30,15 @@ RESULT_INDEX = "r"
 PARAM_INDEX_PREFIX = "p"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceOperand:
-    """One operand (or the result) of a dynamic instruction."""
+    """One operand (or the result) of a dynamic instruction.
+
+    Treat instances as immutable: millions of them are decoded per trace, so
+    the class trades the enforced frozenness of a ``frozen=True`` dataclass
+    for the ~2x cheaper construction and attribute access of ``slots=True``
+    (the trace readers are the hottest path in the system).
+    """
 
     index: str
     bits: int
@@ -50,9 +56,9 @@ class TraceOperand:
         return self.address is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
-    """One executed IR instruction."""
+    """One executed IR instruction (slotted — one per traced instruction)."""
 
     dyn_id: int
     opcode: int
@@ -118,7 +124,7 @@ class TraceRecord:
                 f"{self.function}:{self.line}>")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GlobalSymbol:
     """Globals preamble entry: name, base address and extent of a module global."""
 

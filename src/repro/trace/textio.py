@@ -1,4 +1,4 @@
-"""Line-oriented text encoding of dynamic traces.
+"""Line-oriented text encoding of dynamic traces, and the format front door.
 
 The encoding is comma-separated, one line per entity, and mirrors the
 information content of LLVM-Tracer's output (paper Fig. 1/6):
@@ -15,11 +15,21 @@ Every instruction block starts with a ``0,`` line (exactly as the paper notes
 for LLVM-Tracer: "The first line of every operation block always starts with
 0"), which is what allows the parallel partitioner to split a trace file at
 block boundaries without understanding record internals.
+
+Because the separator is a plain comma with no quoting, names containing
+``,`` / ``\\n`` / ``\\r`` cannot be represented; the writer *rejects* them at
+write time (:class:`TraceFormatError`) instead of silently emitting a trace
+that no longer parses — traces that need arbitrary identifiers should use
+the binary format (:mod:`repro.trace.binio`).
+
+This module also hosts the format-sniffing front doors used by the rest of
+the system: :func:`read_trace_file`, :func:`read_preamble` and
+:func:`iter_trace_records` accept either encoding and dispatch on the magic
+bytes.
 """
 
 from __future__ import annotations
 
-import io
 import os
 from typing import IO, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -46,6 +56,20 @@ class TraceFormatError(ValueError):
 # --------------------------------------------------------------------------- #
 # Encoding helpers
 # --------------------------------------------------------------------------- #
+def _check_field(text: str, what: str) -> str:
+    """Reject names the comma-separated format cannot represent.
+
+    Emitting them anyway would silently corrupt the trace (the extra commas
+    shift every later field); rejecting at write time turns that into an
+    immediate, diagnosable error.  The binary format has no such limits.
+    """
+    if "," in text or "\n" in text or "\r" in text:
+        raise TraceFormatError(
+            f"{what} {text!r} contains a comma or newline, which the text "
+            f"trace format cannot escape; write the trace in the binary "
+            f"format instead")
+    return text
+
 def _encode_value(value: Union[int, float]) -> str:
     if isinstance(value, bool):
         return str(int(value))
@@ -74,10 +98,10 @@ def _decode_address(text: str) -> Optional[int]:
 def _operand_line(tag: str, operand: TraceOperand) -> str:
     fields = [
         tag,
-        operand.index,
+        _check_field(operand.index, "operand index"),
         str(operand.bits),
         str(int(operand.is_register)),
-        operand.name,
+        _check_field(operand.name, "operand name"),
         _encode_value(operand.value),
         _encode_address(operand.address),
     ]
@@ -92,13 +116,13 @@ def record_to_lines(record: TraceRecord) -> List[str]:
         RECORD_TAG,
         str(record.dyn_id),
         str(record.opcode),
-        record.opcode_name,
-        record.function,
+        _check_field(record.opcode_name, "opcode name"),
+        _check_field(record.function, "function name"),
         str(record.line),
         str(record.column),
         str(record.bb_label),
-        record.bb_id,
-        record.callee,
+        _check_field(record.bb_id, "basic block id"),
+        _check_field(record.callee, "callee name"),
     ])
     lines = [header]
     for operand in record.operands:
@@ -110,6 +134,10 @@ def record_to_lines(record: TraceRecord) -> List[str]:
 
 def _parse_operand(parts: Sequence[str]) -> TraceOperand:
     # parts: op,<index>,<bits>,<is reg>,<name>,<value>,<addr>
+    if len(parts) != 7:
+        raise TraceFormatError(
+            f"operand line has {len(parts)} fields, expected 7: "
+            f"{','.join(parts)!r}")
     return TraceOperand(
         index=parts[1],
         bits=int(parts[2]),
@@ -122,6 +150,10 @@ def _parse_operand(parts: Sequence[str]) -> TraceOperand:
 
 def _parse_result(parts: Sequence[str]) -> TraceOperand:
     # parts: res,<bits>,<is reg>,<name>,<value>,<addr>
+    if len(parts) != 6:
+        raise TraceFormatError(
+            f"result line has {len(parts)} fields, expected 6: "
+            f"{','.join(parts)!r}")
     return TraceOperand(
         index=RESULT_INDEX,
         bits=int(parts[1]),
@@ -133,6 +165,12 @@ def _parse_result(parts: Sequence[str]) -> TraceOperand:
 
 
 def _parse_header(parts: Sequence[str]) -> TraceRecord:
+    # parts: 0,<dyn id>,<opcode>,<opcode name>,<function>,<line>,<column>,
+    #        <bb label>,<bb id>[,<callee>]
+    if len(parts) not in (9, 10):
+        raise TraceFormatError(
+            f"record header has {len(parts)} fields, expected 9 or 10: "
+            f"{','.join(parts)!r}")
     return TraceRecord(
         dyn_id=int(parts[1]),
         opcode=int(parts[2]),
@@ -146,24 +184,25 @@ def _parse_header(parts: Sequence[str]) -> TraceRecord:
     )
 
 
-def parse_record_lines(lines: Iterable[str]) -> List[TraceRecord]:
-    """Parse a sequence of text lines (no preamble) into records.
+def iter_parsed_records(lines: Iterable[str]) -> Iterator[TraceRecord]:
+    """Incrementally parse text lines (no preamble) into complete records.
 
-    Used both by the serial reader and by the parallel partition workers.
-    Lines belonging to the globals preamble or the file header are ignored so
-    that workers do not need to care which chunk they received.
+    A record is yielded only once it is complete, i.e. when the next ``0,``
+    block-start line (or the end of the input) is seen.  Lines belonging to
+    the globals preamble or the file header are ignored so that callers do
+    not need to care which slice of the file they received.
     """
-    records: List[TraceRecord] = []
     current: Optional[TraceRecord] = None
     for raw in lines:
-        line = raw.rstrip("\n")
+        line = raw.rstrip("\r\n")
         if not line:
             continue
         parts = line.split(",")
         tag = parts[0]
         if tag == RECORD_TAG:
+            if current is not None:
+                yield current
             current = _parse_header(parts)
-            records.append(current)
         elif tag == OPERAND_TAG:
             if current is None:
                 raise TraceFormatError(f"operand line before any record: {line!r}")
@@ -176,7 +215,16 @@ def parse_record_lines(lines: Iterable[str]) -> List[TraceRecord]:
             continue
         else:
             raise TraceFormatError(f"unrecognised trace line tag {tag!r}")
-    return records
+    if current is not None:
+        yield current
+
+
+def parse_record_lines(lines: Iterable[str]) -> List[TraceRecord]:
+    """Parse a sequence of text lines (no preamble) into records.
+
+    Used both by the serial reader and by the parallel partition workers.
+    """
+    return list(iter_parsed_records(lines))
 
 
 # --------------------------------------------------------------------------- #
@@ -187,8 +235,9 @@ class TraceTextWriter:
 
     def __init__(self, path: str, module_name: str = "module") -> None:
         self.path = path
-        self.module_name = module_name
-        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self.module_name = _check_field(module_name, "module name")
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8",
+                                           newline="\n")
         self._fh.write(f"{HEADER_TAG},autocheck-trace,{FORMAT_VERSION},{module_name}\n")
         self._record_count = 0
 
@@ -196,7 +245,7 @@ class TraceTextWriter:
         assert self._fh is not None
         self._fh.write(",".join([
             GLOBAL_TAG,
-            symbol.name,
+            _check_field(symbol.name, "global name"),
             hex(symbol.address),
             str(symbol.size_bytes),
             str(symbol.element_bits),
@@ -272,13 +321,55 @@ class TraceTextReader:
         return Trace(module_name=module_name, globals=globals_, records=records)
 
 
+def iter_trace_file_text(path: str,
+                         start_record: int = 0) -> Iterator[TraceRecord]:
+    """Stream the records of a text trace without materializing the trace.
+
+    ``start_record`` records are parsed and discarded before yielding begins
+    (the text format has no index, so there is no way to seek); binary traces
+    seek via their block index instead.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for index, record in enumerate(iter_parsed_records(handle)):
+            if index >= start_record:
+                yield record
+
+
+# --------------------------------------------------------------------------- #
+# Format-sniffing front doors
+# --------------------------------------------------------------------------- #
+def sniff_trace_format(path: str) -> str:
+    """``"binary"`` or ``"text"``, decided by the file's magic bytes."""
+    from repro.trace.binio import is_binary_trace_file
+
+    return "binary" if is_binary_trace_file(path) else "text"
+
+
 def read_trace_file(path: str) -> Trace:
-    """Convenience wrapper around :class:`TraceTextReader`."""
+    """Read a trace file of either encoding (sniffed) into memory."""
+    from repro.trace.binio import is_binary_trace_file, read_trace_file_binary
+
+    if is_binary_trace_file(path):
+        return read_trace_file_binary(path)
     return TraceTextReader(path).read()
 
 
+def iter_trace_records(path: str,
+                       start_record: int = 0) -> Iterator[TraceRecord]:
+    """Stream the records of a trace file of either encoding (sniffed)."""
+    from repro.trace.binio import is_binary_trace_file, iter_trace_file_binary
+
+    if is_binary_trace_file(path):
+        return iter_trace_file_binary(path, start_record=start_record)
+    return iter_trace_file_text(path, start_record=start_record)
+
+
 def read_preamble(path: str) -> Tuple[str, List[GlobalSymbol]]:
-    """Read only the header and the globals preamble of a trace file."""
+    """Read only the module name and globals of a trace file (sniffed)."""
+    from repro.trace.binio import is_binary_trace_file, read_preamble_binary
+
+    if is_binary_trace_file(path):
+        return read_preamble_binary(path)
     module_name = "module"
     globals_: List[GlobalSymbol] = []
     with open(path, "r", encoding="utf-8") as handle:

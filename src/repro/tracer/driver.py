@@ -8,9 +8,10 @@ harnesses call:
 * :func:`run_and_trace` — run a compiled module with an in-memory trace sink,
   returning both the :class:`repro.trace.records.Trace` and the
   :class:`repro.tracer.interpreter.ExecutionResult`;
-* :func:`trace_to_file` — run a module streaming the trace to a text file
-  (what the paper's LLVM-Tracer setup produces), returning the file size —
-  the "Trace size" column of paper Table II.
+* :func:`trace_to_file` — run a module streaming the trace to a file
+  (``fmt="text"`` matches what the paper's LLVM-Tracer setup produces,
+  ``fmt="binary"`` streams the compact block-indexed encoding), returning
+  the file size — the "Trace size" column of paper Table II.
 """
 
 from __future__ import annotations
@@ -20,9 +21,16 @@ from typing import Optional, Tuple, Union
 
 from repro.codegen.lowering import compile_source
 from repro.ir.module import Module
+from repro.trace.binio import TraceBinaryWriter
 from repro.trace.records import Trace
 from repro.trace.textio import TraceTextWriter
 from repro.tracer.interpreter import ExecutionResult, InMemoryTraceSink, Interpreter
+
+#: Writers selectable by ``trace_to_file``'s ``fmt`` argument.
+TRACE_WRITERS = {
+    "text": TraceTextWriter,
+    "binary": TraceBinaryWriter,
+}
 
 
 def _as_module(program: Union[str, Module], module_name: str) -> Module:
@@ -53,13 +61,23 @@ def run_and_trace(program: Union[str, Module], module_name: str = "module",
 
 def trace_to_file(program: Union[str, Module], path: str,
                   module_name: str = "module", seed: int = 314159,
-                  max_steps: int = 50_000_000) -> Tuple[int, ExecutionResult]:
+                  max_steps: int = 50_000_000,
+                  fmt: str = "text") -> Tuple[int, ExecutionResult]:
     """Execute a program streaming its dynamic trace to ``path``.
 
-    Returns the trace file size in bytes together with the execution result.
+    ``fmt`` selects the on-disk encoding: ``"text"`` (line-oriented,
+    LLVM-Tracer-like) or ``"binary"`` (block-indexed, the fast path for
+    large traces).  Returns the trace file size in bytes together with the
+    execution result.
     """
+    try:
+        writer_cls = TRACE_WRITERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; expected one of "
+            f"{sorted(TRACE_WRITERS)}") from None
     module = _as_module(program, module_name)
-    with TraceTextWriter(path, module_name=module.name) as writer:
+    with writer_cls(path, module_name=module.name) as writer:
         interpreter = Interpreter(module, trace_sink=writer, seed=seed,
                                   max_steps=max_steps)
         result = interpreter.run()

@@ -7,8 +7,12 @@ Covered properties:
 * memory model read-after-write consistency under arbitrary operation
   sequences;
 * trace text encoding round-trips arbitrary records exactly;
+* the block-indexed binary encoding round-trips arbitrary traces exactly
+  (including multi-byte identifiers, commas/newlines in names and >64-bit
+  integer values the text format cannot represent);
 * block-aligned parallel trace reading equals serial reading for arbitrary
-  traces and worker counts;
+  traces and worker counts, for both encodings — with multi-byte
+  identifiers in the mix so byte/character confusion cannot reappear;
 * Algorithm-1 DDG contraction soundness on random graphs (contracted parents
   = MLI ancestors reachable through non-MLI chains) and idempotence;
 * deterministic RNG stays within bounds and is reproducible.
@@ -26,6 +30,11 @@ from repro.core.contraction import contract_ddg, contraction_is_sound
 from repro.core.ddg import DDG, NodeKind
 from repro.minicc.lexer import tokenize
 from repro.minicc.tokens import TokenKind
+from repro.trace.binio import (
+    read_trace_file_binary,
+    read_trace_file_binary_parallel,
+    write_trace_file_binary,
+)
 from repro.trace.partition import partition_offsets, read_trace_file_parallel
 from repro.trace.records import GlobalSymbol, Trace, TraceOperand, TraceRecord
 from repro.trace.textio import (
@@ -114,14 +123,20 @@ def test_memory_stack_allocations_never_overlap_globals(sizes):
 # --------------------------------------------------------------------------- #
 # Trace encoding round trip
 # --------------------------------------------------------------------------- #
+#: Trace identifiers deliberately include multi-byte characters so that any
+#: byte/character confusion in the file readers surfaces as a property
+#: failure (the old partitioner seeked text-mode handles with byte offsets).
+_trace_name = st.text(alphabet=string.ascii_letters + "_éλπ变Δß",
+                      max_size=6)
+
 _operand_strategy = st.builds(
     TraceOperand,
     index=st.sampled_from(["1", "2", "3", "p1", "p2"]),
     bits=st.sampled_from([32, 64]),
-    value=st.one_of(st.integers(min_value=-2**31, max_value=2**31),
+    value=st.one_of(st.integers(min_value=-2**70, max_value=2**70),
                     st.floats(allow_nan=False, allow_infinity=False)),
     is_register=st.booleans(),
-    name=st.text(alphabet=string.ascii_letters + "_", max_size=6),
+    name=_trace_name,
     address=st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)),
 )
 
@@ -132,7 +147,7 @@ _record_strategy = st.builds(
     opcode_name=st.sampled_from(["Add", "FAdd", "Mul", "Alloca", "Load",
                                  "Store", "GetElementPtr", "BitCast", "ICmp",
                                  "Call"]),
-    function=_identifier,
+    function=_trace_name,
     line=st.integers(min_value=0, max_value=9999),
     column=st.integers(min_value=0, max_value=200),
     bb_label=st.integers(min_value=0, max_value=50),
@@ -140,6 +155,36 @@ _record_strategy = st.builds(
     operands=st.lists(_operand_strategy, max_size=4),
     result=st.one_of(st.none(), _operand_strategy),
     callee=st.sampled_from(["", "foo", "sqrt", "print"]),
+)
+
+#: Names the text format rejects (commas/newlines) are fair game in binary.
+_binary_name = st.text(
+    alphabet=string.ascii_letters + "_éλπ变Δß,\n\r", max_size=6)
+
+_binary_operand_strategy = st.builds(
+    TraceOperand,
+    index=st.sampled_from(["1", "2", "3", "p1", "r"]),
+    bits=st.sampled_from([32, 64]),
+    value=st.one_of(st.integers(min_value=-2**100, max_value=2**100),
+                    st.floats(allow_nan=False)),
+    is_register=st.booleans(),
+    name=_binary_name,
+    address=st.one_of(st.none(), st.integers(min_value=0, max_value=2**60)),
+)
+
+_binary_record_strategy = st.builds(
+    TraceRecord,
+    dyn_id=st.integers(min_value=1, max_value=10**9),
+    opcode=st.integers(min_value=0, max_value=2**30),
+    opcode_name=_binary_name,
+    function=_binary_name,
+    line=st.integers(min_value=0, max_value=10**6),
+    column=st.integers(min_value=0, max_value=10**4),
+    bb_label=st.integers(min_value=0, max_value=10**6),
+    bb_id=_binary_name,
+    operands=st.lists(_binary_operand_strategy, max_size=4),
+    result=st.one_of(st.none(), _binary_operand_strategy),
+    callee=_binary_name,
 )
 
 
@@ -168,9 +213,12 @@ def test_trace_record_text_roundtrip(record):
 @settings(max_examples=30, deadline=None,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
 def test_parallel_trace_read_equals_serial(tmp_path_factory, records, workers):
-    # renumber dynamic ids so ordering is well defined
+    # renumber dynamic ids so ordering is well defined, and canonicalise the
+    # result index (the text encoding does not store it — it is always "r")
     for index, record in enumerate(records):
         record.dyn_id = index + 1
+        if record.result is not None:
+            record.result.index = "r"
     trace = Trace(module_name="prop",
                   globals=[GlobalSymbol("g", 0x1000, 16, 64, True)],
                   records=records)
@@ -179,12 +227,48 @@ def test_parallel_trace_read_equals_serial(tmp_path_factory, records, workers):
 
     serial = read_trace_file(path)
     parallel = read_trace_file_parallel(path, num_workers=workers)
-    assert [r.dyn_id for r in serial.records] == [r.dyn_id for r in parallel.records]
-    assert [r.opcode for r in serial.records] == [r.opcode for r in parallel.records]
+    # full record equality, not just dyn_id/opcode projections
+    assert serial.records == trace.records
+    assert parallel.records == serial.records
 
     partitions = partition_offsets(path, workers)
     assert partitions[0].start == 0
     assert sum(p.size for p in partitions) == partitions[-1].end
+
+
+@given(st.lists(_binary_record_strategy, max_size=30))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_trace_binary_roundtrip(tmp_path_factory, records):
+    trace = Trace(module_name="binäry,prop",
+                  globals=[GlobalSymbol("号g", 0x1000, 16, 64, True)],
+                  records=records)
+    path = str(tmp_path_factory.mktemp("prop") / "prop.btrace")
+    write_trace_file_binary(trace, path)
+    loaded = read_trace_file_binary(path)
+    assert loaded.module_name == trace.module_name
+    assert loaded.globals == trace.globals
+    assert len(loaded.records) == len(trace.records)
+    for left, right in zip(trace.records, loaded.records):
+        assert left == right
+        # value types survive exactly (int stays int, float stays float)
+        for l_op, r_op in zip(left.operands, right.operands):
+            assert type(l_op.value) is type(r_op.value) or (
+                isinstance(l_op.value, bool) and r_op.value == int(l_op.value))
+
+
+@given(st.lists(_binary_record_strategy, min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_binary_parallel_read_equals_serial(tmp_path_factory, records, workers):
+    trace = Trace(module_name="prop", records=records)
+    path = str(tmp_path_factory.mktemp("prop") / "prop.btrace")
+    write_trace_file_binary(trace, path)
+    serial = read_trace_file_binary(path)
+    parallel = read_trace_file_binary_parallel(path, num_workers=workers)
+    assert serial.records == trace.records
+    assert parallel.records == serial.records
 
 
 # --------------------------------------------------------------------------- #

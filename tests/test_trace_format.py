@@ -122,6 +122,21 @@ class TestTextRoundTrip:
         with pytest.raises(TraceFormatError):
             parse_record_lines(["zz,what"])
 
+    def test_parse_rejects_malformed_header_field_count(self):
+        # too few fields (7) and too many (11 — e.g. an unescaped comma in a
+        # name written by a pre-validation writer)
+        with pytest.raises(TraceFormatError, match="header has 7 fields"):
+            parse_record_lines(["0,1,27,Load,main,5,2"])
+        with pytest.raises(TraceFormatError, match="header has 11 fields"):
+            parse_record_lines(["0,1,27,Load,ma,in,5,2,1,5:1,"])
+
+    def test_parse_rejects_malformed_operand_field_count(self):
+        record_header = "0,1,27,Load,main,5,2,1,5:1,"
+        with pytest.raises(TraceFormatError, match="operand line has 8"):
+            parse_record_lines([record_header, "op,1,64,0,x,y,1,0x10"])
+        with pytest.raises(TraceFormatError, match="result line has 7"):
+            parse_record_lines([record_header, "res,64,0,x,y,1,0x10"])
+
     def test_negative_and_int_values_roundtrip(self):
         record = make_record(value=-7)
         parsed = parse_record_lines(record_to_lines(record))[0]
@@ -141,6 +156,30 @@ class TestTextRoundTrip:
         assert loaded.globals[0].name == "g"
         assert [r.dyn_id for r in loaded.records] == [1, 2, 3, 4, 5]
 
+    def test_writer_rejects_comma_in_names(self, tmp_path):
+        """The comma-separated format cannot escape commas; silently writing
+        them used to corrupt every later field of the line."""
+        path = str(tmp_path / "bad.trace")
+        with TraceTextWriter(path, module_name="m") as writer:
+            with pytest.raises(TraceFormatError, match="function name"):
+                writer.write_record(make_record(function="ma,in"))
+            with pytest.raises(TraceFormatError, match="operand name"):
+                writer.write_record(make_record(name="x,y"))
+            with pytest.raises(TraceFormatError, match="global name"):
+                writer.write_global(GlobalSymbol("g,1", 0x10, 8, 64, False))
+
+    def test_writer_rejects_newline_in_names(self, tmp_path):
+        path = str(tmp_path / "bad2.trace")
+        with TraceTextWriter(path, module_name="m") as writer:
+            with pytest.raises(TraceFormatError):
+                writer.write_record(make_record(function="ma\nin"))
+            with pytest.raises(TraceFormatError):
+                writer.write_record(make_record(name="x\ry"))
+
+    def test_writer_rejects_bad_module_name(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="module name"):
+            TraceTextWriter(str(tmp_path / "bad3.trace"), module_name="a,b")
+
     def test_streaming_writer_counts_records(self, tmp_path):
         path = str(tmp_path / "stream.trace")
         with TraceTextWriter(path, module_name="m") as writer:
@@ -151,6 +190,17 @@ class TestTextRoundTrip:
         module_name, globals_ = read_preamble(path)
         assert module_name == "m"
         assert [g.name for g in globals_] == ["g"]
+
+    def test_non_ascii_names_roundtrip(self, tmp_path):
+        trace = Trace(module_name="módulo",
+                      globals=[GlobalSymbol("søren", 0x2000, 16, 64, True)],
+                      records=[make_record(name="π_var", function="fünc")])
+        path = str(tmp_path / "nonascii.trace")
+        write_trace_file(trace, path)
+        loaded = read_trace_file(path)
+        assert loaded.module_name == "módulo"
+        assert loaded.globals == trace.globals
+        assert loaded.records == trace.records
 
     def test_real_trace_roundtrip(self, example_trace, tmp_path):
         path = str(tmp_path / "example.trace")

@@ -1,8 +1,15 @@
 """Unit tests for the parallel, block-preserving trace-file partitioning."""
 
+import os
+
 import pytest
 
+from repro.ir.opcodes import Opcode
 from repro.trace import (
+    GlobalSymbol,
+    Trace,
+    TraceOperand,
+    TraceRecord,
     partition_offsets,
     read_trace_file,
     read_trace_file_parallel,
@@ -19,8 +26,6 @@ def trace_file(example_trace, tmp_path_factory):
 
 class TestPartitioning:
     def test_partitions_cover_whole_file(self, trace_file):
-        import os
-
         partitions = partition_offsets(trace_file, 4)
         assert partitions[0].start == 0
         assert partitions[-1].end == os.path.getsize(trace_file)
@@ -29,11 +34,12 @@ class TestPartitioning:
 
     def test_partition_boundaries_fall_on_record_starts(self, trace_file):
         partitions = partition_offsets(trace_file, 5)
-        with open(trace_file, "r", encoding="utf-8") as handle:
+        # Offsets are *byte* offsets, so the check must read bytes.
+        with open(trace_file, "rb") as handle:
             data = handle.read()
         for part in partitions[1:]:
             if part.start < len(data):
-                assert data[part.start:part.start + 2] == "0,", \
+                assert data[part.start:part.start + 2] == b"0,", \
                     "partition must start at an instruction block boundary"
 
     def test_single_partition(self, trace_file):
@@ -41,8 +47,6 @@ class TestPartitioning:
         assert len(partitions) == 1
 
     def test_more_partitions_than_records_is_safe(self, tmp_path, example_trace):
-        from repro.trace.records import Trace
-
         tiny = Trace(module_name="tiny", globals=list(example_trace.globals),
                      records=example_trace.records[:3])
         path = str(tmp_path / "tiny.trace")
@@ -58,30 +62,24 @@ class TestPartitioning:
 
 
 class TestParallelRead:
-    def test_parallel_equals_serial(self, trace_file):
+    def test_parallel_equals_serial_full_record_equality(self, trace_file):
         serial = read_trace_file(trace_file)
         parallel = read_trace_file_parallel(trace_file, num_workers=4)
-        assert len(serial.records) == len(parallel.records)
-        assert [r.dyn_id for r in serial.records] == \
-               [r.dyn_id for r in parallel.records]
-        assert [r.opcode for r in serial.records] == \
-               [r.opcode for r in parallel.records]
-        assert [g.name for g in serial.globals] == [g.name for g in parallel.globals]
+        assert serial.records == parallel.records
+        assert serial.globals == parallel.globals
+        assert serial.module_name == parallel.module_name
 
     def test_parallel_operand_fidelity(self, trace_file):
         serial = read_trace_file(trace_file)
         parallel = read_trace_file_parallel(trace_file, num_workers=3)
         for s_record, p_record in zip(serial.records, parallel.records):
-            assert len(s_record.operands) == len(p_record.operands)
-            for s_op, p_op in zip(s_record.operands, p_record.operands):
-                assert s_op.name == p_op.name
-                assert s_op.address == p_op.address
-                assert s_op.value == p_op.value
+            assert s_record.operands == p_record.operands
+            assert s_record.result == p_record.result
 
     def test_single_worker_path(self, trace_file):
         single = read_trace_file_parallel(trace_file, num_workers=1)
         serial = read_trace_file(trace_file)
-        assert len(single.records) == len(serial.records)
+        assert single.records == serial.records
 
     def test_analysis_identical_on_serial_and_parallel_read(self, trace_file,
                                                             example_spec):
@@ -94,3 +92,88 @@ class TestParallelRead:
                             preprocessing_workers=4),
             trace_path=trace_file).run()
         assert serial_report.dependency_string() == parallel_report.dependency_string()
+
+
+def _non_ascii_record(dyn_id, name, function):
+    return TraceRecord(
+        dyn_id=dyn_id,
+        opcode=int(Opcode.LOAD),
+        opcode_name=Opcode.LOAD.mnemonic,
+        function=function,
+        line=5 + dyn_id % 7,
+        column=2,
+        bb_label=1,
+        bb_id="5:1",
+        operands=[TraceOperand(index="1", bits=64, value=float(dyn_id),
+                               is_register=False, name=name,
+                               address=0x1000 + 8 * dyn_id)],
+        result=TraceOperand(index="r", bits=64, value=float(dyn_id),
+                            is_register=True, name=str(dyn_id), address=None),
+    )
+
+
+class TestNonAsciiPartitioning:
+    """Regression: byte/character confusion in the partitioned reader.
+
+    The old implementation computed byte offsets from ``os.path.getsize``
+    but seeked/read through *text-mode* handles, so any multi-byte character
+    shifted every later partition boundary and records were silently dropped
+    or duplicated.  These traces use multi-byte identifiers throughout, so
+    they fail loudly on any regression.
+    """
+
+    #: identifiers whose UTF-8 encoding is 2-4 bytes per character
+    NAMES = ["péché", "λ_var", "变量", "übergröße", "Δt", "ψ"]
+
+    @pytest.fixture(scope="class")
+    def non_ascii_trace(self):
+        records = [
+            _non_ascii_record(i + 1, self.NAMES[i % len(self.NAMES)],
+                              function="计算" if i % 3 else "mäin")
+            for i in range(400)
+        ]
+        return Trace(module_name="ünïcode",
+                     globals=[GlobalSymbol("σ_global", 0x1000, 64, 64, True)],
+                     records=records)
+
+    @pytest.fixture(scope="class")
+    def non_ascii_trace_file(self, non_ascii_trace, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("traces") / "unicode.trace")
+        write_trace_file(non_ascii_trace, path)
+        return path
+
+    def test_partitions_are_byte_aligned_to_blocks(self, non_ascii_trace_file):
+        partitions = partition_offsets(non_ascii_trace_file, 6)
+        assert partitions[-1].end == os.path.getsize(non_ascii_trace_file)
+        with open(non_ascii_trace_file, "rb") as handle:
+            data = handle.read()
+        for part in partitions[1:]:
+            if part.start < len(data):
+                assert data[part.start:part.start + 2] == b"0,"
+
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8])
+    def test_parallel_read_equals_serial(self, non_ascii_trace_file,
+                                         non_ascii_trace, workers):
+        serial = read_trace_file(non_ascii_trace_file)
+        parallel = read_trace_file_parallel(non_ascii_trace_file,
+                                            num_workers=workers)
+        assert serial.records == non_ascii_trace.records
+        assert parallel.records == serial.records
+        assert parallel.globals == serial.globals
+        assert parallel.module_name == "ünïcode"
+
+    def test_crlf_line_endings_do_not_shift_partitions(self, non_ascii_trace,
+                                                       tmp_path):
+        # Re-encode the trace with \r\n line endings (as a Windows tool
+        # might) and check the byte-offset partitioner still aligns.
+        path = str(tmp_path / "crlf.trace")
+        write_trace_file(non_ascii_trace, path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        crlf_path = str(tmp_path / "crlf2.trace")
+        with open(crlf_path, "wb") as handle:
+            handle.write(data.replace(b"\n", b"\r\n"))
+        serial = read_trace_file(crlf_path)
+        parallel = read_trace_file_parallel(crlf_path, num_workers=4)
+        assert serial.records == non_ascii_trace.records
+        assert parallel.records == serial.records
