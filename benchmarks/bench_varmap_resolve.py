@@ -1,0 +1,222 @@
+"""Benchmark: address resolution on the bisect-indexed interval store.
+
+The variable map is the oracle every analysis stage queries ("which variable
+owns address X?"), so its complexity bounds the whole pipeline.  The old
+implementation indexed **every element address** of every allocation in a
+dict and fell back to a reversed linear interval scan for everything else —
+O(total array elements) memory and O(intervals) per off-index lookup.  The
+interval store keeps one live segment per allocation (split/evicted on
+overlap) and resolves any byte address with one bisect.
+
+This benchmark builds both maps from the ``bigarray`` synthetic app (two
+million-element stack arrays, per-iteration callee scratch churn) and
+checks the two acceptance numbers:
+
+* **index memory is O(intervals)** — the segment count is identical for the
+  4k-element and the 1M-element configuration, and the measured index
+  footprint is orders of magnitude below the legacy per-element dict;
+* **resolve throughput** — build + a mixed boundary/interior/miss resolve
+  workload is >= 1.5x faster than the legacy design on the million-element
+  configuration (in practice the gap is far larger: the legacy map pays two
+  million dict inserts before it can answer anything).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.apps import get_app
+from repro.codegen import compile_source
+from repro.core.varmap import VariableInfo, VariableMap, build_variable_map
+from repro.tracer.driver import run_and_trace
+
+
+class LegacyVariableMap:
+    """The pre-interval-store design, kept here as the benchmark baseline:
+    a dict entry per element address, last-registered-wins via dict
+    overwrite, reversed linear scan for addresses off the element grid."""
+
+    def __init__(self) -> None:
+        self._intervals: List[VariableInfo] = []
+        self._address_index: Dict[int, VariableInfo] = {}
+
+    def add(self, info: VariableInfo) -> None:
+        self._intervals.append(info)
+        step = info.element_bytes
+        for offset in range(0, max(info.size_bytes, step), step):
+            self._address_index[info.base_address + offset] = info
+
+    def resolve(self, address: Optional[int]) -> Optional[VariableInfo]:
+        if address is None:
+            return None
+        info = self._address_index.get(address)
+        if info is not None:
+            return info
+        for candidate in reversed(self._intervals):
+            if candidate.contains(address):
+                return candidate
+        return None
+
+
+def _trace_for(size: int):
+    app = get_app("bigarray")
+    source = app.source(size=size)
+    module = compile_source(source, module_name="bigarray")
+    trace, result = run_and_trace(module, module_name="bigarray")
+    assert not result.failed
+    return trace
+
+
+def _infos(trace) -> List[VariableInfo]:
+    """The allocation list both builders are fed — enumerated once, outside
+    any timed region, so neither design is charged for the other's work."""
+    return list(build_variable_map(trace.globals, trace.records,
+                                   function="main"))
+
+
+def _build_interval(infos: List[VariableInfo]) -> VariableMap:
+    varmap = VariableMap()
+    for info in infos:
+        varmap.add(info)
+    return varmap
+
+
+def _build_legacy(infos: List[VariableInfo]) -> LegacyVariableMap:
+    legacy = LegacyVariableMap()
+    for info in infos:
+        legacy.add(info)
+    return legacy
+
+
+def _workload(trace, probes: int = 50_000) -> List[int]:
+    """A deterministic mix of element-boundary, interior and miss addresses
+    spanning the app's allocations."""
+    intervals = [(info.base_address, info.end_address, info.element_bytes)
+                 for info in _infos(trace)]
+    lo = min(start for start, _, _ in intervals)
+    hi = max(end for _, end, _ in intervals)
+    span = hi - lo
+    addresses = []
+    for i in range(probes):
+        base = lo + (i * 2654435761) % span          # deterministic spread
+        if i % 3 == 0:
+            base -= base % 8                          # element boundary
+        elif i % 3 == 1:
+            base |= 1                                 # interior byte
+        else:
+            base = hi + (i % 4096)                    # miss past the arrays
+        addresses.append(base)
+    return addresses
+
+
+@pytest.fixture(scope="module")
+def million_trace():
+    return _trace_for(1_000_000)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return _trace_for(4096)
+
+
+def test_index_memory_is_o_intervals(small_trace, million_trace):
+    small_map = build_variable_map(small_trace.globals, small_trace.records,
+                                   function="main")
+    big_map = build_variable_map(million_trace.globals, million_trace.records,
+                                 function="main")
+    # One live segment per allocation, regardless of element count.
+    assert big_map.index_entry_count == small_map.index_entry_count
+    assert big_map.index_entry_count <= len(big_map)
+    big_info = big_map.latest_by_name("big")
+    assert big_info.element_count == 1_000_000
+
+    infos = _infos(million_trace)
+    tracemalloc.start()
+    snapshot_before = tracemalloc.take_snapshot()
+    interval_map = _build_interval(infos)
+    interval_bytes = sum(
+        stat.size_diff for stat in
+        tracemalloc.take_snapshot().compare_to(snapshot_before, "filename"))
+    snapshot_before = tracemalloc.take_snapshot()
+    legacy = _build_legacy(infos)
+    legacy_bytes = sum(
+        stat.size_diff for stat in
+        tracemalloc.take_snapshot().compare_to(snapshot_before, "filename"))
+    tracemalloc.stop()
+    assert len(legacy._address_index) >= 2_000_000
+    print(f"\nindex memory: interval store ~{interval_bytes / 1024:.0f} KiB "
+          f"({interval_map.index_entry_count} segments) vs legacy "
+          f"~{legacy_bytes / 1024 / 1024:.0f} MiB "
+          f"({len(legacy._address_index)} dict entries)")
+    assert interval_bytes < legacy_bytes / 100
+
+
+def test_resolve_throughput_vs_legacy(million_trace):
+    """Acceptance: >= 1.5x build+resolve throughput on million-element arrays.
+
+    Both designs are fed the identical pre-enumerated allocation list, so
+    the timed region covers exactly index construction + the mixed resolve
+    workload for each."""
+    addresses = _workload(million_trace)
+    infos = _infos(million_trace)
+
+    def run_interval():
+        varmap = _build_interval(infos)
+        return sum(1 for address in addresses
+                   if varmap.resolve(address) is not None)
+
+    def run_legacy():
+        legacy = _build_legacy(infos)
+        return sum(1 for address in addresses
+                   if legacy.resolve(address) is not None)
+
+    def best_of(function, rounds=3):
+        best, result = float("inf"), None
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = function()
+            best = min(best, time.perf_counter() - started)
+        return result, best
+
+    interval_hits, interval_seconds = best_of(run_interval)
+    legacy_hits, legacy_seconds = best_of(run_legacy)
+    assert interval_hits == legacy_hits > 0
+    speedup = legacy_seconds / interval_seconds
+    print(f"\nresolve workload ({len(addresses)} probes, million-element app): "
+          f"interval {interval_seconds:.3f}s vs legacy {legacy_seconds:.3f}s "
+          f"-> {speedup:.1f}x")
+    assert speedup >= 1.5, (
+        f"interval store must be >= 1.5x faster than the legacy per-element "
+        f"index ({interval_seconds:.3f}s vs {legacy_seconds:.3f}s)")
+
+
+def test_resolve_agrees_with_legacy_on_live_allocations(small_trace):
+    """Cross-check: for a map whose allocations never overlap (globals + the
+    main function's frame) the two designs resolve identically."""
+    infos = _infos(small_trace)
+    varmap = _build_interval(infos)
+    legacy = _build_legacy(infos)
+    for address in _workload(small_trace, probes=5_000):
+        left = varmap.resolve(address)
+        right = legacy.resolve(address)
+        assert (left is None) == (right is None)
+        if left is not None:
+            assert left.key == right.key
+
+
+def test_bench_pipeline_reports_match_on_bigarray(benchmark, million_trace):
+    """The full pipeline on the million-element app, timed once; the interval
+    store keeps it flat relative to the 4k-element configuration."""
+    from repro.core import AutoCheck, AutoCheckConfig
+
+    app = get_app("bigarray")
+    spec = app.main_loop(app.source(size=1_000_000))
+    report = benchmark(
+        lambda: AutoCheck(AutoCheckConfig(main_loop=spec),
+                          trace=million_trace).run())
+    got = {v.name: v.dependency.value for v in report.critical_variables}
+    assert got == app.expected_critical

@@ -14,6 +14,7 @@ Use :func:`get_app` / :func:`all_apps` to access the registry.
 
 from repro.apps.base import AppDefinition, find_mclr
 from repro.apps.registry import all_apps, app_names, get_app, APP_ORDER
+from repro.apps.bigarray import BIGARRAY_APP
 from repro.apps.example import EXAMPLE_APP
 
 __all__ = [
@@ -23,5 +24,6 @@ __all__ = [
     "app_names",
     "get_app",
     "APP_ORDER",
+    "BIGARRAY_APP",
     "EXAMPLE_APP",
 ]

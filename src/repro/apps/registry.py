@@ -2,7 +2,8 @@
 
 ``APP_ORDER`` follows the row order of paper Table II (Himeno, HPCCG, the
 NPB kernels, the ECP proxies, HACC); the paper's Fig. 4 example is registered
-under ``example`` and is not part of the 14-benchmark study tables.
+under ``example`` and the large-array address-resolution stress app under
+``bigarray`` — neither is part of the 14-benchmark study tables.
 """
 
 from __future__ import annotations
@@ -10,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.apps.base import AppDefinition
+from repro.apps.bigarray import BIGARRAY_APP
 from repro.apps.example import EXAMPLE_APP
 from repro.apps.himeno import HIMENO_APP
 from repro.apps.hpccg import HPCCG_APP
@@ -46,6 +48,7 @@ APP_ORDER: List[str] = [
 
 _REGISTRY: Dict[str, AppDefinition] = {
     "example": EXAMPLE_APP,
+    "bigarray": BIGARRAY_APP,
     "himeno": HIMENO_APP,
     "hpccg": HPCCG_APP,
     "cg": CG_APP,

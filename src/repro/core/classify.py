@@ -42,7 +42,13 @@ def _is_war(events: List[AccessEvent]) -> bool:
 
 def _is_rapo(info: VariableInfo, events: List[AccessEvent],
              post_events: List[AccessEvent]) -> bool:
-    """Array partially overwritten before being read (in or after the loop)."""
+    """Array partially overwritten before being read (in or after the loop).
+
+    ``element_offset`` values come from the interval store's
+    ``resolve_access`` and are relative to the array's base address, so the
+    coverage check against ``info.element_count`` holds for any array size —
+    there is no per-element address index behind them any more.
+    """
     if not info.is_array or not events:
         return False
     if events[0].kind is not AccessKind.WRITE:

@@ -9,10 +9,13 @@ Fig. 5(d).
 
 Termination note: temporary registers can form cycles through non-MLI local
 variables (e.g. a local accumulator ``t = t + x``).  The paper's algorithm
-stops when "the DDG does not change any more"; we implement the same fixed
-point by never re-expanding a parent that has already been substituted for a
-given MLI vertex, which yields exactly the set of MLI ancestors reachable
-through chains of non-MLI vertices.
+stops when "the DDG does not change any more"; the fixed point it converges
+to is exactly "every MLI vertex's parents are the MLI ancestors reachable
+through chains of non-MLI vertices", which we compute directly with one
+reverse BFS per MLI vertex over the *unmodified* complete DDG.  This is
+O(MLI vertices × edges) worst case and visits every vertex at most once per
+BFS — the earlier expansion-loop formulation re-copied parent sets on every
+substitution and went quadratic on dense register graphs.
 """
 
 from __future__ import annotations
@@ -29,30 +32,27 @@ def contract_ddg(complete: DDG, mli_keys: Optional[Iterable[str]] = None) -> DDG
     else:
         keys = set(mli_keys)
 
-    result = complete.copy()
+    result = DDG()
+    retained = [node for node in complete.nodes() if node.key in keys]
+    for node in retained:
+        result.add_node(node.key, node.kind, node.label)
 
-    for mli_key in [node.key for node in result.nodes() if node.key in keys]:
-        expanded: Set[str] = set()
-        changed = True
-        while changed:
-            changed = False
-            for parent in list(result.parents_of(mli_key)):
-                if parent in keys:
-                    continue
-                # Replace the non-MLI parent by its own parents (grandparents
-                # of the MLI vertex), dropping it from this vertex's parents.
-                result.remove_edge(parent, mli_key)
-                changed = True
-                if parent in expanded:
-                    continue
-                expanded.add(parent)
-                for grandparent in result.parents_of(parent):
-                    if grandparent != mli_key:
-                        result.add_edge(grandparent, mli_key)
-
-    for node in list(result.nodes()):
-        if node.key not in keys:
-            result.remove_node(node.key)
+    for node in retained:
+        child = node.key
+        # Reverse BFS from `child` through non-MLI intermediates; every MLI
+        # vertex reached becomes a parent in the contracted graph.
+        seen: Set[str] = set()
+        work = list(complete.parents_of(child))
+        while work:
+            current = work.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in keys:
+                if current != child:
+                    result.add_edge(current, child)
+                continue
+            work.extend(complete.parents_of(current))
     return result
 
 

@@ -18,6 +18,15 @@ Every memory access is attributed to its owning variable by address-interval
 lookup (:class:`repro.core.varmap.VariableMap`), which is how the analysis
 distinguishes MLI variables from same-named locals (Challenge 2) and follows
 data through pointer parameters.
+
+Two pieces of dynamic scoping keep that attribution honest across calls:
+
+* every traced ``Call`` opens an allocation scope on the variable map and
+  the matching ``Ret`` closes it, retiring the callee's Allocas — a dead
+  frame can never absorb later accesses to reused stack addresses;
+* argument/parameter correlations are kept on a **per-callee binding
+  stack** (pushed on ``Call``, popped on ``Ret``), so recursive or repeated
+  calls to the same callee cannot clobber each other's bindings.
 """
 
 from __future__ import annotations
@@ -41,6 +50,8 @@ class DependencyResult:
     reg_var_map: RegVarMap
     reg_reg_map: RegRegMap
     variable_map: VariableMap
+    #: last binding observed per (callee, parameter) — reporting view of the
+    #: per-activation binding stacks the analysis maintains internally
     param_bindings: Dict[Tuple[str, str], str] = field(default_factory=dict)
     #: number of records actually inspected (the "selective" subset)
     inspected_records: int = 0
@@ -68,6 +79,18 @@ class DependencyAnalysis:
         self.reg_var = RegVarMap()
         self.reg_reg = RegRegMap()
         self.param_bindings: Dict[Tuple[str, str], str] = {}
+        #: callee name -> stack of per-activation {parameter: source key}
+        #: frames; the innermost frame is the one lookups must see, so
+        #: recursion cannot clobber an outer activation's bindings.  A frame
+        #: entry may be None: the parameter is explicitly *unbound* for that
+        #: activation (non-register argument) and must not leak a previous
+        #: activation's binding.
+        self._binding_stacks: Dict[str, List[Dict[str, Optional[str]]]] = {}
+        #: set by a Call record; materialized into a scope + binding frame by
+        #: the next record IF that record executes in the callee (i.e. a
+        #: traced body follows — zero-parameter user functions included;
+        #: builtins never enter their callee, so nothing opens for them).
+        self._pending_activation: Optional[Tuple[str, Dict[str, Optional[str]]]] = None
         self._inspected = 0
 
     # ------------------------------------------------------------------ #
@@ -86,13 +109,28 @@ class DependencyAnalysis:
         self.ddg.add_node(info.key, kind, label=info.name)
         return info.key
 
+    def _lookup_binding(self, function: str, name: str) -> Optional[str]:
+        """The innermost activation's binding for parameter ``name``.
+
+        If the innermost frame knows the parameter, its value is
+        authoritative — including an explicit None (unbound for this
+        activation; a previous activation's binding must not leak in).  The
+        flat last-binding view is only consulted when no frame knows the
+        name, e.g. for regions that begin mid-activation where no ``Call``
+        record was seen for the open frame.
+        """
+        frames = self._binding_stacks.get(function)
+        if frames and name in frames[-1]:
+            return frames[-1][name]
+        return self.param_bindings.get((function, name))
+
     def _resolve_memory(self, record: TraceRecord,
                         operand: TraceOperand) -> Optional[str]:
         """Resolve a memory operand to a variable node key."""
         info = self.varmap.resolve(operand.address)
         if info is not None:
             return self._variable_node(info)
-        binding = self.param_bindings.get((record.function, operand.name))
+        binding = self._lookup_binding(record.function, operand.name)
         if binding is not None:
             return binding
         if operand.name:
@@ -117,6 +155,18 @@ class DependencyAnalysis:
         )
 
     def _visit(self, record: TraceRecord) -> None:
+        pending = self._pending_activation
+        if pending is not None:
+            self._pending_activation = None
+            callee, frame = pending
+            if record.function == callee:
+                # The callee's traced body follows the Call record: open its
+                # activation now (allocation scope + binding frame).  For a
+                # builtin the next record stays in the caller and nothing
+                # opens, so Call/Ret scope pairing is exact — including for
+                # zero-parameter user functions.
+                self._binding_stacks.setdefault(callee, []).append(frame)
+                self.varmap.enter_scope(callee)
         opcode = record.opcode
         if record.is_alloca:
             self._inspected += 1
@@ -142,8 +192,15 @@ class DependencyAnalysis:
             self._inspected += 1
             self._visit_call(record)
             return
-        # Branches, comparisons and returns carry no data dependencies the
-        # heuristics need; they are skipped ("selective iteration").
+        if opcode == Opcode.RET:
+            # Returns carry no data dependencies, but they close the callee's
+            # activation: retire its Allocas from address resolution and pop
+            # its parameter-binding frame.  Not counted as "inspected" — the
+            # selective iteration statistic counts dependency-bearing records.
+            self._visit_ret(record)
+            return
+        # Branches and comparisons carry no data dependencies the heuristics
+        # need; they are skipped ("selective iteration").
 
     def _visit_load(self, record: TraceRecord) -> None:
         operand = record.memory_operand()
@@ -171,7 +228,7 @@ class DependencyAnalysis:
             # Storing a named non-register value: this is the callee spilling
             # a formal parameter into its stack slot — connect it to the
             # argument recorded by the preceding Call instruction (Fig. 6b).
-            binding = self.param_bindings.get((record.function, value_operand.name))
+            binding = self._lookup_binding(record.function, value_operand.name)
             if binding is not None:
                 self.ddg.add_edge(binding, var_key)
 
@@ -226,35 +283,52 @@ class DependencyAnalysis:
     def _visit_call(self, record: TraceRecord) -> None:
         params = record.parameter_operands()
         args = record.argument_operands()
+        frame: Dict[str, Optional[str]] = {}
         if not params:
             # Single-Call form (builtin / external, Fig. 6a): behave like an
-            # arithmetic instruction over the argument registers.
-            if record.result is None:
-                return
-            result_key = self._register_node(record.function, record.result.name)
-            input_registers = []
-            for operand in args:
-                if operand.is_register:
-                    input_registers.append(operand.name)
-                    reg_key = self._register_node(record.function, operand.name)
-                    self.ddg.add_edge(reg_key, result_key)
-            self.reg_reg.link(record.function, record.result.name, input_registers)
-            return
+            # arithmetic instruction over the argument registers.  It may
+            # still be a zero-parameter *user* function whose body follows —
+            # the pending-activation check on the next record decides.
+            if record.result is not None:
+                result_key = self._register_node(record.function,
+                                                 record.result.name)
+                input_registers = []
+                for operand in args:
+                    if operand.is_register:
+                        input_registers.append(operand.name)
+                        reg_key = self._register_node(record.function,
+                                                      operand.name)
+                        self.ddg.add_edge(reg_key, result_key)
+                self.reg_reg.link(record.function, record.result.name,
+                                  input_registers)
+        else:
+            # Call followed by its body (Fig. 6b): record the argument/
+            # parameter correlation so the callee's parameter accesses
+            # connect back to the caller's variables.  Every parameter gets a
+            # frame entry — None marks it explicitly unbound for this
+            # activation.
+            for position, param in enumerate(params):
+                source_key: Optional[str] = None
+                if position < len(args):
+                    arg = args[position]
+                    if arg.is_register:
+                        source_key = self.reg_var.lookup(record.function,
+                                                         arg.name)
+                        if source_key is None and arg.address is not None:
+                            info = self.varmap.resolve(arg.address)
+                            if info is not None:
+                                source_key = self._variable_node(info)
+                        if source_key is None:
+                            source_key = self._register_node(record.function,
+                                                             arg.name)
+                frame[param.name] = source_key
+                if source_key is not None:
+                    self.param_bindings[(record.callee, param.name)] = source_key
+        if record.callee:
+            self._pending_activation = (record.callee, frame)
 
-        # Call followed by its body (Fig. 6b): append the argument/parameter
-        # correlation to the reg-var map so that the callee's parameter
-        # accesses connect back to the caller's variables.
-        for position, param in enumerate(params):
-            source_key: Optional[str] = None
-            if position < len(args):
-                arg = args[position]
-                if arg.is_register:
-                    source_key = self.reg_var.lookup(record.function, arg.name)
-                    if source_key is None and arg.address is not None:
-                        info = self.varmap.resolve(arg.address)
-                        if info is not None:
-                            source_key = self._variable_node(info)
-                    if source_key is None:
-                        source_key = self._register_node(record.function, arg.name)
-            if source_key is not None:
-                self.param_bindings[(record.callee, param.name)] = source_key
+    def _visit_ret(self, record: TraceRecord) -> None:
+        frames = self._binding_stacks.get(record.function)
+        if frames:
+            frames.pop()
+        self.varmap.exit_scope(record.function)

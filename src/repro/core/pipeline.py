@@ -88,7 +88,9 @@ class AutoCheck:
                     return induction.name, info
 
         # Fallback: dynamic detection — the variable both read and written by
-        # records at the loop's controlling source line.
+        # records at the loop's controlling source line.  Resolution goes
+        # through the live interval store, so a controlling variable is found
+        # for any accessed byte address, not just element boundaries.
         spec_line = spec.start_line
         read_names = {}
         written_names = {}

@@ -9,7 +9,9 @@ Implements the workflow of paper Fig. 3:
 2. collect the variables accessed in Part A and in Part B — bypassing the
    intervals of function calls inside the loop (Challenge 1, Sec. V-B) and
    resolving every access to its owning allocation by memory address
-   (Challenge 2, Sec. V-C);
+   (Challenge 2, Sec. V-C) through the bisect-indexed live-interval store of
+   :class:`repro.core.varmap.VariableMap` (O(log intervals) per access, no
+   per-element index);
 3. match the two collections: variables accessed both before and inside the
    loop are the Main-Loop-Input (MLI) variables.
 
@@ -261,7 +263,10 @@ def identify_mli_variables(trace: Trace, spec: MainLoopSpec,
     # The address map for MLI identification indexes module globals plus the
     # allocations made by the main-loop function itself (its locals/arrays);
     # locals of other functions are deliberately absent so that a name
-    # collision cannot be mistaken for a match (Challenge 2).
+    # collision cannot be mistaken for a match (Challenge 2).  The map stays
+    # unscoped (``scoped=False``): the main-loop function never returns
+    # within the analysed extent, and collection resolves accesses against
+    # the completed map, so its allocations must all stay live.
     varmap = build_variable_map(trace.globals, trace.records, function=spec.function)
 
     before_vars = _collect_variables(regions.before, spec, varmap,
@@ -315,7 +320,9 @@ def identify_mli_variables_streaming(path: str, spec: MainLoopSpec,
 
     One semantic note: accesses are resolved against the allocations seen
     *so far* rather than against the completed map.  At ``-O0`` every
-    ``Alloca`` of the main-loop function precedes any access to it, so the
+    ``Alloca`` of the main-loop function precedes any access to it, and a
+    new allocation shadows any stale overlap the moment it is registered
+    (the interval store splits/evicts, see :mod:`repro.core.varmap`), so the
     two resolutions agree — the equivalence tests assert identical reports
     on every registered benchmark.
     """

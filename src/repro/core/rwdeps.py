@@ -6,6 +6,12 @@ instruction id (paper Fig. 5e), plus the post-loop reads needed for the
 *Outcome* heuristic.  Array accesses also record the element offset touched,
 which is what the *RAPO* (Read-After-Partially-Overwritten) heuristic
 inspects.
+
+Offsets come from :meth:`repro.core.varmap.VariableMap.resolve_access`: the
+owning allocation and the element index are produced by one bisect lookup
+against the live interval store, and the index is always relative to the
+owner's base address — stable even when later allocations have shadowed part
+of the owner's range.
 """
 
 from __future__ import annotations
@@ -76,8 +82,11 @@ def _record_events(records: List[TraceRecord], varmap: VariableMap,
             continue
         if operand is None or operand.address is None:
             continue
-        info = varmap.resolve(operand.address)
-        if info is None or info.key not in mli_keys:
+        resolved = varmap.resolve_access(operand.address)
+        if resolved is None:
+            continue
+        info, element_offset = resolved
+        if info.key not in mli_keys:
             continue
         event = AccessEvent(
             dyn_id=record.dyn_id,
@@ -86,7 +95,7 @@ def _record_events(records: List[TraceRecord], varmap: VariableMap,
             kind=kind,
             line=record.line,
             function=record.function,
-            element_offset=info.element_offset(operand.address),
+            element_offset=element_offset,
         )
         sink.append(event)
         by_variable.setdefault(info.key, []).append(event)

@@ -12,13 +12,38 @@ The paper resolves two hard cases by looking at memory addresses:
 
 :class:`VariableMap` is built from the globals preamble plus the ``Alloca``
 records seen in the trace, and answers "which variable owns address X?".
+
+Resolution semantics
+--------------------
+
+The map keeps a **sorted list of non-overlapping live address segments**:
+
+* registering an allocation that overlaps existing segments *splits or
+  evicts* them, so the newest registration always wins for the addresses it
+  covers while the non-overlapped remainders of older allocations stay
+  resolvable — true last-registered-wins shadowing for the stack-address
+  re-use patterns of successive calls;
+* :meth:`VariableMap.resolve` is a ``bisect`` lookup — O(log segments) for
+  *any* byte address inside a live interval, not just element boundaries;
+* index memory is O(live segments), independent of array element counts
+  (a million-element array costs one segment, not a million index entries);
+* allocations can be grouped into **scopes** (one per traced function
+  activation): :meth:`enter_scope` / :meth:`exit_scope` let the dependency
+  analysis retire a callee's allocas when the tracer records the function's
+  ``Ret``, so a dead frame can never shadow or absorb later accesses.
+
+Retirement and shadowing only affect *address resolution*; the registration
+history (:meth:`by_name`, :meth:`latest_by_name`, iteration, ``len``) keeps
+every allocation ever registered, which is what the reporting layers need.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.ir.opcodes import Opcode
 from repro.trace.records import GlobalSymbol, TraceRecord
 
 
@@ -60,23 +85,36 @@ class VariableInfo:
         return f"{self.name}@{self.base_address:#x}"
 
 
+class _Scope:
+    """One open allocation scope (a traced function activation)."""
+
+    __slots__ = ("function", "infos")
+
+    def __init__(self, function: str) -> None:
+        self.function = function
+        self.infos: List[VariableInfo] = []
+
+
 class VariableMap:
     """Map ``address -> VariableInfo`` with last-registered-wins semantics.
 
     Stack addresses may be reused by successive calls; registering a new
     allocation that overlaps an old one shadows it for subsequent lookups,
     which matches the "on-the-fly, active state only" semantics the paper
-    describes for its maps.
-
-    Lookups are O(1): every element address of a registered variable is
-    indexed (the mini benchmarks keep arrays small, so the index stays tiny).
-    Addresses not on an element boundary fall back to an interval scan.
+    describes for its maps.  See the module docstring for the full
+    resolution semantics (segment store, scoping, complexity).
     """
 
     def __init__(self) -> None:
         self._by_name: Dict[str, List[VariableInfo]] = {}
         self._intervals: List[VariableInfo] = []
-        self._address_index: Dict[int, VariableInfo] = {}
+        # Live, sorted, pairwise-disjoint address segments.  A segment is a
+        # sub-range of its owner's [base_address, end_address) — shadowing
+        # can trim an owner down to one or two remainder segments.
+        self._seg_starts: List[int] = []
+        self._seg_ends: List[int] = []
+        self._seg_owners: List[VariableInfo] = []
+        self._scopes: List[_Scope] = []
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -84,9 +122,12 @@ class VariableMap:
     def add(self, info: VariableInfo) -> VariableInfo:
         self._by_name.setdefault(info.name, []).append(info)
         self._intervals.append(info)
-        step = info.element_bytes
-        for offset in range(0, max(info.size_bytes, step), step):
-            self._address_index[info.base_address + offset] = info
+        if info.size_bytes > 0:
+            self._insert_segment(info.base_address, info.end_address, info)
+        if not info.is_global:
+            scope = self._innermost_scope(info.function)
+            if scope is not None:
+                scope.infos.append(info)
         return info
 
     def add_global_symbol(self, symbol: GlobalSymbol, decl_line: int = 0) -> VariableInfo:
@@ -105,7 +146,10 @@ class VariableMap:
                 count = int(operand.value)
                 break
         element_bits = record.result.bits or 32
-        size_bytes = count * (element_bits // 8)
+        # Ceil division: sub-byte element types (i1 booleans) still occupy a
+        # whole addressable byte each — floor division would produce a
+        # zero-byte, unresolvable interval.
+        size_bytes = count * max(1, (element_bits + 7) // 8)
         return self.add(VariableInfo(
             name=record.result.name,
             base_address=record.result.address or 0,
@@ -118,19 +162,122 @@ class VariableMap:
         ))
 
     # ------------------------------------------------------------------ #
+    # Scopes
+    # ------------------------------------------------------------------ #
+    def enter_scope(self, function: str) -> None:
+        """Open an allocation scope for one activation of ``function``.
+
+        Subsequent non-global registrations whose ``function`` matches are
+        attached to the innermost such scope and retired by
+        :meth:`exit_scope`.
+        """
+        self._scopes.append(_Scope(function))
+
+    def exit_scope(self, function: str) -> None:
+        """Close the innermost open scope of ``function``, retiring its
+        allocations (plus those of any unbalanced scopes opened above it).
+
+        A ``function`` with no open scope is a no-op, so feeding ``Ret``
+        records of untracked functions (e.g. the main-loop function itself)
+        is harmless.
+        """
+        for index in range(len(self._scopes) - 1, -1, -1):
+            if self._scopes[index].function == function:
+                for scope in self._scopes[index:]:
+                    for info in scope.infos:
+                        self.retire(info)
+                del self._scopes[index:]
+                return
+
+    @property
+    def open_scope_count(self) -> int:
+        return len(self._scopes)
+
+    def _innermost_scope(self, function: str) -> Optional[_Scope]:
+        for scope in reversed(self._scopes):
+            if scope.function == function:
+                return scope
+        return None
+
+    def retire(self, info: VariableInfo) -> None:
+        """Drop ``info``'s live segments; its registration history remains."""
+        index = bisect_left(self._seg_starts, info.base_address)
+        while (index < len(self._seg_starts)
+               and self._seg_starts[index] < info.end_address):
+            if self._seg_owners[index] is info:
+                del self._seg_starts[index]
+                del self._seg_ends[index]
+                del self._seg_owners[index]
+            else:
+                index += 1
+
+    # ------------------------------------------------------------------ #
+    # Segment store
+    # ------------------------------------------------------------------ #
+    def _insert_segment(self, start: int, end: int, owner: VariableInfo) -> None:
+        starts, ends, owners = self._seg_starts, self._seg_ends, self._seg_owners
+        index = bisect_left(starts, start)
+        # A predecessor reaching past `start` is split: its left remainder is
+        # trimmed in place and, when it spans past `end`, its right remainder
+        # re-inserted after the new segment.
+        if index > 0 and ends[index - 1] > start:
+            old_end = ends[index - 1]
+            old_owner = owners[index - 1]
+            ends[index - 1] = start
+            if old_end > end:
+                starts.insert(index, end)
+                ends.insert(index, old_end)
+                owners.insert(index, old_owner)
+        # Segments starting inside [start, end) are evicted; one reaching
+        # past `end` keeps its right remainder.
+        cursor = index
+        while cursor < len(starts) and starts[cursor] < end:
+            if ends[cursor] > end:
+                starts[cursor] = end
+                break
+            cursor += 1
+        if cursor > index:
+            del starts[index:cursor]
+            del ends[index:cursor]
+            del owners[index:cursor]
+        starts.insert(index, start)
+        ends.insert(index, end)
+        owners.insert(index, owner)
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def resolve(self, address: Optional[int]) -> Optional[VariableInfo]:
-        """Return the most recently registered variable containing ``address``."""
+        """Return the live variable owning ``address`` (None if unmapped)."""
         if address is None:
             return None
-        info = self._address_index.get(address)
-        if info is not None:
-            return info
-        for candidate in reversed(self._intervals):
-            if candidate.contains(address):
-                return candidate
+        index = bisect_right(self._seg_starts, address) - 1
+        if index >= 0 and self._seg_ends[index] > address:
+            return self._seg_owners[index]
         return None
+
+    def resolve_access(self, address: Optional[int],
+                       ) -> Optional[Tuple[VariableInfo, int]]:
+        """Resolve ``address`` to ``(owner, element_offset)`` in one lookup.
+
+        The offset is relative to the owner's *base address* (not the live
+        segment's start), so element indices are stable even when shadowing
+        has trimmed the owner to a remainder segment.
+        """
+        info = self.resolve(address)
+        if info is None:
+            return None
+        return info, info.element_offset(address)
+
+    def live_intervals(self) -> List[Tuple[int, int, VariableInfo]]:
+        """The current live segments as ``(start, end, owner)`` triples."""
+        return list(zip(self._seg_starts, self._seg_ends, self._seg_owners))
+
+    @property
+    def index_entry_count(self) -> int:
+        """Number of live segments — the index's memory footprint is
+        O(this), never O(array elements)."""
+        return len(self._seg_starts)
 
     def by_name(self, name: str) -> List[VariableInfo]:
         return list(self._by_name.get(name, []))
@@ -145,13 +292,14 @@ class VariableMap:
     def __len__(self) -> int:
         return len(self._intervals)
 
-    def __iter__(self) -> Iterable[VariableInfo]:
+    def __iter__(self) -> Iterator[VariableInfo]:
         return iter(self._intervals)
 
 
 def build_variable_map(globals_: Iterable[GlobalSymbol],
                        records: Iterable[TraceRecord],
-                       function: Optional[str] = None) -> VariableMap:
+                       function: Optional[str] = None,
+                       scoped: bool = False) -> VariableMap:
     """Build a variable map from the preamble plus (optionally filtered) Allocas.
 
     When ``function`` is given only that function's allocations are indexed —
@@ -159,11 +307,33 @@ def build_variable_map(globals_: Iterable[GlobalSymbol],
     MLI variable owned by the main-loop function (Challenge 2); passing
     ``None`` indexes every allocation (used by the dependency analysis to
     recognise locals of callees).
+
+    With ``scoped=True`` the builder additionally replays the trace's
+    ``Call``/``Ret`` structure through :meth:`VariableMap.enter_scope` /
+    :meth:`VariableMap.exit_scope`, so allocations of returned activations
+    are retired from address resolution exactly as the dependency analysis
+    would retire them on the fly.  The default keeps the full history live,
+    which the materialized MLI-identification path relies on (it resolves
+    accesses against the completed map).
     """
     varmap = VariableMap()
     for symbol in globals_:
         varmap.add_global_symbol(symbol)
+    pending_callee: Optional[str] = None
     for record in records:
+        if scoped:
+            # A Call only opens a scope once the next record proves a traced
+            # body follows (it executes in the callee) — this covers
+            # zero-parameter user functions while builtins, whose next record
+            # stays in the caller, open nothing.
+            if pending_callee is not None:
+                if record.function == pending_callee:
+                    varmap.enter_scope(pending_callee)
+                pending_callee = None
+            if record.is_call and record.callee:
+                pending_callee = record.callee
+            elif record.opcode == Opcode.RET:
+                varmap.exit_scope(record.function)
         if not record.is_alloca:
             continue
         if function is not None and record.function != function:

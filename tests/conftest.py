@@ -15,7 +15,36 @@ from repro.codegen.lowering import compile_source
 from repro.core.config import AutoCheckConfig, MainLoopSpec
 from repro.core.pipeline import AutoCheck
 from repro.core.preprocessing import identify_mli_variables
+from repro.ir.opcodes import Opcode
+from repro.trace.records import TraceOperand, TraceRecord
 from repro.tracer.driver import run_and_trace
+
+
+# --------------------------------------------------------------------------- #
+# Synthetic trace-record factories shared by the address-resolution and
+# dependency tests (import from conftest: `from conftest import make_record`).
+# --------------------------------------------------------------------------- #
+def make_operand(index, name="", *, address=None, is_register=False, bits=32,
+                 value=0):
+    return TraceOperand(index=index, bits=bits, value=value,
+                        is_register=is_register, name=name, address=address)
+
+
+def make_record(dyn_id, opcode, function, line, operands=(), result=None,
+                callee=""):
+    opcode = Opcode(opcode)
+    return TraceRecord(
+        dyn_id=dyn_id, opcode=int(opcode), opcode_name=opcode.mnemonic,
+        function=function, line=line, column=0, bb_label=0, bb_id="0:0",
+        operands=list(operands), result=result, callee=callee)
+
+
+def make_alloca_record(name, address, *, count=1, bits=32, function="main",
+                       dyn_id=1, line=0):
+    return make_record(
+        dyn_id, Opcode.ALLOCA, function, line,
+        operands=[make_operand("1", "count", value=count)],
+        result=make_operand("r", name, address=address, bits=bits))
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,8 @@
 """Unit tests for complete-DDG construction, R/W extraction and classification."""
 
 import pytest
+from conftest import make_alloca_record, make_operand as _operand, \
+    make_record as _rec
 
 from repro.core import MainLoopSpec
 from repro.core.classify import classify_variables
@@ -10,6 +12,8 @@ from repro.core.preprocessing import identify_mli_variables
 from repro.core.report import DependencyType
 from repro.core.rwdeps import AccessKind, extract_rw_dependencies
 from repro.core.varmap import VariableInfo
+from repro.ir.opcodes import Opcode
+from repro.trace.records import Trace
 
 
 @pytest.fixture(scope="module")
@@ -131,3 +135,131 @@ class TestClassification:
     def test_checkpoint_bytes_is_sum_of_sizes(self, example_report):
         assert example_report.checkpoint_bytes() == sum(
             v.size_bytes for v in example_report.critical_variables)
+
+
+class TestRecursiveParamBindings:
+    """Regression: recursive (or repeated) calls to the same callee must not
+    clobber the outer activation's (callee, parameter) binding — the analysis
+    keeps a per-callee binding stack pushed on ``Call``, popped on ``Ret``."""
+
+    A, B = 0x1000, 0x1010
+    OUTER_SLOT, INNER_SLOT = 0x7000, 0x7100
+    SPEC = MainLoopSpec(function="main", start_line=10, end_line=20)
+
+    def _trace(self):
+        mk, op = _rec, _operand
+        alloca = lambda i, fn, ln, name, addr: make_alloca_record(
+            name, addr, bits=64, function=fn, dyn_id=i, line=ln)
+        records = [
+            # main's locals, touched before the loop
+            alloca(1, "main", 2, "a", self.A),
+            alloca(2, "main", 3, "b", self.B),
+            mk(3, Opcode.STORE, "main", 4,
+               operands=[op("1", ""), op("2", "a", address=self.A)]),
+            mk(4, Opcode.STORE, "main", 5,
+               operands=[op("1", ""), op("2", "b", address=self.B)]),
+            # loop extent opens; outer call binds p -> a
+            mk(5, Opcode.CALL, "main", 10,
+               operands=[op("1", "10", address=self.A, is_register=True),
+                         op("p1", "p", address=self.A)],
+               callee="rec"),
+            alloca(6, "rec", 30, "pslot", self.OUTER_SLOT),
+            # recursive call binds p -> b (must shadow, not clobber)
+            mk(7, Opcode.CALL, "rec", 31,
+               operands=[op("1", "3", address=self.B, is_register=True),
+                         op("p1", "p", address=self.B)],
+               callee="rec"),
+            alloca(8, "rec", 30, "pslot", self.INNER_SLOT),
+            # inner activation spills its parameter: p -> b
+            mk(9, Opcode.STORE, "rec", 30,
+               operands=[op("1", "p", address=self.B),
+                         op("2", "pslot", address=self.INNER_SLOT)]),
+            mk(10, Opcode.RET, "rec", 32),
+            # OUTER activation spills after the inner call returned: the
+            # binding must still be p -> a (the flat last-wins dict said b)
+            mk(11, Opcode.STORE, "rec", 33,
+               operands=[op("1", "p", address=self.A),
+                         op("2", "pslot", address=self.OUTER_SLOT)]),
+            mk(12, Opcode.RET, "rec", 34),
+            # loop extent closes
+            mk(13, Opcode.STORE, "main", 20,
+               operands=[op("1", ""), op("2", "a", address=self.A)]),
+        ]
+        return Trace(module_name="recursion", records=records)
+
+    @pytest.fixture()
+    def recursion_dependency(self):
+        trace = self._trace()
+        preprocessing = identify_mli_variables(trace, self.SPEC)
+        return DependencyAnalysis(preprocessing).run()
+
+    def test_outer_spill_binds_to_outer_argument(self, recursion_dependency):
+        ddg = recursion_dependency.complete_ddg
+        a_key, b_key = f"a@{self.A:#x}", f"b@{self.B:#x}"
+        outer_slot = f"pslot@{self.OUTER_SLOT:#x}"
+        inner_slot = f"pslot@{self.INNER_SLOT:#x}"
+        assert ddg.parents_of(outer_slot) == {a_key}
+        assert ddg.parents_of(inner_slot) == {b_key}
+
+    def test_binding_frames_are_popped_on_return(self, recursion_dependency):
+        # after both activations returned the flat reporting view keeps the
+        # last observed binding, but no live frame remains
+        assert recursion_dependency.param_bindings[("rec", "p")].startswith("b@")
+        analysis_map = recursion_dependency.variable_map
+        assert analysis_map.open_scope_count == 0
+        # both activations' slots were retired from address resolution
+        assert analysis_map.resolve(self.OUTER_SLOT) is None
+        assert analysis_map.resolve(self.INNER_SLOT) is None
+
+
+class TestUnboundParameterDoesNotLeak:
+    """Regression: an activation whose argument is a constant (non-register)
+    leaves the parameter explicitly *unbound*; the spill inside that
+    activation must not fall back to a previous activation's binding."""
+
+    A = 0x1000
+    SLOT1, SLOT2 = 0x7000, 0x7100
+    SPEC = MainLoopSpec(function="main", start_line=10, end_line=20)
+
+    def _trace(self):
+        mk, op = _rec, _operand
+        alloca = lambda i, fn, ln, name, addr: make_alloca_record(
+            name, addr, bits=64, function=fn, dyn_id=i, line=ln)
+        records = [
+            alloca(1, "main", 2, "a", self.A),
+            mk(2, Opcode.STORE, "main", 3,
+               operands=[op("1", ""), op("2", "a", address=self.A)]),
+            # first call binds p -> a (register argument carrying a's address)
+            mk(3, Opcode.CALL, "main", 10,
+               operands=[op("1", "10", address=self.A, is_register=True),
+                         op("p1", "p", address=self.A)],
+               callee="helper"),
+            alloca(4, "helper", 30, "pslot", self.SLOT1),
+            mk(5, Opcode.STORE, "helper", 30,
+               operands=[op("1", "p", address=self.A),
+                         op("2", "pslot", address=self.SLOT1)]),
+            mk(6, Opcode.RET, "helper", 31),
+            # second call passes a constant: p is unbound for this activation
+            mk(7, Opcode.CALL, "main", 11,
+               operands=[op("1", "", value=5), op("p1", "p")],
+               callee="helper"),
+            alloca(8, "helper", 30, "pslot", self.SLOT2),
+            mk(9, Opcode.STORE, "helper", 30,
+               operands=[op("1", "p", value=5),
+                         op("2", "pslot", address=self.SLOT2)]),
+            mk(10, Opcode.RET, "helper", 31),
+            mk(11, Opcode.STORE, "main", 20,
+               operands=[op("1", ""), op("2", "a", address=self.A)]),
+        ]
+        return Trace(module_name="unbound", records=records)
+
+    def test_constant_argument_activation_gets_no_stale_edge(self):
+        trace = self._trace()
+        preprocessing = identify_mli_variables(trace, self.SPEC)
+        dependency = DependencyAnalysis(preprocessing).run()
+        ddg = dependency.complete_ddg
+        a_key = f"a@{self.A:#x}"
+        # first activation: spill connects a to its slot
+        assert ddg.parents_of(f"pslot@{self.SLOT1:#x}") == {a_key}
+        # second activation: p is explicitly unbound — no leaked edge from a
+        assert ddg.parents_of(f"pslot@{self.SLOT2:#x}") == set()

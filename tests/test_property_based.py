@@ -14,7 +14,9 @@ Covered properties:
   traces and worker counts, for both encodings — with multi-byte
   identifiers in the mix so byte/character confusion cannot reappear;
 * Algorithm-1 DDG contraction soundness on random graphs (contracted parents
-  = MLI ancestors reachable through non-MLI chains) and idempotence;
+  = MLI ancestors reachable through non-MLI chains), idempotence, and
+  completion-within-deadline on dense multi-thousand-register webs (where
+  the pre-BFS expansion loop used to time out);
 * deterministic RNG stays within bounds and is reproducible.
 """
 
@@ -324,6 +326,51 @@ def test_contraction_does_not_mutate_input(data):
     contract_ddg(ddg, mli_keys)
     assert set(ddg.node_keys()) == nodes_before
     assert set(ddg.edges()) == edges_before
+
+
+@st.composite
+def dense_register_web(draw):
+    """A large web of temporary registers all feeding every MLI vertex, with
+    a chained non-MLI ancestry — the shape real traces produce for register
+    soups inside hot loops.  The old expansion-loop contraction re-copied
+    parent sets on every substitution here and blew hypothesis's deadline at
+    a few thousand registers; the reverse-BFS contraction stays linear in
+    the edge count."""
+    n_mli = draw(st.integers(min_value=2, max_value=8))
+    n_other = draw(st.integers(min_value=1_000, max_value=4_000))
+    fan = draw(st.integers(min_value=1, max_value=3))
+    ddg = DDG()
+    mli_keys = [f"v{i}" for i in range(n_mli)]
+    other_keys = [f"t{i}" for i in range(n_other)]
+    for key in mli_keys:
+        ddg.add_node(key, NodeKind.MLI, key)
+    for key in other_keys:
+        ddg.add_node(key, NodeKind.REGISTER, key)
+    for i in range(n_other):
+        for mli in mli_keys:
+            ddg.add_edge(other_keys[i], mli)
+        for j in range(i + 1, min(i + 1 + fan, n_other)):
+            ddg.add_edge(other_keys[j], other_keys[i])
+        # every register chain bottoms out in some MLI variable, so the
+        # contracted graph is the complete MLI digraph (minus self loops)
+        ddg.add_edge(mli_keys[i % n_mli], other_keys[i])
+    return ddg, set(mli_keys)
+
+
+@given(dense_register_web())
+@settings(max_examples=5, deadline=2_000)
+def test_contraction_sound_on_dense_register_webs(data):
+    """Previously timed out: the per-parent remove/re-add expansion loop was
+    4-8x slower with heavy set-copy churn on graphs of this size; the BFS
+    formulation completes well inside the deadline."""
+    ddg, mli_keys = data
+    contracted = contract_ddg(ddg, mli_keys)
+    assert set(contracted.node_keys()) <= mli_keys
+    assert contraction_is_sound(ddg, contracted, mli_keys)
+    # every MLI vertex keeps its full non-MLI ancestry compressed away:
+    # each is parented by every *other* MLI vertex reachable through the web
+    for child in mli_keys:
+        assert contracted.parents_of(child) == mli_keys - {child}
 
 
 # --------------------------------------------------------------------------- #
