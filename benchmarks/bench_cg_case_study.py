@@ -23,5 +23,5 @@ def test_cg_case_study(benchmark, once):
     print()
     print("CG case study (paper Sec. IV-D):")
     print(f"  critical variables: {report.dependency_string()}")
-    print(f"  analysis stages   : "
+    print("  analysis stages   : "
           + ", ".join(f"{k}={v:.3f}s" for k, v in report.timings.stages.items()))

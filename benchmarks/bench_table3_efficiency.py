@@ -8,8 +8,6 @@ dominates the total analysis time and the identification stage is the
 cheapest.
 """
 
-import pytest
-
 from repro.experiments.table3 import format_table3, run_table3
 
 #: A representative spread of small / medium / large traces; running all 14

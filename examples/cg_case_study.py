@@ -21,7 +21,7 @@ from repro.experiments.common import analyze_app
 
 app = get_app("cg")
 print(f"Benchmark: {app.title} — {app.description}")
-print(f"Expected per paper Table II: "
+print("Expected per paper Table II: "
       + ", ".join(f"{k} ({v})" for k, v in app.expected_critical.items()))
 print()
 

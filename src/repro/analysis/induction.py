@@ -14,7 +14,7 @@ the equivalent is computed directly on the IR:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.loops import Loop, LoopInfo, find_loops
 from repro.ir.instructions import (

@@ -7,8 +7,6 @@ the resulting dynamic trace.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
-
 from repro.codegen.lowering import compile_source
 from repro.core.config import AutoCheckConfig, MainLoopSpec
 from repro.core.pipeline import AutoCheck

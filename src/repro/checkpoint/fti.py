@@ -10,7 +10,7 @@ tells the application whether a restart is in progress.  Only the L1
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.checkpoint.storage import CheckpointData, CheckpointStorage

@@ -18,8 +18,8 @@ process dies mid-iteration, which is the harshest point for consistency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.analysis.induction import find_main_loop
 from repro.analysis.loops import find_loops

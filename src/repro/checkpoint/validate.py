@@ -22,7 +22,6 @@ from repro.checkpoint.fti import FTIConfig
 from repro.checkpoint.instrument import CheckpointInstrumenter, InstrumentedRun
 from repro.core.config import MainLoopSpec
 from repro.ir.module import Module
-from repro.tracer.driver import compile_and_run
 from repro.tracer.interpreter import Interpreter, InterpreterError
 
 

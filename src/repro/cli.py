@@ -46,7 +46,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                              parallel_preprocessing=args.parallel,
                              preprocessing_workers=args.workers,
                              streaming_preprocessing=args.streaming,
-                             induction_variable=args.induction)
+                             induction_variable=args.induction,
+                             analysis_engine=args.engine)
     report = AutoCheck(config, trace_path=args.trace).run()
     print(report.summary())
     return 0
@@ -100,8 +101,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_analyze.add_argument("--induction", default=None)
     p_analyze.add_argument("--parallel", action="store_true")
     p_analyze.add_argument("--streaming", action="store_true",
-                           help="single-pass streaming pre-processing "
-                                "(bounded memory for very large traces)")
+                           help="stream the trace file instead of "
+                                "materializing it (bounded memory for very "
+                                "large traces; with the default fused "
+                                "engine the file is streamed exactly once)")
+    p_analyze.add_argument("--engine", choices=("fused", "multipass"),
+                           default="fused",
+                           help="'fused' (default): all analysis stages run "
+                                "as passes over one single-pass record "
+                                "walk; 'multipass': the legacy staged "
+                                "pipeline (each stage re-iterates its "
+                                "region)")
     p_analyze.add_argument("--workers", type=int, default=4)
     p_analyze.set_defaults(func=_cmd_analyze)
 

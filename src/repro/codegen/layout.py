@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Tuple
 
 from repro.minicc import ast_nodes as ast
 from repro.ir.types import ArrayType, F64, I32, IRType, PointerType

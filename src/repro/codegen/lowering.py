@@ -11,7 +11,7 @@ from repro.ir.instructions import binary_opcode
 from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.opcodes import Opcode
 from repro.ir.types import F64, I32, PointerType
-from repro.ir.values import Argument, Constant, GlobalVariable, Register, Value
+from repro.ir.values import Argument, Constant, GlobalVariable, Value
 from repro.ir.verifier import verify_module
 from repro.minicc import ast_nodes as ast
 from repro.minicc.errors import SemanticError

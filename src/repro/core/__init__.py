@@ -19,10 +19,21 @@ This package implements the three modules of the paper's design (Fig. 2):
    RAPO / Index heuristics (Sec. IV-C, Fig. 7).
 
 :class:`repro.core.pipeline.AutoCheck` ties the three modules together and
-reports per-stage timings (the Table III breakdown).
+reports per-stage timings (the Table III breakdown).  By default all three
+run as passes over one single-pass record walk
+(:class:`repro.core.engine.AnalysisEngine`); the staged multi-pass pipeline
+remains available as ``AutoCheckConfig(analysis_engine="multipass")``.
 """
 
-from repro.core.config import AutoCheckConfig, MainLoopSpec
+from repro.core.config import ANALYSIS_ENGINES, AutoCheckConfig, MainLoopSpec
+from repro.core.engine import (
+    REGION_AFTER,
+    REGION_BEFORE,
+    REGION_INSIDE,
+    AnalysisEngine,
+    AnalysisPass,
+    EngineWalk,
+)
 from repro.core.errors import AnalysisError
 from repro.core.report import (
     AutoCheckReport,
@@ -31,6 +42,7 @@ from repro.core.report import (
 )
 from repro.core.varmap import VariableInfo, VariableMap
 from repro.core.preprocessing import (
+    MLICollectionPass,
     MLIVariable,
     PreprocessingResult,
     StreamingTraceRegions,
@@ -42,21 +54,38 @@ from repro.core.preprocessing import (
 )
 from repro.core.ddg import DDG, DDGNode, NodeKind
 from repro.core.regmaps import RegRegMap, RegVarMap
-from repro.core.dependency import DependencyAnalysis, DependencyResult
+from repro.core.dependency import (
+    DependencyAnalysis,
+    DependencyPass,
+    DependencyResult,
+)
 from repro.core.contraction import contract_ddg
-from repro.core.rwdeps import AccessEvent, AccessKind, extract_rw_dependencies
+from repro.core.rwdeps import (
+    AccessEvent,
+    AccessKind,
+    RWExtractionPass,
+    extract_rw_dependencies,
+)
 from repro.core.classify import classify_variables
-from repro.core.pipeline import AutoCheck, analyze_trace
+from repro.core.pipeline import AutoCheck, InductionProbePass, analyze_trace
 
 __all__ = [
+    "ANALYSIS_ENGINES",
     "AutoCheckConfig",
     "MainLoopSpec",
     "AnalysisError",
+    "AnalysisEngine",
+    "AnalysisPass",
+    "EngineWalk",
+    "REGION_BEFORE",
+    "REGION_INSIDE",
+    "REGION_AFTER",
     "AutoCheckReport",
     "CriticalVariable",
     "DependencyType",
     "VariableInfo",
     "VariableMap",
+    "MLICollectionPass",
     "MLIVariable",
     "PreprocessingResult",
     "StreamingTraceRegions",
@@ -71,12 +100,15 @@ __all__ = [
     "RegRegMap",
     "RegVarMap",
     "DependencyAnalysis",
+    "DependencyPass",
     "DependencyResult",
     "contract_ddg",
     "AccessEvent",
     "AccessKind",
+    "RWExtractionPass",
     "extract_rw_dependencies",
     "classify_variables",
     "AutoCheck",
+    "InductionProbePass",
     "analyze_trace",
 ]

@@ -23,9 +23,9 @@ Outcome).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Optional, Set
 
-from repro.core.preprocessing import MLIVariable, PreprocessingResult
+from repro.core.preprocessing import PreprocessingResult
 from repro.core.report import CriticalVariable, DependencyType
 from repro.core.rwdeps import AccessEvent, AccessKind, RWDependencies
 from repro.core.varmap import VariableInfo

@@ -14,8 +14,11 @@ Sec. V-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+#: Valid values of :attr:`AutoCheckConfig.analysis_engine`.
+ANALYSIS_ENGINES = ("fused", "multipass")
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,14 @@ class AutoCheckConfig:
     #: from the static loop analysis).  When ``None`` the pipeline falls back
     #: to its own detection.
     induction_variable: Optional[str] = None
+    #: Which analysis pipeline to run.  ``"fused"`` (default) drives every
+    #: stage — region partitioning, MLI collection, dependency analysis,
+    #: R/W extraction, dynamic-induction probing — as passes over one
+    #: single-pass :class:`repro.core.engine.AnalysisEngine` walk; combined
+    #: with ``streaming_preprocessing`` the trace file is streamed exactly
+    #: once end to end.  ``"multipass"`` is the legacy staged pipeline
+    #: (each stage re-iterates its region), kept as the benchmark baseline.
+    analysis_engine: str = "fused"
 
     def __post_init__(self) -> None:
         if self.parallel_preprocessing and self.streaming_preprocessing:
@@ -78,3 +89,7 @@ class AutoCheckConfig:
                 "mutually exclusive: the streaming mode is a single "
                 "sequential pass and would silently ignore the parallel "
                 "reader — pick one")
+        if self.analysis_engine not in ANALYSIS_ENGINES:
+            raise ValueError(
+                f"unknown analysis_engine {self.analysis_engine!r}; "
+                f"expected one of {ANALYSIS_ENGINES}")

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Set
 
-from repro.core.ddg import DDG, NodeKind
+from repro.core.ddg import DDG
 
 
 def contract_ddg(complete: DDG, mli_keys: Optional[Iterable[str]] = None) -> DDG:

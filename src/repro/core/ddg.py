@@ -14,8 +14,8 @@ to :mod:`networkx` for tests, metrics and visualisation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 
 class NodeKind(enum.Enum):
@@ -58,6 +58,19 @@ class DDG:
             self._parents[key] = set()
             self._children[key] = set()
         return node
+
+    def set_node_kind(self, key: str, kind: NodeKind) -> None:
+        """Re-label an existing node (no-op for unknown keys).
+
+        Used by the single-pass engine: a variable's MLI status may only be
+        proven *after* its node was created (the qualifying loop access can
+        come later in the stream), so node kinds are finalized once the
+        walk ends.  Edges are untouched.
+        """
+        node = self._nodes.get(key)
+        if node is not None and node.kind is not kind:
+            self._nodes[key] = DDGNode(key=node.key, kind=kind,
+                                       label=node.label)
 
     def add_edge(self, parent_key: str, child_key: str) -> None:
         if parent_key == child_key:

@@ -1,6 +1,6 @@
 """Data dependency analysis: building the complete DDG.
 
-Implements Sec. IV-B of the paper.  The analysis *selectively* iterates the
+Implements Sec. IV-B of the paper.  The analysis *selectively* inspects the
 dynamic instructions of the main computation loop's dynamic extent and
 maintains:
 
@@ -19,14 +19,32 @@ lookup (:class:`repro.core.varmap.VariableMap`), which is how the analysis
 distinguishes MLI variables from same-named locals (Challenge 2) and follows
 data through pointer parameters.
 
-Two pieces of dynamic scoping keep that attribution honest across calls:
+The walk itself is hosted by :class:`repro.core.engine.AnalysisEngine`:
+:class:`DependencyPass` subscribes to the record kinds that carry data
+dependencies and to the engine's call/ret scope events, which keep the
+attribution honest across calls:
 
-* every traced ``Call`` opens an allocation scope on the variable map and
-  the matching ``Ret`` closes it, retiring the callee's Allocas — a dead
-  frame can never absorb later accesses to reused stack addresses;
+* the engine opens an allocation scope when a traced ``Call``'s body follows
+  and retires the callee's Allocas on its ``Ret`` — a dead frame can never
+  absorb later accesses to reused stack addresses;
 * argument/parameter correlations are kept on a **per-callee binding
-  stack** (pushed on ``Call``, popped on ``Ret``), so recursive or repeated
-  calls to the same callee cannot clobber each other's bindings.
+  stack** (pushed on activation, popped on return), so recursive or
+  repeated calls to the same callee cannot clobber each other's bindings.
+
+In the fused pipeline the pass shares the engine's live map with every other
+stage and decides MLI node kinds from the live before/inside variable sets
+(finalized after the walk, since a variable's qualifying access can come
+later in the stream).  One deliberate refinement over the legacy walk: when
+the main loop lives in a *called* function, the shared map can attribute a
+pointer access to the live ancestor frame's actual variable, where the
+legacy map (globals + loop-function + region allocations only) fell back to
+a parameter-binding or named-local vertex — the MLI/critical classification
+is unaffected (MLI candidacy is filtered to globals and loop-function
+locals either way), only the labeling of non-MLI intermediate DDG vertices
+is more precise.  :class:`DependencyAnalysis` is the legacy-shaped
+wrapper — pre-processing result in, :class:`DependencyResult` out — used by
+the multi-pass pipeline and the unit tests; it drives the same pass over an
+already-partitioned inside region.
 """
 
 from __future__ import annotations
@@ -35,10 +53,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.ddg import DDG, NodeKind
+from repro.core.engine import REGION_INSIDE, AnalysisEngine, AnalysisPass
 from repro.core.preprocessing import MLIVariable, PreprocessingResult, TraceRegions
 from repro.core.regmaps import RegRegMap, RegVarMap
 from repro.core.varmap import VariableInfo, VariableMap
-from repro.ir.opcodes import FORWARDING_OPCODES, Opcode
 from repro.trace.records import TraceOperand, TraceRecord
 
 
@@ -57,24 +75,28 @@ class DependencyResult:
     inspected_records: int = 0
 
 
-class DependencyAnalysis:
-    """Build the complete DDG for the main computation loop."""
+class DependencyPass(AnalysisPass):
+    """Engine pass building the complete DDG over the inside region.
 
-    def __init__(self, preprocessing: PreprocessingResult) -> None:
-        self.preprocessing = preprocessing
-        self.regions: TraceRegions = preprocessing.regions
-        self.mli_keys: Set[str] = set(preprocessing.mli_keys())
-        self.mli_by_key: Dict[str, MLIVariable] = {
-            var.key: var for var in preprocessing.mli_variables}
+    MLI node kinds come from one of two sources:
 
-        # The dependency analysis needs to attribute addresses to *any*
-        # variable, including locals of called functions; start from the
-        # pre-processing map (globals + main-loop-function allocations) and
-        # extend it on the fly with the Allocas seen inside the loop.
-        self.varmap = VariableMap()
-        for info in preprocessing.variable_map:
-            self.varmap.add(info)
+    * ``mli_keys`` — a fixed, already-matched set (the legacy wrapper path,
+      where pre-processing ran first);
+    * ``before_vars``/``inside_vars`` — the *live* collection dicts of a
+      :class:`~repro.core.preprocessing.MLICollectionPass` registered ahead
+      of this pass on the same engine.  A node is provisionally MLI when its
+      key is in both sets at creation time; :meth:`finalize` re-labels the
+      nodes whose membership was only proven later in the stream.
+    """
 
+    def __init__(self, varmap: VariableMap,
+                 mli_keys: Optional[Set[str]] = None,
+                 before_vars: Optional[Dict[str, VariableInfo]] = None,
+                 inside_vars: Optional[Dict[str, VariableInfo]] = None) -> None:
+        self.varmap = varmap
+        self._mli_keys = mli_keys
+        self._before_vars = before_vars if before_vars is not None else {}
+        self._inside_vars = inside_vars if inside_vars is not None else {}
         self.ddg = DDG()
         self.reg_var = RegVarMap()
         self.reg_reg = RegRegMap()
@@ -86,11 +108,9 @@ class DependencyAnalysis:
         #: activation (non-register argument) and must not leak a previous
         #: activation's binding.
         self._binding_stacks: Dict[str, List[Dict[str, Optional[str]]]] = {}
-        #: set by a Call record; materialized into a scope + binding frame by
-        #: the next record IF that record executes in the callee (i.e. a
-        #: traced body follows — zero-parameter user functions included;
-        #: builtins never enter their callee, so nothing opens for them).
-        self._pending_activation: Optional[Tuple[str, Dict[str, Optional[str]]]] = None
+        #: (callee, frame) computed from the latest Call record; consumed by
+        #: :meth:`on_activation` when the engine proves a traced body follows.
+        self._pending_frame: Optional[Tuple[str, Dict[str, Optional[str]]]] = None
         self._inspected = 0
 
     # ------------------------------------------------------------------ #
@@ -104,8 +124,13 @@ class DependencyAnalysis:
         self.ddg.add_node(key, NodeKind.REGISTER, label=f"{function}:%{register}")
         return key
 
+    def _is_mli(self, key: str) -> bool:
+        if self._mli_keys is not None:
+            return key in self._mli_keys
+        return key in self._before_vars and key in self._inside_vars
+
     def _variable_node(self, info: VariableInfo) -> str:
-        kind = NodeKind.MLI if info.key in self.mli_keys else NodeKind.LOCAL
+        kind = NodeKind.MLI if self._is_mli(info.key) else NodeKind.LOCAL
         self.ddg.add_node(info.key, kind, label=info.name)
         return info.key
 
@@ -140,69 +165,18 @@ class DependencyAnalysis:
         return None
 
     # ------------------------------------------------------------------ #
-    # Main walk
+    # Engine callbacks
     # ------------------------------------------------------------------ #
-    def run(self) -> DependencyResult:
-        for record in self.regions.inside:
-            self._visit(record)
-        return DependencyResult(
-            complete_ddg=self.ddg,
-            reg_var_map=self.reg_var,
-            reg_reg_map=self.reg_reg,
-            variable_map=self.varmap,
-            param_bindings=self.param_bindings,
-            inspected_records=self._inspected,
-        )
+    def on_alloca(self, record: TraceRecord, region: int) -> None:
+        # Registration happens in the engine (shared map); the pass only
+        # keeps the "selective iteration" statistic faithful.
+        if region == REGION_INSIDE:
+            self._inspected += 1
 
-    def _visit(self, record: TraceRecord) -> None:
-        pending = self._pending_activation
-        if pending is not None:
-            self._pending_activation = None
-            callee, frame = pending
-            if record.function == callee:
-                # The callee's traced body follows the Call record: open its
-                # activation now (allocation scope + binding frame).  For a
-                # builtin the next record stays in the caller and nothing
-                # opens, so Call/Ret scope pairing is exact — including for
-                # zero-parameter user functions.
-                self._binding_stacks.setdefault(callee, []).append(frame)
-                self.varmap.enter_scope(callee)
-        opcode = record.opcode
-        if record.is_alloca:
-            self._inspected += 1
-            self.varmap.add_alloca_record(record)
+    def on_load(self, record: TraceRecord, region: int) -> None:
+        if region != REGION_INSIDE:
             return
-        if record.is_load:
-            self._inspected += 1
-            self._visit_load(record)
-            return
-        if record.is_store:
-            self._inspected += 1
-            self._visit_store(record)
-            return
-        if record.is_gep or Opcode(opcode) in FORWARDING_OPCODES:
-            self._inspected += 1
-            self._visit_forwarding(record)
-            return
-        if record.is_arithmetic:
-            self._inspected += 1
-            self._visit_arithmetic(record)
-            return
-        if record.is_call:
-            self._inspected += 1
-            self._visit_call(record)
-            return
-        if opcode == Opcode.RET:
-            # Returns carry no data dependencies, but they close the callee's
-            # activation: retire its Allocas from address resolution and pop
-            # its parameter-binding frame.  Not counted as "inspected" — the
-            # selective iteration statistic counts dependency-bearing records.
-            self._visit_ret(record)
-            return
-        # Branches and comparisons carry no data dependencies the heuristics
-        # need; they are skipped ("selective iteration").
-
-    def _visit_load(self, record: TraceRecord) -> None:
+        self._inspected += 1
         operand = record.memory_operand()
         if operand is None or record.result is None:
             return
@@ -213,7 +187,10 @@ class DependencyAnalysis:
         self.ddg.add_edge(var_key, reg_key)
         self.reg_var.associate(record.function, record.result.name, var_key)
 
-    def _visit_store(self, record: TraceRecord) -> None:
+    def on_store(self, record: TraceRecord, region: int) -> None:
+        if region != REGION_INSIDE:
+            return
+        self._inspected += 1
         if len(record.operands) < 2:
             return
         value_operand, memory_operand = record.operands[0], record.operands[1]
@@ -232,27 +209,36 @@ class DependencyAnalysis:
             if binding is not None:
                 self.ddg.add_edge(binding, var_key)
 
-    def _visit_forwarding(self, record: TraceRecord) -> None:
-        """GetElementPtr / BitCast / numeric casts: pointer or value forwarding."""
+    def on_gep(self, record: TraceRecord, region: int) -> None:
+        if region != REGION_INSIDE:
+            return
+        self._inspected += 1
         if record.result is None:
             return
         result_key = self._register_node(record.function, record.result.name)
-        if record.is_gep:
-            operand = record.memory_operand()
-            if operand is not None:
-                var_key = self._resolve_memory(record, operand)
-                if var_key is not None:
-                    # Pointer assignment: the result register now stands for
-                    # the variable (recursive source search of Sec. IV-A).
-                    self.reg_var.associate(record.function, record.result.name, var_key)
-            # Index registers feeding the address computation also flow into
-            # the access (e.g. the DDG edge from `it` into `a` in Fig. 5c).
-            for operand in record.operands[1:]:
-                if operand.is_register:
-                    reg_key = self._register_node(record.function, operand.name)
-                    self.ddg.add_edge(reg_key, result_key)
+        operand = record.memory_operand()
+        if operand is not None:
+            var_key = self._resolve_memory(record, operand)
+            if var_key is not None:
+                # Pointer assignment: the result register now stands for
+                # the variable (recursive source search of Sec. IV-A).
+                self.reg_var.associate(record.function, record.result.name,
+                                       var_key)
+        # Index registers feeding the address computation also flow into
+        # the access (e.g. the DDG edge from `it` into `a` in Fig. 5c).
+        for operand in record.operands[1:]:
+            if operand.is_register:
+                reg_key = self._register_node(record.function, operand.name)
+                self.ddg.add_edge(reg_key, result_key)
+
+    def on_forwarding(self, record: TraceRecord, region: int) -> None:
+        """BitCast and numeric casts forward their single operand."""
+        if region != REGION_INSIDE:
             return
-        # BitCast and numeric casts forward their single operand.
+        self._inspected += 1
+        if record.result is None:
+            return
+        result_key = self._register_node(record.function, record.result.name)
         for operand in record.operands:
             if operand.is_register:
                 reg_key = self._register_node(record.function, operand.name)
@@ -265,10 +251,15 @@ class DependencyAnalysis:
                     if info is not None:
                         source = self._variable_node(info)
                 if source is not None:
-                    self.reg_var.associate(record.function, record.result.name, source)
-                self.reg_reg.link(record.function, record.result.name, [operand.name])
+                    self.reg_var.associate(record.function, record.result.name,
+                                           source)
+                self.reg_reg.link(record.function, record.result.name,
+                                  [operand.name])
 
-    def _visit_arithmetic(self, record: TraceRecord) -> None:
+    def on_arithmetic(self, record: TraceRecord, region: int) -> None:
+        if region != REGION_INSIDE:
+            return
+        self._inspected += 1
         if record.result is None:
             return
         result_key = self._register_node(record.function, record.result.name)
@@ -280,7 +271,10 @@ class DependencyAnalysis:
                 self.ddg.add_edge(reg_key, result_key)
         self.reg_reg.link(record.function, record.result.name, input_registers)
 
-    def _visit_call(self, record: TraceRecord) -> None:
+    def on_call(self, record: TraceRecord, region: int) -> None:
+        if region != REGION_INSIDE:
+            return
+        self._inspected += 1
         params = record.parameter_operands()
         args = record.argument_operands()
         frame: Dict[str, Optional[str]] = {}
@@ -288,7 +282,7 @@ class DependencyAnalysis:
             # Single-Call form (builtin / external, Fig. 6a): behave like an
             # arithmetic instruction over the argument registers.  It may
             # still be a zero-parameter *user* function whose body follows —
-            # the pending-activation check on the next record decides.
+            # the engine's activation detection on the next record decides.
             if record.result is not None:
                 result_key = self._register_node(record.function,
                                                  record.result.name)
@@ -325,10 +319,79 @@ class DependencyAnalysis:
                 if source_key is not None:
                     self.param_bindings[(record.callee, param.name)] = source_key
         if record.callee:
-            self._pending_activation = (record.callee, frame)
+            self._pending_frame = (record.callee, frame)
 
-    def _visit_ret(self, record: TraceRecord) -> None:
+    def on_activation(self, callee: str, region: int) -> None:
+        if region != REGION_INSIDE:
+            return
+        pending = self._pending_frame
+        self._pending_frame = None
+        frame: Dict[str, Optional[str]] = {}
+        if pending is not None and pending[0] == callee:
+            frame = pending[1]
+        self._binding_stacks.setdefault(callee, []).append(frame)
+
+    def on_return(self, record: TraceRecord, region: int) -> None:
+        # Returns carry no data dependencies (not counted as "inspected"),
+        # but they close the callee's activation: the engine has already
+        # retired its Allocas; pop its parameter-binding frame here.
+        if region != REGION_INSIDE:
+            return
         frames = self._binding_stacks.get(record.function)
         if frames:
             frames.pop()
-        self.varmap.exit_scope(record.function)
+
+    def finalize(self) -> None:
+        if self._mli_keys is None:
+            # A node created before its owner's MLI membership was proven
+            # (the qualifying loop access came later) carries a stale LOCAL
+            # kind; the final before/inside intersection is now known.
+            for key in self._before_vars:
+                if key in self._inside_vars:
+                    self.ddg.set_node_kind(key, NodeKind.MLI)
+
+    def result(self) -> DependencyResult:
+        return DependencyResult(
+            complete_ddg=self.ddg,
+            reg_var_map=self.reg_var,
+            reg_reg_map=self.reg_reg,
+            variable_map=self.varmap,
+            param_bindings=self.param_bindings,
+            inspected_records=self._inspected,
+        )
+
+
+class DependencyAnalysis:
+    """Build the complete DDG for the main computation loop.
+
+    Legacy-shaped wrapper over :class:`DependencyPass`: takes a completed
+    pre-processing result and drives the pass (through an
+    :class:`~repro.core.engine.AnalysisEngine` for its dispatch table,
+    variable-map maintenance and scope tracking) over the already-partitioned
+    inside region.  The fused pipeline registers the pass on the shared
+    engine instead and never materializes the region.
+    """
+
+    def __init__(self, preprocessing: PreprocessingResult) -> None:
+        self.preprocessing = preprocessing
+        self.regions: TraceRegions = preprocessing.regions
+        self.mli_keys: Set[str] = set(preprocessing.mli_keys())
+        self.mli_by_key: Dict[str, MLIVariable] = {
+            var.key: var for var in preprocessing.mli_variables}
+
+        # The dependency analysis needs to attribute addresses to *any*
+        # variable, including locals of called functions; start from the
+        # pre-processing map (globals + main-loop-function allocations) and
+        # let the engine extend it on the fly with the Allocas seen inside
+        # the loop.
+        self.varmap = VariableMap()
+        for info in preprocessing.variable_map:
+            self.varmap.add(info)
+
+    def run(self) -> DependencyResult:
+        dep_pass = DependencyPass(self.varmap, mli_keys=self.mli_keys)
+        engine = AnalysisEngine(self.regions.spec, [dep_pass],
+                                variable_map=self.varmap)
+        engine.run_region(self.regions.inside, REGION_INSIDE)
+        engine.finalize()
+        return dep_pass.result()

@@ -1,0 +1,414 @@
+"""Single-pass analysis engine: one streamed walk drives every stage.
+
+The multi-pass pipeline iterated the loop region at least four times —
+MLI identification over the whole trace, the dependency analysis over
+``regions.inside``, R/W extraction over ``inside`` and ``after``, and the
+dynamic-induction fallback over ``inside`` again — and in streaming mode
+every iteration re-streamed (for text traces: fully re-parsed) the file.
+Worse, the post-hoc stages resolved addresses against the dependency
+analysis' *end-of-region* :class:`~repro.core.varmap.VariableMap`, so stack
+reuse inside the loop could misattribute early accesses (see
+``tests/test_engine_fused.py::TestTemporalAttribution``).
+
+:class:`AnalysisEngine` replaces that with one event-driven walk:
+
+* records are streamed **exactly once** (from an in-memory list or a lazy
+  file iterator — the engine never indexes, only iterates);
+* the main loop's dynamic extent is tagged on the fly from the
+  :class:`~repro.core.config.MainLoopSpec`: records seen after the latest
+  loop-line record are buffered until a later loop-line record proves they
+  lie inside the extent (they are then flushed, in stream order, as
+  ``inside``) or the stream ends (they are the ``after`` region).  Memory is
+  bounded by the longest stretch of records between two loop-line records
+  plus the after region — never by the trace length;
+* one **live, scoped** variable map is shared by every pass: the engine
+  registers every ``Alloca`` the moment it executes, opens an allocation
+  scope when a traced ``Call``'s body follows, and retires the callee's
+  allocations on its ``Ret`` — so each access resolves against the
+  allocation state *at its own execution time*, which fixes the temporal
+  misattribution by construction;
+* registered :class:`AnalysisPass` objects receive callbacks per record
+  kind (load/store/GEP/forwarding/arithmetic/call/ret/alloca), per region
+  transition, and per call/ret scope event.  Dispatch goes through a
+  precomputed ``opcode -> (engine action, pass callbacks)`` table, so the
+  hot loop never constructs an :class:`~repro.ir.opcodes.Opcode` enum and
+  never calls a pass that did not subscribe to the kind.
+
+Pass execution order is registration order; the fused pipeline registers
+the MLI-collection pass first so that later passes observe the variable
+sets updated through the current record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MainLoopSpec
+from repro.core.errors import AnalysisError
+from repro.core.varmap import VariableMap
+from repro.ir.opcodes import (
+    ARITHMETIC_OPCODE_VALUES,
+    FORWARDING_OPCODE_VALUES,
+    Opcode,
+)
+from repro.trace.records import GlobalSymbol, TraceRecord
+
+# --------------------------------------------------------------------------- #
+# Regions and record kinds (plain ints: compared millions of times)
+# --------------------------------------------------------------------------- #
+REGION_BEFORE = 0
+REGION_INSIDE = 1
+REGION_AFTER = 2
+
+REGION_NAMES = {REGION_BEFORE: "before", REGION_INSIDE: "inside",
+                REGION_AFTER: "after"}
+
+KIND_OTHER = 0
+KIND_ALLOCA = 1
+KIND_LOAD = 2
+KIND_STORE = 3
+KIND_GEP = 4
+KIND_FORWARDING = 5
+KIND_ARITHMETIC = 6
+KIND_CALL = 7
+KIND_RET = 8
+
+#: kind -> name of the AnalysisPass callback that handles it
+_KIND_CALLBACKS = {
+    KIND_ALLOCA: "on_alloca",
+    KIND_LOAD: "on_load",
+    KIND_STORE: "on_store",
+    KIND_GEP: "on_gep",
+    KIND_FORWARDING: "on_forwarding",
+    KIND_ARITHMETIC: "on_arithmetic",
+    KIND_CALL: "on_call",
+    KIND_RET: "on_ret",
+    KIND_OTHER: "on_other",
+}
+
+
+def _kind_of(opcode: int) -> int:
+    if opcode == Opcode.LOAD:
+        return KIND_LOAD
+    if opcode == Opcode.STORE:
+        return KIND_STORE
+    if opcode == Opcode.GETELEMENTPTR:
+        return KIND_GEP
+    if opcode == Opcode.ALLOCA:
+        return KIND_ALLOCA
+    if opcode in FORWARDING_OPCODE_VALUES:
+        return KIND_FORWARDING
+    if opcode in ARITHMETIC_OPCODE_VALUES:
+        return KIND_ARITHMETIC
+    if opcode == Opcode.CALL:
+        return KIND_CALL
+    if opcode == Opcode.RET:
+        return KIND_RET
+    return KIND_OTHER
+
+
+#: raw opcode value -> record kind, for every known opcode
+KIND_BY_OPCODE: Dict[int, int] = {int(op): _kind_of(int(op)) for op in Opcode}
+
+
+class AnalysisPass:
+    """Base class for engine passes; override only the callbacks you need.
+
+    The engine inspects which ``on_*`` methods a subclass overrides and
+    builds its dispatch table from exactly those, so an un-overridden kind
+    costs nothing in the hot loop.  Every record callback receives the
+    record and the region constant (``REGION_BEFORE`` / ``REGION_INSIDE`` /
+    ``REGION_AFTER``) it executes in.
+    """
+
+    # -- record-kind callbacks ----------------------------------------- #
+    def on_alloca(self, record: TraceRecord, region: int) -> None:
+        """An ``Alloca`` record (already registered on the shared map)."""
+
+    def on_load(self, record: TraceRecord, region: int) -> None:
+        """A ``Load`` record."""
+
+    def on_store(self, record: TraceRecord, region: int) -> None:
+        """A ``Store`` record."""
+
+    def on_gep(self, record: TraceRecord, region: int) -> None:
+        """A ``GetElementPtr`` record."""
+
+    def on_forwarding(self, record: TraceRecord, region: int) -> None:
+        """A ``BitCast`` / numeric-cast record (pointer/value forwarding)."""
+
+    def on_arithmetic(self, record: TraceRecord, region: int) -> None:
+        """An arithmetic record (paper Table I's instruction family)."""
+
+    def on_call(self, record: TraceRecord, region: int) -> None:
+        """A ``Call`` record (scope opening, if any, follows on the next
+        record — see :meth:`on_activation`)."""
+
+    def on_ret(self, record: TraceRecord, region: int) -> None:
+        """A ``Ret`` record, as a plain record kind; scope closing is
+        reported through :meth:`on_return`."""
+
+    def on_other(self, record: TraceRecord, region: int) -> None:
+        """Any record kind without a dedicated callback (Br, ICmp, ...)."""
+
+    # -- structural callbacks ------------------------------------------ #
+    def on_region_change(self, region: int) -> None:
+        """The walk crossed into ``region``.  Fires exactly three times per
+        :meth:`AnalysisEngine.run`: ``REGION_BEFORE`` at the start of the
+        walk, ``REGION_INSIDE`` at the first loop-line record, and
+        ``REGION_AFTER`` once the stream ends (even when the after region
+        is empty)."""
+
+    def on_activation(self, callee: str, region: int) -> None:
+        """A traced ``Call``'s body follows: the engine just opened an
+        allocation scope for ``callee`` (fires before the first callee
+        record's kind callback)."""
+
+    def on_return(self, record: TraceRecord, region: int) -> None:
+        """``record`` is the ``Ret`` closing the innermost activation of
+        its function; the engine has already retired the scope."""
+
+    def finalize(self) -> None:
+        """The walk ended; compute any derived results."""
+
+
+@dataclass
+class EngineWalk:
+    """Shape of the walked trace: the loop extent and region sizes."""
+
+    record_count: int
+    first_index: int
+    last_index: int
+    first_loop_dyn_id: int
+    last_loop_dyn_id: int
+
+    @property
+    def before_count(self) -> int:
+        return self.first_index
+
+    @property
+    def inside_count(self) -> int:
+        return self.last_index - self.first_index + 1
+
+    @property
+    def after_count(self) -> int:
+        return self.record_count - self.last_index - 1
+
+
+class _SizedRegion:
+    """Sized stand-in for a region that was streamed, not materialized."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        raise TypeError(
+            "this region was consumed by the single-pass analysis engine "
+            "and is not re-iterable; run with analysis_engine='multipass' "
+            "if a stage needs to re-walk a region")
+
+
+class RegionCounts:
+    """A :class:`~repro.core.preprocessing.TraceRegions`-shaped object
+    carrying only sizes — what the fused pipeline's report needs.  The
+    record streams behind it were consumed exactly once by the engine."""
+
+    def __init__(self, spec: MainLoopSpec, walk: EngineWalk) -> None:
+        self.spec = spec
+        self.before = _SizedRegion(walk.before_count)
+        self.inside = _SizedRegion(walk.inside_count)
+        self.after = _SizedRegion(walk.after_count)
+        self.first_loop_dyn_id = walk.first_loop_dyn_id
+        self.last_loop_dyn_id = walk.last_loop_dyn_id
+
+    @property
+    def total_records(self) -> int:
+        return len(self.before) + len(self.inside) + len(self.after)
+
+
+# engine-internal actions baked into the dispatch plan
+_ACT_NONE = 0
+_ACT_ALLOCA = 1
+_ACT_CALL = 2
+_ACT_RET = 3
+_ACT_UNKNOWN = 4
+
+_ACTION_BY_KIND = {KIND_ALLOCA: _ACT_ALLOCA, KIND_CALL: _ACT_CALL,
+                   KIND_RET: _ACT_RET}
+
+
+class AnalysisEngine:
+    """Drive registered passes over a record stream in one pass.
+
+    The engine owns the shared live variable map: it registers every
+    ``Alloca`` (all functions) at execution time and mirrors the trace's
+    call/return structure as allocation scopes — a ``Call`` opens a scope
+    only once the next record proves a traced body follows (zero-parameter
+    user functions included; builtins, whose next record stays in the
+    caller, open nothing), and the matching ``Ret`` retires it.
+    """
+
+    def __init__(self, spec: MainLoopSpec, passes: Sequence[AnalysisPass],
+                 variable_map: Optional[VariableMap] = None) -> None:
+        self.spec = spec
+        self.passes: List[AnalysisPass] = list(passes)
+        self.varmap = variable_map if variable_map is not None else VariableMap()
+        self._pending_activation: Optional[str] = None
+        self._activation_callbacks = tuple(
+            p.on_activation for p in self.passes
+            if type(p).on_activation is not AnalysisPass.on_activation)
+        self._region_callbacks = tuple(
+            p.on_region_change for p in self.passes
+            if type(p).on_region_change is not AnalysisPass.on_region_change)
+        self._return_callbacks = tuple(
+            p.on_return for p in self.passes
+            if type(p).on_return is not AnalysisPass.on_return)
+        # opcode -> (engine action, subscribed pass callbacks); one dict
+        # probe per record replaces per-record Opcode(...) construction and
+        # per-pass "do I care?" tests.
+        self._plan: Dict[int, Tuple[int, Tuple[Callable, ...]]] = {}
+        for raw, kind in KIND_BY_OPCODE.items():
+            method_name = _KIND_CALLBACKS[kind]
+            callbacks = tuple(
+                getattr(p, method_name) for p in self.passes
+                if getattr(type(p), method_name)
+                is not getattr(AnalysisPass, method_name))
+            self._plan[raw] = (_ACTION_BY_KIND.get(kind, _ACT_NONE), callbacks)
+        # Opcodes outside the enum mean a corrupt or foreign trace; the old
+        # per-record Opcode(...) construction failed loudly on them and the
+        # dispatch table must too (only such records pay this branch).
+        self._default_plan: Tuple[int, Tuple[Callable, ...]] = (_ACT_UNKNOWN, ())
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+    def add_globals(self, globals_: Iterable[GlobalSymbol]) -> None:
+        for symbol in globals_:
+            self.varmap.add_global_symbol(symbol)
+
+    # ------------------------------------------------------------------ #
+    # Driving
+    # ------------------------------------------------------------------ #
+    def run(self, records: Iterable[TraceRecord]) -> EngineWalk:
+        """Walk ``records`` once, tagging regions on the fly.
+
+        ``records`` may be a list or a lazy file-backed iterator; it is
+        consumed exactly once.  Raises :class:`AnalysisError` when no record
+        falls inside the main computation loop range.
+        """
+        spec = self.spec
+        spec_function = spec.function
+        start_line = spec.start_line
+        end_line = spec.end_line
+        process = self._process
+        pending: List[TraceRecord] = []
+        pending_append = pending.append
+        first_index: Optional[int] = None
+        last_index = -1
+        first_dyn = last_dyn = 0
+        index = -1
+        self._emit_region(REGION_BEFORE)
+        for index, record in enumerate(records):
+            if (record.function == spec_function
+                    and start_line <= record.line <= end_line):
+                if first_index is None:
+                    first_index = index
+                    first_dyn = record.dyn_id
+                    self._emit_region(REGION_INSIDE)
+                if pending:
+                    # Everything buffered since the previous loop-line record
+                    # is now proven to lie inside the loop's dynamic extent:
+                    # flush it, in stream order, before this record.
+                    for buffered in pending:
+                        process(buffered, REGION_INSIDE)
+                    pending.clear()
+                last_index = index
+                last_dyn = record.dyn_id
+                process(record, REGION_INSIDE)
+            elif first_index is None:
+                process(record, REGION_BEFORE)
+            else:
+                pending_append(record)
+        if first_index is None:
+            raise AnalysisError(
+                f"no trace record falls inside the main computation loop "
+                f"range {spec.mclr} of function {spec.function!r}")
+        # The still-buffered tail is the after region.
+        self._emit_region(REGION_AFTER)
+        for buffered in pending:
+            process(buffered, REGION_AFTER)
+        pending.clear()
+        for pass_ in self.passes:
+            pass_.finalize()
+        return EngineWalk(
+            record_count=index + 1,
+            first_index=first_index,
+            last_index=last_index,
+            first_loop_dyn_id=first_dyn,
+            last_loop_dyn_id=last_dyn,
+        )
+
+    def run_region(self, records: Iterable[TraceRecord],
+                   region: int = REGION_INSIDE) -> int:
+        """Walk an already-partitioned region (no loop detection).
+
+        Used by the legacy-shaped stage wrappers
+        (:class:`~repro.core.dependency.DependencyAnalysis`) that receive a
+        pre-partitioned region and only need the engine's dispatch, variable
+        map maintenance and scope tracking.  Returns the record count;
+        passes are *not* finalized (drive multiple regions, then call
+        :meth:`finalize`).
+        """
+        process = self._process
+        count = 0
+        for record in records:
+            process(record, region)
+            count += 1
+        return count
+
+    def finalize(self) -> None:
+        for pass_ in self.passes:
+            pass_.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Per-record processing
+    # ------------------------------------------------------------------ #
+    def _process(self, record: TraceRecord, region: int) -> None:
+        pending = self._pending_activation
+        if pending is not None:
+            self._pending_activation = None
+            if record.function == pending:
+                # The callee's traced body follows its Call record: open the
+                # activation before dispatching this record.
+                self.varmap.enter_scope(pending)
+                for callback in self._activation_callbacks:
+                    callback(pending, region)
+        action, callbacks = self._plan.get(record.opcode, self._default_plan)
+        if action == _ACT_ALLOCA:
+            self.varmap.add_alloca_record(record)
+        elif action == _ACT_UNKNOWN:
+            raise AnalysisError(
+                f"trace record #{record.dyn_id} carries unknown opcode "
+                f"{record.opcode} ({record.opcode_name!r}); the trace is "
+                f"corrupt or from an unsupported producer")
+        elif action == _ACT_RET:
+            # Close the innermost activation of the returning function (a
+            # function with no open scope — e.g. the main-loop function — is
+            # a no-op).
+            self.varmap.exit_scope(record.function)
+            for callback in self._return_callbacks:
+                callback(record, region)
+        for callback in callbacks:
+            callback(record, region)
+        if action == _ACT_CALL and record.callee:
+            self._pending_activation = record.callee
+
+    def _emit_region(self, region: int) -> None:
+        for callback in self._region_callbacks:
+            callback(region)

@@ -3,40 +3,105 @@
 This is the top-level orchestration of the paper's Fig. 2 workflow, with the
 per-stage timing hooks used to regenerate Table III.  The pipeline accepts
 either an in-memory :class:`repro.trace.records.Trace` or a path to a trace
-file; in the latter case reading/parsing the file is part of the
-pre-processing stage and can either use the parallel partitioned reader
-(the OpenMP optimization of Sec. V-A) or — with
-``AutoCheckConfig.streaming_preprocessing`` — a single-pass streaming mode
-that never materializes the trace: region partitioning and variable
-collection happen on the fly, and the later stages re-stream just the
-inside/after regions they need through bounded-memory file-backed views.
+file, and comes in two shapes selected by
+:attr:`repro.core.config.AutoCheckConfig.analysis_engine`:
+
+* ``"fused"`` (default) — one single-pass
+  :class:`repro.core.engine.AnalysisEngine` walk drives every stage as
+  engine passes: region partitioning, MLI-variable collection, the
+  dependency analysis, R/W extraction and the dynamic-induction probe all
+  observe each record exactly once, sharing one live variable map so every
+  access resolves against the allocation state at its own execution time.
+  With ``streaming_preprocessing`` the trace file is streamed exactly once
+  end to end and memory stays bounded; with the materialized readers the
+  trace is loaded (serially or via the parallel partitioned reader of
+  Sec. V-A) and then walked once in memory.
+* ``"multipass"`` — the legacy staged pipeline: pre-processing, dependency
+  analysis, R/W extraction and the induction fallback each re-iterate their
+  region (in streaming mode: re-stream the file).  Kept as the benchmark
+  baseline; its post-hoc address resolution also documents the temporal
+  misattribution the fused engine fixes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.induction import find_induction_variable, find_main_loop
 from repro.analysis.loops import find_loops
 from repro.core.classify import classify_variables
 from repro.core.config import AutoCheckConfig, MainLoopSpec
 from repro.core.contraction import contract_ddg
-from repro.core.dependency import DependencyAnalysis
-from repro.core.errors import AnalysisError
+from repro.core.dependency import DependencyAnalysis, DependencyPass
+from repro.core.engine import (
+    REGION_INSIDE,
+    AnalysisEngine,
+    AnalysisPass,
+    RegionCounts,
+)
 from repro.core.preprocessing import (
+    MLICollectionPass,
     PreprocessingResult,
     identify_mli_variables,
     identify_mli_variables_streaming,
 )
 from repro.core.report import AutoCheckReport, TraceStats
-from repro.core.rwdeps import extract_rw_dependencies
-from repro.core.varmap import VariableInfo
+from repro.core.rwdeps import RWExtractionPass, extract_rw_dependencies
+from repro.core.varmap import VariableInfo, VariableMap
 from repro.ir.module import Module
 from repro.trace.partition import read_trace_file_parallel
-from repro.trace.records import Trace
-from repro.trace.textio import read_trace_file
+from repro.trace.records import TraceRecord, Trace
+from repro.trace.textio import iter_trace_records, read_preamble, read_trace_file
 from repro.util.timing import TimingBreakdown
+
+
+class InductionProbePass(AnalysisPass):
+    """Engine pass behind the dynamic induction-variable fallback.
+
+    Collects the variables read and written by records at the loop's
+    controlling source line; the induction variable is the one that is both
+    (it is read to test the condition and written to advance).  Resolution
+    goes through the engine's shared live map at access time.
+    """
+
+    def __init__(self, varmap: VariableMap, spec: MainLoopSpec) -> None:
+        self.varmap = varmap
+        self.spec = spec
+        self.read: Dict[str, VariableInfo] = {}
+        self.written: Dict[str, VariableInfo] = {}
+
+    def _probe(self, record: TraceRecord, region: int,
+               operand_index: int, sink: Dict[str, VariableInfo]) -> None:
+        if region != REGION_INSIDE:
+            return
+        if (record.function != self.spec.function
+                or record.line != self.spec.start_line):
+            return
+        operands = record.operands
+        if len(operands) <= operand_index:
+            return
+        info = self.varmap.resolve(operands[operand_index].address)
+        if info is None:
+            return
+        if not (info.is_global or info.function == self.spec.function):
+            # The legacy fallback resolved against the pre-processing map
+            # (globals + main-loop-function allocations only); reject other
+            # owners for identical answers when the loop lives in a nested
+            # function.
+            return
+        sink[info.name] = info
+
+    def on_load(self, record: TraceRecord, region: int) -> None:
+        self._probe(record, region, 0, self.read)
+
+    def on_store(self, record: TraceRecord, region: int) -> None:
+        self._probe(record, region, 1, self.written)
+
+    def pick(self) -> Tuple[Optional[str], Optional[VariableInfo]]:
+        for name, info in self.written.items():
+            if name in self.read:
+                return name, info
+        return None, None
 
 
 class AutoCheck:
@@ -54,7 +119,7 @@ class AutoCheck:
         self._module = module
 
     # ------------------------------------------------------------------ #
-    # Stages
+    # Shared helpers
     # ------------------------------------------------------------------ #
     def _load_trace(self) -> Trace:
         if self._trace is not None:
@@ -67,6 +132,147 @@ class AutoCheck:
                 use_processes=self.config.preprocessing_use_processes)
         return read_trace_file(self._trace_path)
 
+    def _use_streaming(self) -> bool:
+        return (self.config.streaming_preprocessing
+                and self._trace is None
+                and self._trace_path is not None)
+
+    def _static_induction_name(self) -> Optional[str]:
+        """The induction variable from the static loop analysis over the IR
+        (the paper's llvm-pass-loop equivalent), if the module is at hand."""
+        spec = self.config.main_loop
+        if self._module is None or spec.function not in self._module.functions:
+            return None
+        function = self._module.function(spec.function)
+        loops = find_loops(function)
+        loop = find_main_loop(function, spec.start_line, spec.end_line,
+                              loop_info=loops)
+        if loop is None:
+            return None
+        induction = find_induction_variable(function, loop)
+        return induction.name if induction is not None else None
+
+    @staticmethod
+    def _latest_main_loop_variable(varmap: VariableMap, spec: MainLoopSpec,
+                                   name: str) -> Optional[VariableInfo]:
+        """Latest registration of ``name`` among globals and the main-loop
+        function's own allocations — the scope the pre-processing map of the
+        multi-pass pipeline indexes (Challenge 2: a same-named callee local
+        must not be mistaken for the loop's variable)."""
+        latest: Optional[VariableInfo] = None
+        for info in varmap.by_name(name):
+            if info.is_global or info.function == spec.function:
+                latest = info
+        return latest
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> AutoCheckReport:
+        if self.config.analysis_engine == "multipass":
+            return self._run_multipass()
+        return self._run_fused()
+
+    # ------------------------------------------------------------------ #
+    # Fused single-pass pipeline
+    # ------------------------------------------------------------------ #
+    def _run_fused(self) -> AutoCheckReport:
+        timings = TimingBreakdown()
+        config = self.config
+        spec = config.main_loop
+        use_streaming = self._use_streaming()
+
+        # Static analysis needs only the IR; resolving it before the walk
+        # lets the engine skip the dynamic-induction probe entirely when the
+        # answer is already known.
+        induction_name = config.induction_variable
+        if induction_name is None:
+            induction_name = self._static_induction_name()
+
+        trace: Optional[Trace] = None
+        with timings.stage("preprocessing"):
+            if use_streaming:
+                assert self._trace_path is not None
+                _, globals_ = read_preamble(self._trace_path)
+                records = iter_trace_records(self._trace_path)
+            else:
+                trace = self._load_trace()
+                globals_ = trace.globals
+                records = trace.records
+                if self._trace is None:
+                    # Only a real file read processes records here; for an
+                    # in-memory trace the stage is a no-op and a throughput
+                    # number would be meaningless.
+                    timings.add_count("preprocessing", len(trace.records))
+
+        varmap = VariableMap()
+        mli_pass = MLICollectionPass(
+            varmap, spec,
+            include_global_accesses_in_calls=(
+                config.include_global_accesses_in_calls))
+        dep_pass = DependencyPass(varmap,
+                                  before_vars=mli_pass.before_vars,
+                                  inside_vars=mli_pass.inside_vars)
+        rw_pass = RWExtractionPass(varmap, candidates=mli_pass.before_vars)
+        # Order matters: the MLI pass must update the variable sets before
+        # the DDG / R/W passes consult them for the same record.
+        passes: List[AnalysisPass] = [mli_pass, dep_pass, rw_pass]
+        probe: Optional[InductionProbePass] = None
+        if induction_name is None:
+            probe = InductionProbePass(varmap, spec)
+            passes.append(probe)
+
+        engine = AnalysisEngine(spec, passes, variable_map=varmap)
+        engine.add_globals(globals_)
+        with timings.stage("fused_analysis"):
+            walk = engine.run(records)
+        timings.add_count("fused_analysis", walk.record_count)
+
+        with timings.stage("identify_variables"):
+            # The fused stages consumed the regions during the walk; the
+            # result object only needs their shape (materializing slices
+            # here would copy the whole trace for nothing).
+            preprocessing = mli_pass.result(RegionCounts(spec, walk))
+            dependency = dep_pass.result()
+            mli_keys = set(preprocessing.mli_keys())
+            contracted = contract_ddg(dependency.complete_ddg,
+                                      preprocessing.mli_keys())
+            mli_names = {var.key: var.name
+                         for var in preprocessing.mli_variables}
+            rw = rw_pass.build(mli_keys, mli_names)
+            induction_info: Optional[VariableInfo] = None
+            if induction_name is not None:
+                induction_info = self._latest_main_loop_variable(
+                    varmap, spec, induction_name)
+            elif probe is not None:
+                induction_name, induction_info = probe.pick()
+            critical = classify_variables(preprocessing, rw,
+                                          induction=induction_name,
+                                          induction_info=induction_info)
+
+        stats = TraceStats(
+            record_count=walk.record_count,
+            before_count=walk.before_count,
+            inside_count=walk.inside_count,
+            after_count=walk.after_count,
+            global_count=len(globals_),
+        )
+
+        return AutoCheckReport(
+            main_loop=spec,
+            critical_variables=critical,
+            mli_variable_names=preprocessing.mli_names(),
+            induction_variable=induction_name,
+            complete_ddg=dependency.complete_ddg,
+            contracted_ddg=contracted,
+            rw_sequence=rw,
+            timings=timings,
+            trace_stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy multi-pass pipeline (benchmark baseline)
+    # ------------------------------------------------------------------ #
     def _detect_induction(self, preprocessing: PreprocessingResult,
                           ) -> Tuple[Optional[str], Optional[VariableInfo]]:
         spec = self.config.main_loop
@@ -74,18 +280,10 @@ class AutoCheck:
             name = self.config.induction_variable
             return name, preprocessing.variable_map.latest_by_name(name)
 
-        # Preferred: static loop analysis over the IR (the paper's
-        # llvm-pass-loop equivalent).
-        if self._module is not None and spec.function in self._module.functions:
-            function = self._module.function(spec.function)
-            loops = find_loops(function)
-            loop = find_main_loop(function, spec.start_line, spec.end_line,
-                                  loop_info=loops)
-            if loop is not None:
-                induction = find_induction_variable(function, loop)
-                if induction is not None:
-                    info = preprocessing.variable_map.latest_by_name(induction.name)
-                    return induction.name, info
+        # Preferred: static loop analysis over the IR.
+        name = self._static_induction_name()
+        if name is not None:
+            return name, preprocessing.variable_map.latest_by_name(name)
 
         # Fallback: dynamic detection — the variable both read and written by
         # records at the loop's controlling source line.  Resolution goes
@@ -112,16 +310,11 @@ class AutoCheck:
                 return name, info
         return None, None
 
-    # ------------------------------------------------------------------ #
-    # Entry point
-    # ------------------------------------------------------------------ #
-    def run(self) -> AutoCheckReport:
+    def _run_multipass(self) -> AutoCheckReport:
         timings = TimingBreakdown()
         spec = self.config.main_loop
 
-        use_streaming = (self.config.streaming_preprocessing
-                         and self._trace is None
-                         and self._trace_path is not None)
+        use_streaming = self._use_streaming()
         with timings.stage("preprocessing"):
             if use_streaming:
                 preprocessing = identify_mli_variables_streaming(
@@ -138,11 +331,14 @@ class AutoCheck:
                         self.config.include_global_accesses_in_calls))
                 record_count = len(trace.records)
                 global_count = len(trace.globals)
+        timings.add_count("preprocessing", record_count)
 
         with timings.stage("dependency_analysis"):
             dependency = DependencyAnalysis(preprocessing).run()
             contracted = contract_ddg(dependency.complete_ddg,
                                       preprocessing.mli_keys())
+        timings.add_count("dependency_analysis",
+                          len(preprocessing.regions.inside))
 
         with timings.stage("identify_variables"):
             rw = extract_rw_dependencies(preprocessing,
@@ -151,6 +347,9 @@ class AutoCheck:
             critical = classify_variables(preprocessing, rw,
                                           induction=induction_name,
                                           induction_info=induction_info)
+        timings.add_count("identify_variables",
+                          len(preprocessing.regions.inside)
+                          + len(preprocessing.regions.after))
 
         stats = TraceStats(
             record_count=record_count,

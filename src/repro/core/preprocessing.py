@@ -28,9 +28,10 @@ superset interpretation that reproduces the paper's reported MLI sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.config import MainLoopSpec
+from repro.core.engine import REGION_AFTER, AnalysisPass
 from repro.core.errors import AnalysisError
 from repro.core.varmap import VariableInfo, VariableMap, build_variable_map
 from repro.trace.records import Trace, TraceRecord
@@ -291,6 +292,89 @@ def _match_mli(before_vars: Dict[str, VariableInfo],
     # Stable, readable order: globals first, then by name.
     mli.sort(key=lambda var: (not var.info.is_global, var.name))
     return mli
+
+
+class MLICollectionPass(AnalysisPass):
+    """Engine pass: collect the before/inside variable sets in one walk.
+
+    The collection rules are those of :func:`_accessed_variable` — memory
+    operands of ``Load``/``Store``/``GetElementPtr``, records of other
+    functions bypassed (Challenge 1) unless the global-access switch admits
+    them — but resolution goes through the engine's shared *live* map, i.e.
+    against the allocations live at each access's own execution time.  Two
+    guarantees keep the collected sets equal to the post-hoc ones (the
+    equivalence tests assert this on every registered benchmark):
+
+    * at ``-O0`` every allocation precedes its accesses, and stack
+      addresses are only reused across dead frames (which the engine
+      retires on ``Ret``);
+    * the shared map indexes *every* function's allocations, whereas the
+      legacy pre-processing map deliberately indexes only globals plus the
+      main-loop function's own (Challenge 2) — so a resolved owner outside
+      that population (e.g. a live ancestor frame's local, reachable
+      through a pointer when the main loop lives in a nested function) is
+      rejected here exactly as the restricted map would have left it
+      unresolved.
+
+    Register this pass *first*: later passes (DDG, R/W extraction) read
+    ``before_vars``/``inside_vars`` to decide MLI candidacy and must observe
+    the sets updated through the current record.
+    """
+
+    def __init__(self, varmap: VariableMap, spec: MainLoopSpec,
+                 include_global_accesses_in_calls: bool = False) -> None:
+        self.varmap = varmap
+        self.spec = spec
+        self.include_global_accesses_in_calls = include_global_accesses_in_calls
+        self.before_vars: Dict[str, VariableInfo] = {}
+        self.inside_vars: Dict[str, VariableInfo] = {}
+        self.mli_variables: List[MLIVariable] = []
+
+    def _collect(self, record: TraceRecord, region: int,
+                 operand_index: int) -> None:
+        if region == REGION_AFTER:
+            return
+        operands = record.operands
+        if len(operands) <= operand_index:
+            return
+        operand = operands[operand_index]
+        address = operand.address
+        if address is None:
+            return
+        info = self.varmap.resolve(address)
+        if info is None:
+            return
+        if not (info.is_global or info.function == self.spec.function):
+            # Owner outside the restricted map's population (Challenge 2).
+            return
+        if record.function != self.spec.function:
+            if not (self.include_global_accesses_in_calls and info.is_global):
+                return
+        sink = self.inside_vars if region else self.before_vars
+        if info.key not in sink:
+            sink[info.key] = info
+
+    def on_load(self, record: TraceRecord, region: int) -> None:
+        self._collect(record, region, 0)
+
+    def on_gep(self, record: TraceRecord, region: int) -> None:
+        self._collect(record, region, 0)
+
+    def on_store(self, record: TraceRecord, region: int) -> None:
+        self._collect(record, region, 1)
+
+    def finalize(self) -> None:
+        self.mli_variables = _match_mli(self.before_vars, self.inside_vars)
+
+    def result(self, regions) -> PreprocessingResult:
+        """Package the collected sets as a :class:`PreprocessingResult`."""
+        return PreprocessingResult(
+            regions=regions,
+            variable_map=self.varmap,
+            mli_variables=self.mli_variables,
+            before_variables=self.before_vars,
+            inside_variables=self.inside_vars,
+        )
 
 
 def identify_mli_variables_streaming(path: str, spec: MainLoopSpec,

@@ -110,9 +110,13 @@ class AutoCheckReport:
         lines.append(render_table(("variable", "dependency", "size", "decl line"),
                                   rows))
         lines.append(f"Checkpoint size: {format_bytes(self.checkpoint_bytes())}")
-        lines.append(
-            "Analysis time: "
-            + ", ".join(f"{name}={seconds:.4f}s"
-                        for name, seconds in self.timings.stages.items())
-            + f", total={self.timings.total:.4f}s")
+        parts = []
+        for name, seconds in self.timings.stages.items():
+            part = f"{name}={seconds:.4f}s"
+            rate = self.timings.records_per_second(name)
+            if rate is not None:
+                part += f" ({rate / 1000:.0f} krec/s)"
+            parts.append(part)
+        lines.append("Analysis time: " + ", ".join(parts)
+                     + f", total={self.timings.total:.4f}s")
         return "\n".join(lines)

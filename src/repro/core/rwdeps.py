@@ -12,15 +12,29 @@ owning allocation and the element index are produced by one bisect lookup
 against the live interval store, and the index is always relative to the
 owner's base address — stable even when later allocations have shadowed part
 of the owner's range.
+
+Two implementations live here:
+
+* :class:`RWExtractionPass` — the engine pass used by the fused pipeline.
+  Every access resolves against the shared live map *at its own execution
+  time*, so an access to an MLI byte range that a later callee ``Alloca``
+  shadows still attributes to the MLI variable.
+* :func:`extract_rw_dependencies` — the legacy post-hoc extraction used by
+  the multi-pass pipeline: it re-walks the regions and resolves against the
+  dependency analysis' *end-of-region* map, whose shadowing state reflects
+  the end of the loop rather than the moment of each access.  Kept as the
+  benchmark baseline and to document the temporal bug the engine fixes
+  (``tests/test_engine_fused.py::TestTemporalAttribution`` pins it down).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Container, Dict, List, Optional, Set
 
-from repro.core.preprocessing import MLIVariable, PreprocessingResult
+from repro.core.engine import REGION_AFTER, REGION_INSIDE, AnalysisPass
+from repro.core.preprocessing import PreprocessingResult
 from repro.core.varmap import VariableMap
 from repro.trace.records import TraceRecord
 
@@ -67,6 +81,81 @@ class RWDependencies:
         return "; ".join(f"{i + 1}: {event}" for i, event in enumerate(events))
 
 
+class RWExtractionPass(AnalysisPass):
+    """Engine pass: collect loop-region and post-loop access events.
+
+    ``candidates`` is the live ``before_vars`` dict of the MLI-collection
+    pass sharing the engine: the MLI set is its subset (a variable must be
+    accessed before *and* inside the loop), and it is complete before the
+    first inside record is dispatched, so filtering on it at event time
+    bounds the tentative event lists without losing any MLI event.  The
+    final filter to the matched MLI set happens in :meth:`build`.
+    """
+
+    def __init__(self, varmap: VariableMap,
+                 candidates: Optional[Container[str]] = None) -> None:
+        self.varmap = varmap
+        self._candidates = candidates
+        self._loop: List[AccessEvent] = []
+        self._post: List[AccessEvent] = []
+
+    def _record(self, record: TraceRecord, region: int,
+                kind: "AccessKind", operand_index: int) -> None:
+        if region == REGION_INSIDE:
+            sink = self._loop
+        elif region == REGION_AFTER:
+            sink = self._post
+        else:
+            return
+        operands = record.operands
+        if len(operands) <= operand_index:
+            return
+        resolved = self.varmap.resolve_access(operands[operand_index].address)
+        if resolved is None:
+            return
+        info, element_offset = resolved
+        candidates = self._candidates
+        if candidates is not None and info.key not in candidates:
+            return
+        sink.append(AccessEvent(
+            dyn_id=record.dyn_id,
+            variable=info.key,
+            name=info.name,
+            kind=kind,
+            line=record.line,
+            function=record.function,
+            element_offset=element_offset,
+        ))
+
+    def on_load(self, record: TraceRecord, region: int) -> None:
+        self._record(record, region, AccessKind.READ, 0)
+
+    def on_store(self, record: TraceRecord, region: int) -> None:
+        self._record(record, region, AccessKind.WRITE, 1)
+
+    def build(self, mli_keys: Set[str],
+              mli_names: Optional[Dict[str, str]] = None) -> RWDependencies:
+        """Filter the tentative events down to the matched MLI variables."""
+        mli_names = mli_names or {}
+        result = RWDependencies()
+        for tentative, sink, by_variable in (
+                (self._loop, result.loop_events, result.by_variable),
+                (self._post, result.post_loop_events, result.post_by_variable)):
+            for event in tentative:
+                if event.variable not in mli_keys:
+                    continue
+                name = mli_names.get(event.variable, event.name)
+                if name != event.name:
+                    event = AccessEvent(
+                        dyn_id=event.dyn_id, variable=event.variable,
+                        name=name, kind=event.kind, line=event.line,
+                        function=event.function,
+                        element_offset=event.element_offset)
+                sink.append(event)
+                by_variable.setdefault(event.variable, []).append(event)
+        return result
+
+
 def _record_events(records: List[TraceRecord], varmap: VariableMap,
                    mli_keys: Set[str], mli_names: Dict[str, str],
                    sink: List[AccessEvent],
@@ -104,10 +193,16 @@ def _record_events(records: List[TraceRecord], varmap: VariableMap,
 def extract_rw_dependencies(preprocessing: PreprocessingResult,
                             variable_map: Optional[VariableMap] = None,
                             ) -> RWDependencies:
-    """Extract the ordered R/W events on MLI variables.
+    """Extract the ordered R/W events on MLI variables (post-hoc, legacy).
 
     ``variable_map`` should be the dependency analysis' map (which knows
     about every allocation); when omitted the pre-processing map is used.
+
+    This re-walks the regions and resolves every access against the given
+    map's *final* state, so shadowing that happened after an access can
+    steal or drop its attribution; the fused pipeline's
+    :class:`RWExtractionPass` resolves at execution time instead.  Kept as
+    the multi-pass baseline.
     """
     varmap = variable_map or preprocessing.variable_map
     mli_keys = set(preprocessing.mli_keys())

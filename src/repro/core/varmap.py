@@ -28,9 +28,13 @@ The map keeps a **sorted list of non-overlapping live address segments**:
 * index memory is O(live segments), independent of array element counts
   (a million-element array costs one segment, not a million index entries);
 * allocations can be grouped into **scopes** (one per traced function
-  activation): :meth:`enter_scope` / :meth:`exit_scope` let the dependency
-  analysis retire a callee's allocas when the tracer records the function's
-  ``Ret``, so a dead frame can never shadow or absorb later accesses.
+  activation): :meth:`enter_scope` / :meth:`exit_scope` let the analyses
+  retire a callee's allocas when the tracer records the function's ``Ret``,
+  so a dead frame can never shadow or absorb later accesses;
+* retiring a registration **restores** the byte ranges it had shadowed to
+  their previous owners (skipping owners that retired in the meantime), so
+  a variable that outlives a shadowing allocation resolves over its full
+  extent again — scope-nested shadowing unwinds exactly.
 
 Retirement and shadowing only affect *address resolution*; the registration
 history (:meth:`by_name`, :meth:`latest_by_name`, iteration, ``len``) keeps
@@ -41,6 +45,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.ir.opcodes import Opcode
@@ -79,9 +84,15 @@ class VariableInfo:
         """Element index of ``address`` within this variable."""
         return (address - self.base_address) // self.element_bytes
 
-    @property
+    @cached_property
     def key(self) -> str:
-        """Stable identity used as a DDG node key."""
+        """Stable identity used as a DDG node key.
+
+        Cached: the analysis passes read it per resolved access (hundreds of
+        thousands of times per trace), and both ``name`` and
+        ``base_address`` are frozen.  ``cached_property`` writes the
+        instance ``__dict__`` directly, which a frozen dataclass permits.
+        """
         return f"{self.name}@{self.base_address:#x}"
 
 
@@ -115,6 +126,14 @@ class VariableMap:
         self._seg_ends: List[int] = []
         self._seg_owners: List[VariableInfo] = []
         self._scopes: List[_Scope] = []
+        # What each registration shadowed: id(new owner) -> the (start, end,
+        # old owner) pieces its insertion trimmed or evicted.  Retiring the
+        # registration re-inserts the pieces whose owner is still live, so a
+        # variable that outlives a shadowing allocation regains resolution of
+        # the shadowed byte range (identity keys are stable: every
+        # registration is kept alive in ``_intervals``).
+        self._shadow_undo: Dict[int, List[Tuple[int, int, VariableInfo]]] = {}
+        self._retired_ids: set = set()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -183,8 +202,11 @@ class VariableMap:
         """
         for index in range(len(self._scopes) - 1, -1, -1):
             if self._scopes[index].function == function:
-                for scope in self._scopes[index:]:
-                    for info in scope.infos:
+                # Innermost scope first, newest allocation first: retirement
+                # must unwind shadowing in LIFO order so that each restore
+                # hands ranges back to the owner directly underneath.
+                for scope in reversed(self._scopes[index:]):
+                    for info in reversed(scope.infos):
                         self.retire(info)
                 del self._scopes[index:]
                 return
@@ -200,7 +222,16 @@ class VariableMap:
         return None
 
     def retire(self, info: VariableInfo) -> None:
-        """Drop ``info``'s live segments; its registration history remains."""
+        """Drop ``info``'s live segments; its registration history remains.
+
+        The byte ranges ``info``'s registration had shadowed are restored to
+        their previous owners (unless those have been retired themselves in
+        the meantime), so a variable that outlives a shadowing allocation —
+        e.g. an MLI array partially covered by a callee's ``Alloca`` —
+        resolves over its full extent again once the shadower's scope
+        closes.
+        """
+        self._retired_ids.add(id(info))
         index = bisect_left(self._seg_starts, info.base_address)
         while (index < len(self._seg_starts)
                and self._seg_starts[index] < info.end_address):
@@ -210,12 +241,16 @@ class VariableMap:
                 del self._seg_owners[index]
             else:
                 index += 1
+        for start, end, owner in self._shadow_undo.pop(id(info), ()):
+            if id(owner) not in self._retired_ids:
+                self._restore_range(start, end, owner)
 
     # ------------------------------------------------------------------ #
     # Segment store
     # ------------------------------------------------------------------ #
     def _insert_segment(self, start: int, end: int, owner: VariableInfo) -> None:
         starts, ends, owners = self._seg_starts, self._seg_ends, self._seg_owners
+        shadowed: List[Tuple[int, int, VariableInfo]] = []
         index = bisect_left(starts, start)
         # A predecessor reaching past `start` is split: its left remainder is
         # trimmed in place and, when it spans past `end`, its right remainder
@@ -224,6 +259,7 @@ class VariableMap:
             old_end = ends[index - 1]
             old_owner = owners[index - 1]
             ends[index - 1] = start
+            shadowed.append((start, min(old_end, end), old_owner))
             if old_end > end:
                 starts.insert(index, end)
                 ends.insert(index, old_end)
@@ -232,6 +268,8 @@ class VariableMap:
         # past `end` keeps its right remainder.
         cursor = index
         while cursor < len(starts) and starts[cursor] < end:
+            shadowed.append((starts[cursor], min(ends[cursor], end),
+                             owners[cursor]))
             if ends[cursor] > end:
                 starts[cursor] = end
                 break
@@ -243,6 +281,37 @@ class VariableMap:
         starts.insert(index, start)
         ends.insert(index, end)
         owners.insert(index, owner)
+        if shadowed:
+            self._shadow_undo[id(owner)] = shadowed
+
+    def _restore_range(self, start: int, end: int,
+                       owner: VariableInfo) -> None:
+        """Give ``owner`` back every currently-uncovered gap in
+        ``[start, end)`` — the inverse of the shadowing done by
+        :meth:`_insert_segment`, applied when the shadower retires.  Parts
+        of the range covered by still-live segments (a later shadower whose
+        scope is still open) are left untouched."""
+        starts, ends, owners = self._seg_starts, self._seg_ends, self._seg_owners
+        cursor = start
+        index = bisect_right(starts, start) - 1
+        if index >= 0 and ends[index] > start:
+            cursor = min(ends[index], end)
+        index += 1
+        while cursor < end:
+            next_start = starts[index] if index < len(starts) else None
+            if next_start is not None and next_start < end:
+                if next_start > cursor:
+                    starts.insert(index, cursor)
+                    ends.insert(index, next_start)
+                    owners.insert(index, owner)
+                    index += 1
+                cursor = min(ends[index], end)
+                index += 1
+            else:
+                starts.insert(index, cursor)
+                ends.insert(index, end)
+                owners.insert(index, owner)
+                return
 
     # ------------------------------------------------------------------ #
     # Queries

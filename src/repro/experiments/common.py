@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import os
-import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.apps.base import AppDefinition

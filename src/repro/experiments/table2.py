@@ -9,7 +9,6 @@ Table II row (on the scaled mini-app).
 
 from __future__ import annotations
 
-import os
 import tempfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence

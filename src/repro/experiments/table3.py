@@ -2,9 +2,13 @@
 
 The paper reports, per benchmark, the time spent in pre-processing (with and
 without the OpenMP parallel trace reading), dependency analysis and critical
-variable identification.  The harness reproduces the same breakdown: traces
-are written to files, then analysed twice — once with the serial reader and
-once with the parallel block-partitioned reader.
+variable identification.  The harness reproduces the same breakdown with the
+staged multi-pass pipeline — traces are written to files, then analysed once
+with the serial reader and once with the parallel block-partitioned reader —
+and adds the fused single-pass engine as a third configuration: one streamed
+walk of the trace file producing the full report, with its record throughput
+(krec/s) and its end-to-end speedup over the serial multi-pass run, so the
+single-pass win is visible in the same table.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from repro.codegen.lowering import compile_source
 from repro.core.config import AutoCheckConfig
 from repro.core.pipeline import AutoCheck
 from repro.tracer.driver import trace_to_file
-from repro.util.formatting import format_seconds, render_table
+from repro.util.formatting import render_table
 
 
 @dataclass
@@ -33,6 +37,10 @@ class Table3Row:
     preprocessing_parallel: float
     dependency_analysis: float
     identify_variables: float
+    #: end-to-end time of the fused single-pass engine (streaming walk)
+    fused_total: float = 0.0
+    #: records walked by the fused engine
+    record_count: int = 0
 
     @property
     def total_serial(self) -> float:
@@ -50,14 +58,33 @@ class Table3Row:
             return 0.0
         return self.preprocessing_serial / self.preprocessing_parallel
 
+    @property
+    def fused_records_per_second(self) -> float:
+        if self.fused_total <= 0:
+            return 0.0
+        return self.record_count / self.fused_total
+
+    @property
+    def fused_speedup(self) -> float:
+        """End-to-end gain of the single-pass engine over the serial
+        multi-pass pipeline."""
+        if self.fused_total <= 0:
+            return 0.0
+        return self.total_serial / self.fused_total
+
 
 def _analyse(trace_path: str, module, spec, options: Dict[str, object],
-             parallel: bool, workers: int):
+             parallel: bool, workers: int, engine: str = "multipass",
+             streaming: bool = False):
     config = AutoCheckConfig(main_loop=spec, parallel_preprocessing=parallel,
                              preprocessing_workers=workers,
+                             streaming_preprocessing=streaming,
+                             analysis_engine=engine,
                              **{k: v for k, v in options.items()
                                 if k not in ("parallel_preprocessing",
-                                             "preprocessing_workers")})
+                                             "preprocessing_workers",
+                                             "streaming_preprocessing",
+                                             "analysis_engine")})
     return AutoCheck(config, trace_path=trace_path, module=module).run()
 
 
@@ -94,6 +121,10 @@ def run_table3(apps: Optional[Sequence[str]] = None,
             parallel_report = _analyse(trace_path, module, spec,
                                        app.autocheck_options, parallel=True,
                                        workers=workers)
+            fused_report = _analyse(trace_path, module, spec,
+                                    app.autocheck_options, parallel=False,
+                                    workers=workers, engine="fused",
+                                    streaming=True)
             rows.append(Table3Row(
                 name=app.title,
                 trace_bytes=trace_bytes,
@@ -101,6 +132,8 @@ def run_table3(apps: Optional[Sequence[str]] = None,
                 preprocessing_parallel=parallel_report.timings.get("preprocessing"),
                 dependency_analysis=serial_report.timings.get("dependency_analysis"),
                 identify_variables=serial_report.timings.get("identify_variables"),
+                fused_total=fused_report.timings.total,
+                record_count=fused_report.trace_stats.record_count,
             ))
     finally:
         if own_dir is not None:
@@ -117,11 +150,15 @@ def format_table3(rows: Sequence[Table3Row]) -> str:
             f"{row.dependency_analysis:.3f}",
             f"{row.identify_variables:.4f}",
             f"{row.total_serial:.3f} ({row.total_parallel:.3f})",
+            f"{row.fused_total:.3f} "
+            f"[{row.fused_records_per_second / 1000:.0f} krec/s]",
+            f"{row.fused_speedup:.2f}x",
         ))
     return render_table(
         ("Name", "Pre-processing (with optimization) (s)",
          "Dependency Analysis (s)", "Identify Variables (s)",
-         "Total Time (with optimization) (s)"),
+         "Total Time (with optimization) (s)",
+         "Fused single pass (s) [krec/s]", "Fused speedup"),
         table_rows)
 
 

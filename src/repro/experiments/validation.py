@@ -16,15 +16,12 @@ Two studies per benchmark, exactly as the paper describes:
 
 from __future__ import annotations
 
-import os
-import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.base import AppDefinition
 from repro.apps.registry import all_apps, get_app
 from repro.checkpoint.validate import RestartValidator
-from repro.codegen.lowering import compile_source
 from repro.experiments.common import analyze_app
 from repro.util.formatting import render_table
 

@@ -8,10 +8,10 @@ range, exactly as AutoCheck's inputs require.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.ir.opcodes import ARITHMETIC_OPCODES, Opcode
-from repro.ir.types import IRType, PointerType
+from repro.ir.types import IRType
 from repro.ir.values import Register, Value
 
 

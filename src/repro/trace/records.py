@@ -20,9 +20,9 @@ Each record carries exactly the information the paper's Fig. 1 describes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
-from repro.ir.opcodes import ARITHMETIC_OPCODES, Opcode
+from repro.ir.opcodes import ARITHMETIC_OPCODE_VALUES, Opcode
 
 #: Operand index used for instruction results (paper Fig. 1 uses ``r``).
 RESULT_INDEX = "r"
@@ -81,7 +81,7 @@ class TraceRecord:
 
     @property
     def is_arithmetic(self) -> bool:
-        return Opcode(self.opcode) in ARITHMETIC_OPCODES
+        return self.opcode in ARITHMETIC_OPCODE_VALUES
 
     @property
     def is_load(self) -> bool:

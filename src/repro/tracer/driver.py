@@ -17,7 +17,7 @@ harnesses call:
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple, Union
+from typing import Tuple, Union
 
 from repro.codegen.lowering import compile_source
 from repro.ir.module import Module

@@ -18,10 +18,10 @@ whole-process checkpoint size is derived from them).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from repro.tracer.values import PointerValue, RuntimeValue
+from repro.tracer.values import RuntimeValue
 
 
 class MemoryError_(Exception):

@@ -70,12 +70,21 @@ class Timer:
 class TimingBreakdown:
     """Named stage timings for one AutoCheck pipeline run.
 
-    Mirrors the columns of paper Table III: ``preprocessing``,
-    ``dependency_analysis`` and ``identify_variables``; ``total`` is the sum
-    of all recorded stages.
+    Mirrors the columns of paper Table III: the multi-pass pipeline records
+    ``preprocessing``, ``dependency_analysis`` and ``identify_variables``;
+    the fused pipeline records ``preprocessing``, ``fused_analysis`` and
+    ``identify_variables``.  ``total`` is the sum of all recorded stages.
+
+    Stages that walk trace records can additionally record how many records
+    they processed (:meth:`add_count`), which makes per-stage throughput
+    (:meth:`records_per_second`) comparable across pipeline shapes — the
+    number the efficiency study (``table3.py``) reports to show the
+    single-pass speedup.
     """
 
     stages: Dict[str, float] = field(default_factory=dict)
+    #: records processed per stage (only stages that walk records)
+    counts: Dict[str, int] = field(default_factory=dict)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -88,17 +97,35 @@ class TimingBreakdown:
     def add(self, name: str, seconds: float) -> None:
         self.stages[name] = self.stages.get(name, 0.0) + seconds
 
+    def add_count(self, name: str, records: int) -> None:
+        """Record that stage ``name`` processed ``records`` trace records."""
+        self.counts[name] = self.counts.get(name, 0) + records
+
     def get(self, name: str) -> float:
         return self.stages.get(name, 0.0)
+
+    def get_count(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def records_per_second(self, name: str) -> Optional[float]:
+        """Throughput of stage ``name``; None when it has no record count
+        or no measurable elapsed time."""
+        count = self.counts.get(name)
+        seconds = self.stages.get(name, 0.0)
+        if not count or seconds <= 0.0:
+            return None
+        return count / seconds
 
     @property
     def total(self) -> float:
         return sum(self.stages.values())
 
     def merge(self, other: "TimingBreakdown") -> "TimingBreakdown":
-        merged = TimingBreakdown(dict(self.stages))
+        merged = TimingBreakdown(dict(self.stages), dict(self.counts))
         for name, seconds in other.stages.items():
             merged.add(name, seconds)
+        for name, count in other.counts.items():
+            merged.add_count(name, count)
         return merged
 
     def as_dict(self) -> Dict[str, float]:

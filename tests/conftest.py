@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import autocheck_source
 from repro.apps import EXAMPLE_APP, get_app
 from repro.codegen.lowering import compile_source
 from repro.core.config import AutoCheckConfig, MainLoopSpec

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps import APP_ORDER, all_apps, app_names, find_mclr, get_app
-from repro.apps.base import AppDefinition
 from repro.codegen import compile_source
 from repro.core.config import MainLoopSpec
 

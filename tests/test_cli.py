@@ -2,8 +2,6 @@
 
 import os
 
-import pytest
-
 from repro.cli import main
 from repro.trace.textio import write_trace_file
 

@@ -14,7 +14,6 @@ from repro.ir.instructions import (
     GEPInst,
     LoadInst,
     PrintInst,
-    StoreInst,
 )
 from repro.minicc import ast_nodes as ast
 from repro.minicc.errors import SemanticError

@@ -148,8 +148,9 @@ class TestRecursiveParamBindings:
 
     def _trace(self):
         mk, op = _rec, _operand
-        alloca = lambda i, fn, ln, name, addr: make_alloca_record(
-            name, addr, bits=64, function=fn, dyn_id=i, line=ln)
+        def alloca(i, fn, ln, name, addr):
+            return make_alloca_record(name, addr, bits=64, function=fn,
+                                      dyn_id=i, line=ln)
         records = [
             # main's locals, touched before the loop
             alloca(1, "main", 2, "a", self.A),
@@ -223,8 +224,9 @@ class TestUnboundParameterDoesNotLeak:
 
     def _trace(self):
         mk, op = _rec, _operand
-        alloca = lambda i, fn, ln, name, addr: make_alloca_record(
-            name, addr, bits=64, function=fn, dyn_id=i, line=ln)
+        def alloca(i, fn, ln, name, addr):
+            return make_alloca_record(name, addr, bits=64, function=fn,
+                                      dyn_id=i, line=ln)
         records = [
             alloca(1, "main", 2, "a", self.A),
             mk(2, Opcode.STORE, "main", 3,

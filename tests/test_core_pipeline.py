@@ -46,10 +46,28 @@ class TestPipeline:
         assert report.induction_variable == "it"
 
     def test_timings_cover_three_stages(self, example_report):
+        # Default (fused) pipeline: one engine walk replaces the separate
+        # dependency-analysis iteration.
         stages = set(example_report.timings.stages)
-        assert stages == {"preprocessing", "dependency_analysis",
+        assert stages == {"preprocessing", "fused_analysis",
                           "identify_variables"}
         assert example_report.timings.total > 0
+
+    def test_multipass_timings_cover_legacy_stages(self, example_trace,
+                                                   example_spec):
+        report = AutoCheck(
+            AutoCheckConfig(main_loop=example_spec,
+                            analysis_engine="multipass"),
+            trace=example_trace).run()
+        assert set(report.timings.stages) == {
+            "preprocessing", "dependency_analysis", "identify_variables"}
+
+    def test_fused_walk_reports_throughput(self, example_report,
+                                           example_trace):
+        timings = example_report.timings
+        assert timings.get_count("fused_analysis") == len(example_trace.records)
+        rate = timings.records_per_second("fused_analysis")
+        assert rate is None or rate > 0
 
     def test_trace_stats(self, example_report, example_trace):
         stats = example_report.trace_stats

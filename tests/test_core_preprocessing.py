@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import MainLoopSpec, identify_mli_variables, partition_trace
+from repro.core import MainLoopSpec, partition_trace
 from repro.core.errors import AnalysisError
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the address-interval variable map."""
 
-import pytest
 from conftest import make_alloca_record
 
 from repro.core.varmap import VariableInfo, VariableMap, build_variable_map
@@ -196,6 +195,76 @@ class TestScopes:
         # allocation's end, and the dead frame must not absorb it.
         assert varmap.resolve(0x7008) is live
         assert varmap.resolve(0x7014) is None
+
+
+class TestShadowRestore:
+    """Retiring a registration restores the ranges it had shadowed."""
+
+    def test_retire_restores_shadowed_range_to_live_owner(self):
+        varmap = VariableMap()
+        arr = varmap.add(info("arr", 0x1000, size=0x10, elem_bits=32))
+        varmap.enter_scope("g")
+        tmp = varmap.add(info("tmp", 0x1008, size=4, function="g"))
+        assert varmap.resolve(0x1008) is tmp
+        varmap.exit_scope("g")
+        # the interior hole left by tmp's eviction must be healed
+        assert varmap.resolve(0x1008) is arr
+        assert varmap.resolve(0x1000) is arr
+        assert varmap.resolve(0x100f) is arr
+        assert varmap.resolve_access(0x1008) == (arr, 2)
+
+    def test_full_eviction_is_restored(self):
+        varmap = VariableMap()
+        under = varmap.add(info("under", 0x1000, size=8))
+        varmap.enter_scope("g")
+        varmap.add(info("over", 0x0ff8, size=0x20, function="g"))
+        assert varmap.resolve(0x1004).name == "over"
+        varmap.exit_scope("g")
+        assert varmap.resolve(0x1000) is under
+        assert varmap.resolve(0x1007) is under
+        assert varmap.resolve(0x0ff8) is None   # over's own extent is gone
+        assert varmap.resolve(0x1008) is None
+
+    def test_nested_shadows_unwind_in_scope_order(self):
+        varmap = VariableMap()
+        base = varmap.add(info("base", 0x1000, size=0x10))
+        varmap.enter_scope("outer")
+        mid = varmap.add(info("mid", 0x1004, size=8, function="outer"))
+        varmap.enter_scope("inner")
+        top = varmap.add(info("top", 0x1006, size=2, function="inner"))
+        assert varmap.resolve(0x1006) is top
+        varmap.exit_scope("inner")
+        assert varmap.resolve(0x1006) is mid
+        varmap.exit_scope("outer")
+        assert varmap.resolve(0x1006) is base
+        assert varmap.resolve(0x1004) is base
+
+    def test_restore_skips_retired_owners(self):
+        varmap = VariableMap()
+        varmap.enter_scope("first")
+        varmap.add(info("dead", 0x1000, size=8, function="first"))
+        varmap.exit_scope("first")
+        varmap.enter_scope("second")
+        varmap.add(info("live", 0x1000, size=8, function="second"))
+        varmap.exit_scope("second")
+        # `live` shadowed nothing live (dead was already retired), and dead
+        # frames must not be resurrected
+        assert varmap.resolve(0x1000) is None
+
+    def test_restore_leaves_still_live_shadowers_untouched(self):
+        varmap = VariableMap()
+        base = varmap.add(info("base", 0x1000, size=0x10))
+        varmap.enter_scope("outer")
+        varmap.add(info("mid", 0x1000, size=0x10, function="outer"))
+        varmap.enter_scope("inner")
+        top = varmap.add(info("top", 0x1008, size=4, function="inner"))
+        # close the *outer* scope while inner is still open (unbalanced on
+        # purpose): exit_scope retires inner first, then outer, so both
+        # restores run and base gets its full range back
+        varmap.exit_scope("outer")
+        assert varmap.resolve(0x1004) is base
+        assert varmap.resolve(0x1008) is base
+        assert varmap.resolve(0x1008) is not top
 
 
 class TestSubByteElements:

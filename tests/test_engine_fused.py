@@ -1,0 +1,430 @@
+"""The single-pass analysis engine: equivalence, temporal attribution, I/O.
+
+Three properties pin the fused pipeline down:
+
+1. **Full-report equivalence** — on every registered benchmark (plus the
+   synthetic ``bigarray`` stress app), the fused engine produces the same
+   MLI sets, classified variables, DDG (edges *and* node kinds) and R/W
+   event sequences as the legacy multi-pass pipeline, in both materialized
+   and streaming modes.
+2. **Temporal attribution** — a loop-region access to an MLI array byte
+   range that a later callee ``Alloca`` shadows attributes to the MLI
+   variable.  The legacy post-hoc :func:`extract_rw_dependencies` resolves
+   against the dependency analysis' end-of-region map and provably loses
+   the event (the regression this file documents); the engine resolves at
+   execution time and keeps it.
+3. **Single streamed pass** — in streaming mode the fused pipeline streams
+   the trace file's records exactly once end to end, while the multi-pass
+   pipeline re-streams per stage (the counting-reader tests).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import make_alloca_record, make_operand, make_record as record
+
+from repro.apps import all_apps, get_app
+from repro.codegen.lowering import compile_source
+from repro.core import AutoCheck, AutoCheckConfig, MainLoopSpec
+from repro.core.dependency import DependencyAnalysis
+from repro.core.engine import (
+    KIND_BY_OPCODE,
+    KIND_ARITHMETIC,
+    KIND_FORWARDING,
+    REGION_NAMES,
+    AnalysisEngine,
+    AnalysisPass,
+)
+from repro.core.errors import AnalysisError
+from repro.core.preprocessing import identify_mli_variables, partition_trace
+from repro.core.rwdeps import AccessKind, extract_rw_dependencies
+from repro.ir.opcodes import (
+    ARITHMETIC_OPCODES,
+    ARITHMETIC_OPCODE_VALUES,
+    FORWARDING_OPCODES,
+    FORWARDING_OPCODE_VALUES,
+    MEMORY_OPCODES,
+    MEMORY_OPCODE_VALUES,
+    Opcode,
+)
+from repro.trace.records import Trace, TraceOperand
+from repro.tracer.driver import trace_to_file
+
+
+def mem(index, name, address, bits=32, value=0):
+    return make_operand(index, name, address=address, bits=bits, value=value)
+
+
+def reg(index, name, bits=32, value=0, address=None):
+    return make_operand(index, name, address=address, bits=bits, value=value,
+                        is_register=True)
+
+
+# --------------------------------------------------------------------------- #
+# Engine unit behaviour
+# --------------------------------------------------------------------------- #
+class TestEngineBasics:
+    def test_opcode_kind_table_matches_enum_sets(self):
+        """The raw-value opcode sets (the hot-path micro-optimization) and
+        the dispatch table must track the enum-typed sets exactly."""
+        assert ARITHMETIC_OPCODE_VALUES == frozenset(
+            int(op) for op in ARITHMETIC_OPCODES)
+        assert FORWARDING_OPCODE_VALUES == frozenset(
+            int(op) for op in FORWARDING_OPCODES)
+        assert MEMORY_OPCODE_VALUES == frozenset(
+            int(op) for op in MEMORY_OPCODES)
+        for op in Opcode:
+            kind = KIND_BY_OPCODE[int(op)]
+            assert (kind == KIND_FORWARDING) == (op in FORWARDING_OPCODES)
+            assert (kind == KIND_ARITHMETIC) == (op in ARITHMETIC_OPCODES)
+
+    def test_region_tagging_matches_partition_trace(self, example_trace,
+                                                    example_spec):
+        engine = AnalysisEngine(example_spec, [])
+        engine.add_globals(example_trace.globals)
+        walk = engine.run(example_trace.records)
+        reference = partition_trace(example_trace, example_spec)
+        assert walk.before_count == len(reference.before)
+        assert walk.inside_count == len(reference.inside)
+        assert walk.after_count == len(reference.after)
+        assert walk.first_loop_dyn_id == reference.first_loop_dyn_id
+        assert walk.last_loop_dyn_id == reference.last_loop_dyn_id
+        assert walk.record_count == len(example_trace.records)
+
+    def test_no_loop_records_raises(self, example_trace):
+        spec = MainLoopSpec(function="nonexistent", start_line=1, end_line=2)
+        engine = AnalysisEngine(spec, [])
+        with pytest.raises(AnalysisError, match="main computation loop"):
+            engine.run(example_trace.records)
+
+    def test_regions_dispatched_in_stream_order(self, example_trace,
+                                                example_spec):
+        seen = []
+        transitions = []
+
+        class Recorder(AnalysisPass):
+            def on_load(self, rec, region):
+                seen.append((rec.dyn_id, region))
+
+            def on_store(self, rec, region):
+                seen.append((rec.dyn_id, region))
+
+            def on_region_change(self, region):
+                transitions.append(REGION_NAMES[region])
+
+        engine = AnalysisEngine(example_spec, [Recorder()])
+        engine.add_globals(example_trace.globals)
+        engine.run(example_trace.records)
+        assert [dyn_id for dyn_id, _ in seen] == sorted(
+            dyn_id for dyn_id, _ in seen)
+        regions = [region for _, region in seen]
+        # before -> inside -> after, each contiguous
+        assert regions == sorted(regions)
+        assert transitions == ["before", "inside", "after"]
+
+    def test_unknown_opcode_fails_loudly(self, example_spec):
+        """A corrupt trace (opcode outside the enum) must not be silently
+        analysed — the old per-record Opcode(...) construction raised and
+        the dispatch table keeps that contract."""
+        bogus = record(1, Opcode.STORE, example_spec.function,
+                       example_spec.start_line,
+                       operands=[reg("1", "1"), mem("2", "x", 0x1000)])
+        bogus.opcode = 999
+        bogus.opcode_name = "Bogus"
+        engine = AnalysisEngine(example_spec, [])
+        with pytest.raises(AnalysisError, match="unknown opcode 999"):
+            engine.run([bogus])
+
+
+# --------------------------------------------------------------------------- #
+# Full-report equivalence: fused vs. multi-pass, materialized and streaming
+# --------------------------------------------------------------------------- #
+def _ddg_shape(ddg):
+    nodes = {node.key: node.kind for node in ddg.nodes()}
+    return nodes, set(ddg.edges())
+
+
+def _events(events):
+    return [(e.dyn_id, e.variable, e.name, e.kind, e.line, e.function,
+             e.element_offset) for e in events]
+
+
+def _assert_reports_equal(got, reference):
+    assert got.mli_variable_names == reference.mli_variable_names
+    assert [(v.name, v.dependency) for v in got.critical_variables] == \
+        [(v.name, v.dependency) for v in reference.critical_variables]
+    assert got.dependency_string() == reference.dependency_string()
+    assert got.induction_variable == reference.induction_variable
+    assert _ddg_shape(got.complete_ddg) == _ddg_shape(reference.complete_ddg)
+    assert _ddg_shape(got.contracted_ddg) == \
+        _ddg_shape(reference.contracted_ddg)
+    assert _events(got.rw_sequence.loop_events) == \
+        _events(reference.rw_sequence.loop_events)
+    assert _events(got.rw_sequence.post_loop_events) == \
+        _events(reference.rw_sequence.post_loop_events)
+    for attr in ("record_count", "before_count", "inside_count",
+                 "after_count", "global_count"):
+        assert getattr(got.trace_stats, attr) == \
+            getattr(reference.trace_stats, attr)
+
+
+def _equivalence_apps():
+    return all_apps() + [get_app("bigarray")]
+
+
+@pytest.mark.parametrize("app", _equivalence_apps(), ids=lambda app: app.name)
+def test_fused_report_identical_on_all_apps(app, tmp_path):
+    """Acceptance: the engine-fused report equals the legacy-shaped one —
+    MLI sets, classified variables, DDG edges/kinds, R/W sequences — on
+    every registered benchmark, in materialized *and* streaming mode."""
+    source = app.source()
+    module = compile_source(source, module_name=app.name)
+    spec = app.main_loop(source)
+    path = str(tmp_path / f"{app.name}.btrace")
+    trace_to_file(module, path, fmt="binary")
+
+    options = dict(app.autocheck_options)
+    reference = AutoCheck(
+        AutoCheckConfig(main_loop=spec, analysis_engine="multipass",
+                        **options),
+        trace_path=path).run()
+    fused_materialized = AutoCheck(
+        AutoCheckConfig(main_loop=spec, **options), trace_path=path).run()
+    fused_streaming = AutoCheck(
+        AutoCheckConfig(main_loop=spec, streaming_preprocessing=True,
+                        **options),
+        trace_path=path).run()
+
+    _assert_reports_equal(fused_materialized, reference)
+    _assert_reports_equal(fused_streaming, reference)
+
+
+# --------------------------------------------------------------------------- #
+# Temporal attribution regression
+# --------------------------------------------------------------------------- #
+SHADOW_SPEC = MainLoopSpec(function="main", start_line=5, end_line=7)
+ARR = 0x1000     # main's i32 arr[4]: bytes [0x1000, 0x1010)
+ARR_KEY = f"arr@{ARR:#x}"
+
+
+@pytest.fixture()
+def shadow_trace():
+    """Inside the loop, main reads ``arr[2]``; *later* in the same loop a
+    callee's Alloca shadows exactly that byte range and the callee never
+    returns within the analysed extent (``longjmp``-style control flow, or
+    a crash-truncated trace — the natural inputs of a checkpointing tool).
+    The read must still attribute to ``arr``: post-hoc resolution against
+    the end-of-region map cannot recover it, because the shadowing
+    activation is still open when the region ends."""
+    records = [
+        make_alloca_record("arr", ARR, count=4, bits=32, function="main",
+                           dyn_id=1, line=2),
+        # before the loop: write arr[0] (makes arr an MLI candidate)
+        record(2, Opcode.STORE, "main", 3,
+               operands=[TraceOperand(index="1", bits=32, value=1,
+                                      is_register=False, name=""),
+                         mem("2", "arr", ARR)]),
+        # loop: read arr[2] — at this moment arr owns 0x1008
+        record(3, Opcode.LOAD, "main", 5,
+               operands=[mem("1", "arr", ARR + 8)], result=reg("r", "1")),
+        # loop: call g, whose tmp Alloca shadows arr's bytes [0x1008,0x100c);
+        # g never returns (longjmp back into the loop)
+        record(4, Opcode.CALL, "main", 6,
+               operands=[mem("p1", "n", None)], callee="g"),
+        make_alloca_record("tmp", ARR + 8, count=1, bits=32, function="g",
+                           dyn_id=5, line=30),
+        # loop: write arr[0] (closes the loop extent; tmp is still live)
+        record(6, Opcode.STORE, "main", 7,
+               operands=[reg("1", "1"), mem("2", "arr", ARR)]),
+    ]
+    return Trace(module_name="shadow", records=records)
+
+
+class TestTemporalAttribution:
+    def test_old_post_hoc_extraction_loses_the_event(self, shadow_trace):
+        """The documented failure mode of the multi-pass design: resolving
+        against the dependency analysis' *post-run* map — in which the
+        never-closed activation's ``tmp`` still shadows ``arr[2]`` — the
+        loop read of ``arr[2]`` vanishes from the R/W sequence."""
+        preprocessing = identify_mli_variables(shadow_trace, SHADOW_SPEC)
+        assert preprocessing.mli_keys() == [ARR_KEY]
+        dependency = DependencyAnalysis(preprocessing).run()
+        rw = extract_rw_dependencies(preprocessing,
+                                     variable_map=dependency.variable_map)
+        kinds = [event.kind for event in rw.events_for(ARR_KEY)]
+        assert kinds == [AccessKind.WRITE]  # the READ is gone
+
+    def test_engine_attributes_to_the_mli_variable(self, shadow_trace):
+        report = AutoCheck(AutoCheckConfig(main_loop=SHADOW_SPEC),
+                           trace=shadow_trace).run()
+        events = report.rw_sequence.events_for(ARR_KEY)
+        assert [(e.kind, e.element_offset) for e in events] == [
+            (AccessKind.READ, 2), (AccessKind.WRITE, 0)]
+
+    def test_classification_flips_from_missed_to_war(self, shadow_trace):
+        """End to end: the lost read hides the read-before-overwrite
+        pattern from the multi-pass pipeline; the engine sees it and
+        classifies ``arr`` as WAR (it must be checkpointed)."""
+        multipass = AutoCheck(
+            AutoCheckConfig(main_loop=SHADOW_SPEC,
+                            analysis_engine="multipass"),
+            trace=shadow_trace).run()
+        fused = AutoCheck(AutoCheckConfig(main_loop=SHADOW_SPEC),
+                          trace=shadow_trace).run()
+        assert "arr" not in multipass.names()
+        assert fused.find("arr") is not None
+        assert fused.find("arr").dependency.value == "WAR"
+
+    def test_access_after_retired_shadow_resolves_again(self):
+        """When the shadowing callee *does* return, retiring its Alloca
+        restores the shadowed byte range to the still-live MLI array, so a
+        later loop read of ``arr[2]`` attributes correctly too (regression:
+        ``VariableMap.retire`` used to leave a permanent hole)."""
+        records = [
+            make_alloca_record("arr", ARR, count=4, bits=32, function="main",
+                               dyn_id=1, line=2),
+            record(2, Opcode.STORE, "main", 3,
+                   operands=[TraceOperand(index="1", bits=32, value=1,
+                                          is_register=False, name=""),
+                             mem("2", "arr", ARR)]),
+            record(3, Opcode.LOAD, "main", 5,
+                   operands=[mem("1", "arr", ARR + 8)], result=reg("r", "1")),
+            record(4, Opcode.CALL, "main", 6,
+                   operands=[mem("p1", "n", None)], callee="g"),
+            make_alloca_record("tmp", ARR + 8, count=1, bits=32,
+                               function="g", dyn_id=5, line=30),
+            record(6, Opcode.RET, "g", 31),
+            # back in the loop after g returned: arr[2] must resolve again
+            record(7, Opcode.LOAD, "main", 6,
+                   operands=[mem("1", "arr", ARR + 8)], result=reg("r", "2")),
+            record(8, Opcode.STORE, "main", 7,
+                   operands=[reg("1", "1"), mem("2", "arr", ARR)]),
+        ]
+        trace = Trace(module_name="shadow-ret", records=records)
+        report = AutoCheck(AutoCheckConfig(main_loop=SHADOW_SPEC),
+                           trace=trace).run()
+        events = report.rw_sequence.events_for(ARR_KEY)
+        assert [(e.dyn_id, e.kind, e.element_offset) for e in events] == [
+            (3, AccessKind.READ, 2), (7, AccessKind.READ, 2),
+            (8, AccessKind.WRITE, 0)]
+
+
+class TestNestedLoopFunction:
+    """The main loop living in a *called* function: accesses to a live
+    ancestor frame's locals resolve in the engine's shared map but must be
+    rejected for MLI identification, exactly as the legacy restricted map
+    (globals + loop-function allocations only) leaves them unresolved."""
+
+    SPEC = MainLoopSpec(function="compute", start_line=20, end_line=25)
+    BUF = 0x2000   # main's buffer, passed to compute by pointer
+    ACC = 0x3000   # compute's own accumulator
+
+    def _trace(self):
+        records = [
+            make_alloca_record("buf", self.BUF, count=4, bits=32,
+                               function="main", dyn_id=1, line=2),
+            record(2, Opcode.CALL, "main", 3,
+                   operands=[mem("p1", "p", None)], callee="compute"),
+            make_alloca_record("acc", self.ACC, function="compute",
+                               dyn_id=3, line=17),
+            # compute, before its loop: touch both its own acc and main's buf
+            record(4, Opcode.STORE, "compute", 18,
+                   operands=[reg("1", "1"), mem("2", "acc", self.ACC)]),
+            record(5, Opcode.STORE, "compute", 19,
+                   operands=[reg("1", "1"), mem("2", "p", self.BUF)]),
+            # the loop: read acc then buf, write acc
+            record(6, Opcode.LOAD, "compute", 21,
+                   operands=[mem("1", "acc", self.ACC)], result=reg("r", "2")),
+            record(7, Opcode.LOAD, "compute", 22,
+                   operands=[mem("1", "p", self.BUF)], result=reg("r", "3")),
+            record(8, Opcode.STORE, "compute", 24,
+                   operands=[reg("1", "2"), mem("2", "acc", self.ACC)]),
+        ]
+        return Trace(module_name="nested", records=records)
+
+    def test_mli_and_critical_sets_match_multipass(self):
+        trace = self._trace()
+        fused = AutoCheck(AutoCheckConfig(main_loop=self.SPEC),
+                          trace=trace).run()
+        multipass = AutoCheck(
+            AutoCheckConfig(main_loop=self.SPEC,
+                            analysis_engine="multipass"),
+            trace=trace).run()
+        assert fused.mli_variable_names == multipass.mli_variable_names
+        assert fused.dependency_string() == multipass.dependency_string()
+        assert "buf" not in fused.mli_variable_names
+        assert "acc" in fused.mli_variable_names
+        assert _events(fused.rw_sequence.loop_events) == \
+            _events(multipass.rw_sequence.loop_events)
+
+
+# --------------------------------------------------------------------------- #
+# Counting reader: the streaming fused path streams the file exactly once
+# --------------------------------------------------------------------------- #
+@pytest.fixture(params=["text", "binary"])
+def example_trace_file(request, example_trace, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("engine") / f"ex.{request.param}")
+    if request.param == "binary":
+        from repro.trace import write_trace_file_binary
+
+        write_trace_file_binary(example_trace, path)
+    else:
+        from repro.trace import write_trace_file
+
+        write_trace_file(example_trace, path)
+    return path
+
+
+@pytest.fixture()
+def stream_counter(monkeypatch):
+    """Count every record-stream opened on a trace file, wherever it is
+    requested from (the pipeline's front door, the streaming pre-processing
+    pass, or a re-iterable region view)."""
+    counts = {"streams": 0}
+
+    import repro.trace.binio as binio_module
+    import repro.trace.textio as textio_module
+
+    # Patch the two low-level record streams every reading path funnels
+    # through (the sniffing front door and the region views both end up
+    # here), so one logical stream counts exactly once.
+    real_text_iter = textio_module.iter_trace_file_text
+    real_reader_iter = binio_module.TraceBinaryReader.iter_records
+
+    def counting_text_iter(path, start_record=0):
+        counts["streams"] += 1
+        return real_text_iter(path, start_record=start_record)
+
+    def counting_reader_iter(self, start_record=0, **kwargs):
+        counts["streams"] += 1
+        return real_reader_iter(self, start_record=start_record, **kwargs)
+
+    monkeypatch.setattr(textio_module, "iter_trace_file_text",
+                        counting_text_iter)
+    monkeypatch.setattr(binio_module.TraceBinaryReader, "iter_records",
+                        counting_reader_iter)
+    return counts
+
+
+class TestSingleStreamedPass:
+    def test_fused_streaming_streams_exactly_once(self, example_trace_file,
+                                                  example_spec,
+                                                  stream_counter):
+        report = AutoCheck(
+            AutoCheckConfig(main_loop=example_spec,
+                            streaming_preprocessing=True),
+            trace_path=example_trace_file).run()
+        assert report.critical_variables
+        assert stream_counter["streams"] == 1
+
+    def test_multipass_streaming_restreams_per_stage(self, example_trace_file,
+                                                     example_spec,
+                                                     stream_counter):
+        """The baseline the engine replaces: every stage re-streams (and
+        for text traces re-parses) the file."""
+        AutoCheck(
+            AutoCheckConfig(main_loop=example_spec,
+                            streaming_preprocessing=True,
+                            analysis_engine="multipass"),
+            trace_path=example_trace_file).run()
+        assert stream_counter["streams"] >= 4

@@ -61,8 +61,13 @@ class TestTable3:
         assert row.identify_variables >= 0
         assert row.total_serial >= row.dependency_analysis
         assert row.preprocessing_speedup > 0
+        assert row.fused_total > 0
+        assert row.record_count > 0
+        assert row.fused_records_per_second > 0
+        assert row.fused_speedup > 0
         text = format_table3(rows)
         assert "Pre-processing" in text
+        assert "krec/s" in text
 
 
 class TestTable4:

@@ -10,7 +10,6 @@ from repro.ir import (
     GlobalVariable,
     I32,
     IRBuilder,
-    IntType,
     Module,
     Function,
     Opcode,

@@ -15,7 +15,7 @@ from repro.ir import (
     VerificationError,
     verify_module,
 )
-from repro.ir.instructions import CallInst, CmpInst, LoadInst, StoreInst
+from repro.ir.instructions import CmpInst, LoadInst, StoreInst
 from repro.ir.values import Register
 
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.minicc.errors import LexError
-from repro.minicc.lexer import Lexer, find_token, token_kinds, tokenize
-from repro.minicc.tokens import Token, TokenKind
+from repro.minicc.lexer import find_token, token_kinds, tokenize
+from repro.minicc.tokens import TokenKind
 
 
 def kinds(source):

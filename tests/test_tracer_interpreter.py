@@ -12,7 +12,6 @@ from repro.tracer import (
     compile_and_run,
     run_and_trace,
 )
-from repro.tracer.interpreter import InMemoryTraceSink
 
 
 SMALL_PROGRAM = """\

@@ -63,6 +63,27 @@ class TestTiming:
         assert merged.get("y") == 3.0
         assert first.get("x") == 1.0  # originals untouched
 
+    def test_breakdown_record_counts_and_rate(self):
+        breakdown = TimingBreakdown()
+        breakdown.add("walk", 2.0)
+        breakdown.add_count("walk", 500)
+        breakdown.add_count("walk", 500)
+        assert breakdown.get_count("walk") == 1000
+        assert breakdown.get_count("missing") == 0
+        assert breakdown.records_per_second("walk") == pytest.approx(500.0)
+        # stages without a count (or without elapsed time) have no rate
+        breakdown.add("untimed", 1.0)
+        assert breakdown.records_per_second("untimed") is None
+        breakdown.add_count("zero", 100)
+        assert breakdown.records_per_second("zero") is None
+
+    def test_breakdown_merge_includes_counts(self):
+        first = TimingBreakdown({"x": 1.0}, {"x": 10})
+        second = TimingBreakdown({"x": 1.0}, {"x": 30})
+        merged = first.merge(second)
+        assert merged.get_count("x") == 40
+        assert first.get_count("x") == 10  # originals untouched
+
 
 class TestRNG:
     def test_reproducibility(self):
