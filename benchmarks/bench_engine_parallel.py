@@ -1,0 +1,165 @@
+"""Benchmark: the parallel fused engine vs. the serial fused engine.
+
+The parallel engine (``AutoCheckConfig(analysis_engine="parallel",
+workers=N)``) shards the fused single-pass walk across worker processes
+over partitions of the block-indexed binary trace: a cheap sequential scope
+scan snapshots the live variable map at every partition boundary, workers
+run the full per-record pass work seeded from those snapshots, and the
+per-partition pass states merge back into a report identical to the serial
+fused engine's (see :mod:`repro.core.parallel`).
+
+Acceptance bar on the ``bigarray`` app at 4 workers: **>= 1.2x** end-to-end
+speedup over the serial fused engine (target 1.5x) — *when the host
+actually has cores to shard over*.  Wall-clock parallel speedup is
+physically impossible on a single-core host (the workers time-slice one
+CPU and only the coordination overhead remains visible), so on such hosts
+the speedup assertion is replaced by an overhead bound plus the
+machine-independent properties that make the speedup real on multi-core
+hardware:
+
+* report equality is asserted record-for-record in every configuration;
+* the sequential phase-1 scope scan — the Amdahl term that caps the
+  speedup — must stay a small fraction of the serial fused walk.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+
+import pytest
+
+from repro.apps import get_app
+from repro.codegen import compile_source
+from repro.core import AutoCheck, AutoCheckConfig
+from repro.tracer.driver import trace_to_file
+
+#: Acceptance bar (and the target the design aims for).
+SPEEDUP_BAR = 1.2
+SPEEDUP_TARGET = 1.5
+WORKERS = 4
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def bigarray_trace(tmp_path_factory):
+    """A binary bigarray trace large enough for stable timing (~80k records)."""
+    app = get_app("bigarray")
+    source = app.source(size=4096, iterations=32, block=64)
+    module = compile_source(source, module_name="bigarray")
+    path = str(tmp_path_factory.mktemp("bench-parallel") / "bigarray.btrace")
+    size, _ = trace_to_file(module, path, fmt="binary")
+    return {"path": path, "size": size, "spec": app.main_loop(source)}
+
+
+def _analyze(path, spec, engine, workers=WORKERS):
+    config = AutoCheckConfig(main_loop=spec, analysis_engine=engine,
+                             workers=workers,
+                             streaming_preprocessing=(engine == "fused"))
+    return AutoCheck(config, trace_path=path).run()
+
+
+def _best_of(function, *args, rounds=3):
+    """Best-of-N wall time with the GC paused."""
+    best = float("inf")
+    result = None
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(rounds):
+            started = time.perf_counter()
+            result = function(*args)
+            best = min(best, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result, best
+
+
+def _assert_same_report(parallel, fused):
+    assert parallel.dependency_string() == fused.dependency_string()
+    assert parallel.mli_variable_names == fused.mli_variable_names
+    assert sorted(parallel.complete_ddg.edges()) == \
+        sorted(fused.complete_ddg.edges())
+    assert [(event.dyn_id, event.variable, event.kind, event.element_offset)
+            for event in parallel.rw_sequence.loop_events] == \
+        [(event.dyn_id, event.variable, event.kind, event.element_offset)
+         for event in fused.rw_sequence.loop_events]
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: parallel vs. serial fused
+# --------------------------------------------------------------------------- #
+def test_parallel_speedup(bigarray_trace):
+    """The headline acceptance number: the sharded walk vs. one serial
+    pass, same binary trace, same report."""
+    path, spec = bigarray_trace["path"], bigarray_trace["spec"]
+    fused, fused_seconds = _best_of(_analyze, path, spec, "fused")
+    parallel, parallel_seconds = _best_of(_analyze, path, spec, "parallel")
+    _assert_same_report(parallel, fused)
+    records = fused.trace_stats.record_count
+    speedup = fused_seconds / parallel_seconds
+    cores = _effective_cores()
+    print(f"\nparallel analyze of {bigarray_trace['size']}B "
+          f"({records} records, {cores} cores): fused {fused_seconds:.3f}s "
+          f"({records / fused_seconds / 1000:.0f} krec/s) vs parallel@"
+          f"{WORKERS}w {parallel_seconds:.3f}s "
+          f"({records / parallel_seconds / 1000:.0f} krec/s) "
+          f"-> {speedup:.2f}x (bar {SPEEDUP_BAR}x, target {SPEEDUP_TARGET}x)")
+    if cores < 2:
+        # One schedulable CPU: the workers time-slice a single core, so a
+        # wall-clock speedup cannot exist here.  Bound the sharding
+        # overhead instead (scan + fan-out + merge must stay cheap), then
+        # skip the speedup bar with an explicit reason.
+        assert parallel_seconds <= fused_seconds * 2.5, (
+            f"single-core sharding overhead exploded: {parallel_seconds:.3f}s "
+            f"vs fused {fused_seconds:.3f}s")
+        pytest.skip(f"host exposes {cores} CPU core(s); the >= "
+                    f"{SPEEDUP_BAR}x wall-clock bar needs >= 2")
+    assert speedup >= SPEEDUP_BAR, (
+        f"parallel fused analyze must be >= {SPEEDUP_BAR}x faster than the "
+        f"serial fused engine on a {cores}-core host ({fused_seconds:.3f}s "
+        f"vs {parallel_seconds:.3f}s = {speedup:.2f}x)")
+
+
+def test_scope_scan_stays_amdahl_friendly(bigarray_trace):
+    """The phase-1 scan is the sequential term that bounds the achievable
+    speedup; it must stay a small fraction of the serial fused walk
+    (machine-independent — it holds on any core count)."""
+    path, spec = bigarray_trace["path"], bigarray_trace["spec"]
+    fused, fused_seconds = _best_of(_analyze, path, spec, "fused")
+    parallel, _ = _best_of(_analyze, path, spec, "parallel", 1)
+    _assert_same_report(parallel, fused)
+    scan_seconds = parallel.timings.get("scope_scan")
+    assert scan_seconds > 0
+    fraction = scan_seconds / fused_seconds
+    print(f"\nscope scan: {scan_seconds:.3f}s = {fraction:.0%} of the "
+          f"serial fused walk ({fused_seconds:.3f}s)")
+    assert fraction <= 0.5, (
+        f"phase-1 scope scan costs {fraction:.0%} of a full serial walk — "
+        f"it no longer leaves room for parallel speedup")
+
+
+def test_worker_counts_all_match(bigarray_trace):
+    path, spec = bigarray_trace["path"], bigarray_trace["spec"]
+    fused = _analyze(path, spec, "fused")
+    for workers in (1, 2, WORKERS):
+        parallel = _analyze(path, spec, "parallel", workers)
+        _assert_same_report(parallel, fused)
+
+
+def test_parallel_pipeline_benchmark(benchmark, bigarray_trace):
+    path, spec = bigarray_trace["path"], bigarray_trace["spec"]
+    report = benchmark(_analyze, path, spec, "parallel")
+    assert report.critical_variables
+    rate = report.timings.records_per_second("parallel_walk")
+    print(f"\nparallel walk: {rate / 1000:.0f} krec/s "
+          f"across {WORKERS} workers")

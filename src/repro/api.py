@@ -18,7 +18,30 @@ from repro.tracer.driver import run_and_trace
 def autocheck_module(module: Module, main_loop: MainLoopSpec,
                      seed: int = 314159,
                      **config_kwargs) -> AutoCheckReport:
-    """Trace a compiled module and run AutoCheck on the dynamic trace."""
+    """Trace a compiled module and run AutoCheck on the dynamic trace.
+
+    Args:
+        module: a compiled :class:`~repro.ir.module.Module` (see
+            :func:`repro.codegen.lowering.compile_source`).
+        main_loop: location of the main computation loop — the function
+            containing it plus its source line range.
+        seed: RNG seed for the traced execution (kept fixed so repeated
+            analyses see the same dynamic trace).
+        **config_kwargs: forwarded to
+            :class:`~repro.core.config.AutoCheckConfig` (e.g.
+            ``induction_variable``, ``include_global_accesses_in_calls``).
+            Note that the trace is in-memory here, so file-based options
+            (``streaming_preprocessing``, ``analysis_engine="parallel"``)
+            do not apply.
+
+    Returns:
+        The full :class:`~repro.core.report.AutoCheckReport` — critical
+        variables, MLI set, DDGs, R/W sequences, timings and trace stats.
+
+    Raises:
+        RuntimeError: when the traced execution hits a simulated failure
+            (AutoCheck expects a failure-free trace).
+    """
     trace, result = run_and_trace(module, module_name=module.name, seed=seed)
     if result.failed:
         raise RuntimeError("traced execution hit a simulated failure; "
@@ -32,6 +55,18 @@ def autocheck_module(module: Module, main_loop: MainLoopSpec,
 def autocheck_source(source: str, main_loop: MainLoopSpec,
                      module_name: str = "module", seed: int = 314159,
                      **config_kwargs) -> AutoCheckReport:
-    """Compile mini-C ``source``, trace it, and run AutoCheck."""
+    """Compile mini-C ``source``, trace it, and run AutoCheck.
+
+    Args:
+        source: mini-C program text.
+        main_loop: location of the main computation loop in ``source``.
+        module_name: name for the compiled module (appears in reports).
+        seed: RNG seed for the traced execution.
+        **config_kwargs: forwarded to
+            :class:`~repro.core.config.AutoCheckConfig`.
+
+    Returns:
+        The full :class:`~repro.core.report.AutoCheckReport`.
+    """
     module = compile_source(source, module_name=module_name)
     return autocheck_module(module, main_loop, seed=seed, **config_kwargs)

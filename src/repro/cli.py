@@ -47,7 +47,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                              preprocessing_workers=args.workers,
                              streaming_preprocessing=args.streaming,
                              induction_variable=args.induction,
-                             analysis_engine=args.engine)
+                             analysis_engine=args.engine,
+                             workers=args.workers)
     report = AutoCheck(config, trace_path=args.trace).run()
     print(report.summary())
     return 0
@@ -105,14 +106,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 "materializing it (bounded memory for very "
                                 "large traces; with the default fused "
                                 "engine the file is streamed exactly once)")
-    p_analyze.add_argument("--engine", choices=("fused", "multipass"),
+    p_analyze.add_argument("--engine",
+                           choices=("fused", "parallel", "multipass"),
                            default="fused",
                            help="'fused' (default): all analysis stages run "
                                 "as passes over one single-pass record "
-                                "walk; 'multipass': the legacy staged "
-                                "pipeline (each stage re-iterates its "
-                                "region)")
-    p_analyze.add_argument("--workers", type=int, default=4)
+                                "walk; 'parallel': shard that walk across "
+                                "--workers worker processes over partitions "
+                                "of a binary trace (identical report, "
+                                "scales with cores); 'multipass': the "
+                                "legacy staged pipeline (each stage "
+                                "re-iterates its region)")
+    p_analyze.add_argument("--workers", type=int, default=4,
+                           help="worker count for --parallel preprocessing "
+                                "and for --engine parallel")
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_app = sub.add_parser("app", help="trace + analyse a bundled benchmark")

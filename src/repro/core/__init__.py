@@ -56,8 +56,15 @@ from repro.core.ddg import DDG, DDGNode, NodeKind
 from repro.core.regmaps import RegRegMap, RegVarMap
 from repro.core.dependency import (
     DependencyAnalysis,
+    DependencyFrontierPass,
     DependencyPass,
     DependencyResult,
+)
+from repro.core.parallel import (
+    ParallelWalkResult,
+    PartitionSeed,
+    run_parallel_fused,
+    scan_scope_snapshots,
 )
 from repro.core.contraction import contract_ddg
 from repro.core.rwdeps import (
@@ -100,8 +107,13 @@ __all__ = [
     "RegRegMap",
     "RegVarMap",
     "DependencyAnalysis",
+    "DependencyFrontierPass",
     "DependencyPass",
     "DependencyResult",
+    "ParallelWalkResult",
+    "PartitionSeed",
+    "run_parallel_fused",
+    "scan_scope_snapshots",
     "contract_ddg",
     "AccessEvent",
     "AccessKind",

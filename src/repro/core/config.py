@@ -18,15 +18,23 @@ from dataclasses import dataclass
 from typing import Optional
 
 #: Valid values of :attr:`AutoCheckConfig.analysis_engine`.
-ANALYSIS_ENGINES = ("fused", "multipass")
+ANALYSIS_ENGINES = ("fused", "parallel", "multipass")
 
 
 @dataclass(frozen=True)
 class MainLoopSpec:
-    """Location of the main computation loop in the source program."""
+    """Location of the main computation loop in the source program.
 
+    The paper's user-supplied input (Sec. VII): AutoCheck needs to know
+    which function hosts the main computation loop and the loop's source
+    line range (the MCLR of Table II).
+    """
+
+    #: Name of the function containing the main computation loop.
     function: str
+    #: First source line of the loop (inclusive; the controlling line).
     start_line: int
+    #: Last source line of the loop (inclusive).
     end_line: int
 
     def __post_init__(self) -> None:
@@ -36,6 +44,7 @@ class MainLoopSpec:
                 f"[{self.start_line}, {self.end_line}]")
 
     def contains_line(self, line: int) -> bool:
+        """True when ``line`` lies within the loop's source range."""
         return self.start_line <= line <= self.end_line
 
     @property
@@ -78,9 +87,18 @@ class AutoCheckConfig:
     #: R/W extraction, dynamic-induction probing — as passes over one
     #: single-pass :class:`repro.core.engine.AnalysisEngine` walk; combined
     #: with ``streaming_preprocessing`` the trace file is streamed exactly
-    #: once end to end.  ``"multipass"`` is the legacy staged pipeline
-    #: (each stage re-iterates its region), kept as the benchmark baseline.
+    #: once end to end.  ``"parallel"`` shards that same fused walk across
+    #: ``workers`` worker processes over partitions of a *block-indexed
+    #: binary* trace file (:mod:`repro.core.parallel`) and merges the
+    #: per-partition pass states into an identical report — the throughput
+    #: path for large traces on multi-core machines.  ``"multipass"`` is
+    #: the legacy staged pipeline (each stage re-iterates its region), kept
+    #: as the benchmark baseline.
     analysis_engine: str = "fused"
+    #: Worker-process count (and partition count) of the parallel fused
+    #: engine; only read when ``analysis_engine="parallel"``.  ``1`` runs
+    #: the partition machinery inline without subprocesses.
+    workers: int = 4
 
     def __post_init__(self) -> None:
         if self.parallel_preprocessing and self.streaming_preprocessing:
@@ -93,3 +111,7 @@ class AutoCheckConfig:
             raise ValueError(
                 f"unknown analysis_engine {self.analysis_engine!r}; "
                 f"expected one of {ANALYSIS_ENGINES}")
+        if self.analysis_engine == "parallel" and self.workers < 1:
+            raise ValueError(
+                f"analysis_engine='parallel' needs workers >= 1, "
+                f"got {self.workers}")

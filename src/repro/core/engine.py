@@ -289,6 +289,14 @@ class AnalysisEngine:
     # Setup
     # ------------------------------------------------------------------ #
     def add_globals(self, globals_: Iterable[GlobalSymbol]) -> None:
+        """Register the trace preamble's module globals on the shared map.
+
+        Call once before :meth:`run` — globals must be resolvable from the
+        first record on.
+
+        Args:
+            globals_: the preamble's :class:`GlobalSymbol` entries.
+        """
         for symbol in globals_:
             self.varmap.add_global_symbol(symbol)
 
@@ -298,9 +306,17 @@ class AnalysisEngine:
     def run(self, records: Iterable[TraceRecord]) -> EngineWalk:
         """Walk ``records`` once, tagging regions on the fly.
 
-        ``records`` may be a list or a lazy file-backed iterator; it is
-        consumed exactly once.  Raises :class:`AnalysisError` when no record
-        falls inside the main computation loop range.
+        Args:
+            records: the full trace's records in stream order — a list or a
+                lazy file-backed iterator; consumed exactly once.
+
+        Returns:
+            The :class:`EngineWalk` shape of the trace (loop extent, region
+            sizes).  Passes are finalized before returning.
+
+        Raises:
+            AnalysisError: when no record falls inside the main computation
+                loop range, or a record carries an unknown opcode.
         """
         spec = self.spec
         spec_function = spec.function
@@ -354,6 +370,55 @@ class AnalysisEngine:
             last_loop_dyn_id=last_dyn,
         )
 
+    def run_indexed(self, records: Iterable[TraceRecord], *,
+                    base_index: int, first_index: int, last_index: int,
+                    pending_activation: Optional[str] = None) -> int:
+        """Walk one partition of the trace with index-derived regions.
+
+        The parallel fused pipeline shards the record stream by global
+        record index after a sequential scope scan has located the main
+        loop's extent.  Each worker drives its partition through this
+        method: ``records`` must yield the records starting at global index
+        ``base_index``, and each record's region follows from its global
+        index — before ``first_index``, inside ``[first_index,
+        last_index]``, after — instead of from on-the-fly loop-line
+        detection.  Every engine-side effect (Alloca registration,
+        activation opening, scope retirement) still happens at the record's
+        own execution time against the (snapshot-seeded) shared map.
+
+        Args:
+            records: the partition's records, in stream order.
+            base_index: global index of the first yielded record.
+            first_index: global index of the first main-loop record.
+            last_index: global index of the last main-loop record.
+            pending_activation: callee name when the *previous* partition
+                ended on a traced ``Call`` whose body may follow — seeds the
+                engine's one-record activation lookahead.
+
+        Returns:
+            The number of records processed.  Region-change callbacks fire
+            for the regions the partition actually crosses (partition-local,
+            unlike :meth:`run`'s exactly-three guarantee); passes are *not*
+            finalized — the coordinator finalizes after merging.
+        """
+        self._pending_activation = pending_activation
+        process = self._process
+        index = base_index
+        region: Optional[int] = None
+        for record in records:
+            if index < first_index:
+                record_region = REGION_BEFORE
+            elif index <= last_index:
+                record_region = REGION_INSIDE
+            else:
+                record_region = REGION_AFTER
+            if record_region != region:
+                region = record_region
+                self._emit_region(region)
+            process(record, record_region)
+            index += 1
+        return index - base_index
+
     def run_region(self, records: Iterable[TraceRecord],
                    region: int = REGION_INSIDE) -> int:
         """Walk an already-partitioned region (no loop detection).
@@ -373,6 +438,8 @@ class AnalysisEngine:
         return count
 
     def finalize(self) -> None:
+        """Finalize every registered pass (for :meth:`run_region` /
+        :meth:`run_indexed` drivers; :meth:`run` finalizes itself)."""
         for pass_ in self.passes:
             pass_.finalize()
 

@@ -1,0 +1,391 @@
+"""Parallel fused analysis over trace partitions.
+
+The fused :class:`~repro.core.engine.AnalysisEngine` (PR 3) walks the trace
+exactly once — but strictly serially, so one core does all the work while
+the block-indexed binary format's exact partitioning sits idle.  This module
+shards that one-pass walk across worker processes with a two-phase design:
+
+**Phase 1 — sequential scope scan** (:func:`scan_scope_snapshots`).  The
+only cross-record state a partition worker cannot reconstruct locally is the
+live variable map: which allocations exist, which are shadowed, and which
+activations are open at the partition's first record.  That state is driven
+exclusively by *scope-affecting* records (``Alloca`` / ``Call`` / ``Ret``),
+so a cheap sequential pre-scan — reading only each record block's fixed
+header via :func:`repro.trace.binio.scan_record_headers`, fully decoding
+just the Allocas — replays it, locates the main loop's dynamic extent on the
+way, and snapshots the map (:meth:`repro.core.varmap.VariableMap.clone`)
+plus the engine's pending-activation lookahead at every partition boundary.
+
+**Phase 2 — parallel fan-out** (:func:`analyze_partition`).  Worker
+processes each run the *full* per-record pass work over their record range,
+seeded from the boundary snapshot, with regions decided by global record
+index (:meth:`~repro.core.engine.AnalysisEngine.run_indexed`).  Every
+address therefore resolves against the exact allocation state at its own
+execution time — the fused engine's defining guarantee survives sharding.
+
+**Merge** (:func:`run_parallel_fused`).  Per-partition pass states combine
+in partition order: the MLI-collection, R/W-extraction and induction-probe
+passes merge by order-preserving union/concatenation, and the dependency
+pass — whose register associations, binding frames and DDG edges chain
+*across* partition boundaries — is stitched by replaying each partition's
+pre-resolved frontier event stream (:class:`~repro.core.dependency.
+DependencyFrontierPass`) through the serial apply handlers
+(:meth:`~repro.core.dependency.DependencyPass.merge`).  The merged report is
+identical to the serial fused engine's by construction;
+``tests/test_engine_parallel.py`` asserts full-report equality on every
+registered benchmark at 1/2/4 workers, including boundaries that fall
+mid-scope and mid-loop-iteration.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MainLoopSpec
+from repro.core.dependency import DependencyFrontierPass, DependencyPass
+from repro.core.engine import AnalysisEngine, EngineWalk
+from repro.core.errors import AnalysisError
+from repro.core.preprocessing import MLICollectionPass
+from repro.core.rwdeps import RWExtractionPass
+from repro.core.varmap import VariableInfo, VariableMap
+from repro.ir.opcodes import Opcode
+from repro.trace.binio import (
+    BinaryTraceLayout,
+    TraceBinaryReader,
+    is_binary_trace_file,
+    read_layout,
+    scan_record_headers,
+)
+from repro.trace.partition import RecordRange, partition_records
+from repro.util.timing import TimingBreakdown
+
+#: Opcodes phase 1 must decode in full (allocation size lives in operands).
+_SCAN_FULL_OPCODES = frozenset({int(Opcode.ALLOCA)})
+
+
+@dataclass
+class PartitionSeed:
+    """Everything a worker needs to resume the walk at a partition boundary.
+
+    ``varmap`` is the live map exactly as the serial engine would hold it
+    just before processing record ``start`` (globals + every earlier
+    ``Alloca``, with shadowing and open scopes intact);
+    ``pending_activation`` is the engine's one-record lookahead when the
+    preceding record was a traced ``Call``.
+    """
+
+    index: int
+    start: int
+    end: int
+    varmap: VariableMap
+    pending_activation: Optional[str]
+
+
+@dataclass
+class ScopeScan:
+    """Output of the sequential phase-1 scope scan."""
+
+    walk: EngineWalk
+    #: boundary record index -> (varmap snapshot, pending activation)
+    snapshots: Dict[int, Tuple[VariableMap, Optional[str]]]
+    #: the map's final state — the complete registration history, used by
+    #: the identify stage (latest-by-name lookups) after the merge
+    varmap: VariableMap
+
+
+@dataclass
+class PartitionOutcome:
+    """What one phase-2 worker ships back for merging."""
+
+    index: int
+    processed: int
+    mli: MLICollectionPass
+    frontier: DependencyFrontierPass
+    rw: RWExtractionPass
+    probe: Optional[object]  # InductionProbePass (None when not needed)
+
+
+@dataclass
+class ParallelWalkResult:
+    """Merged output of the parallel fused walk, ready for report assembly."""
+
+    walk: EngineWalk
+    varmap: VariableMap
+    mli: MLICollectionPass
+    dep: DependencyPass
+    rw: RWExtractionPass
+    probe: Optional[object]
+    global_count: int
+
+
+def _no_loop_error(spec: MainLoopSpec) -> AnalysisError:
+    return AnalysisError(
+        f"no trace record falls inside the main computation loop "
+        f"range {spec.mclr} of function {spec.function!r}")
+
+
+def scan_scope_snapshots(path: str, layout: BinaryTraceLayout,
+                         spec: MainLoopSpec,
+                         snapshot_indices: Sequence[int]) -> ScopeScan:
+    """Phase 1: replay scope-affecting records, snapshot at each boundary.
+
+    Walks every record block's fixed header once (sequentially, no operand
+    decoding except Allocas) and mirrors exactly the engine-side effects of
+    :meth:`repro.core.engine.AnalysisEngine._process`: activation opening on
+    the record after a traced ``Call``, ``Alloca`` registration, scope
+    retirement on ``Ret``.  The main loop's dynamic extent is located from
+    the headers' function/line fields on the way.
+
+    Args:
+        path: binary trace file.
+        layout: its decoded footer.
+        spec: the main computation loop location.
+        snapshot_indices: sorted, distinct record indices at which to clone
+            the map (a snapshot reflects the state *before* the record at
+            that index executes; indices at or past the end of the trace
+            snapshot the final state).
+
+    Returns:
+        The walk shape, the requested snapshots and the final map (complete
+        registration history).
+
+    Raises:
+        AnalysisError: when no record falls inside the main loop range.
+    """
+    strings = layout.strings
+    id_of = {text: index for index, text in enumerate(strings)}
+    spec_function_id = id_of.get(spec.function, -1)
+    start_line, end_line = spec.start_line, spec.end_line
+    alloca_op = int(Opcode.ALLOCA)
+    call_op = int(Opcode.CALL)
+    ret_op = int(Opcode.RET)
+
+    varmap = VariableMap()
+    for symbol in layout.globals:
+        varmap.add_global_symbol(symbol)
+
+    snapshots: Dict[int, Tuple[VariableMap, Optional[str]]] = {}
+    boundary_iter = iter(snapshot_indices)
+    next_boundary = next(boundary_iter, None)
+    pending: Optional[str] = None
+    first_index: Optional[int] = None
+    last_index = -1
+    first_dyn = last_dyn = 0
+    index = -1
+    scan = scan_record_headers(path, layout, full_opcodes=_SCAN_FULL_OPCODES)
+    for index, (dyn_id, opcode, line, function_id, callee_id,
+                record) in enumerate(scan):
+        if next_boundary == index:
+            snapshots[index] = (varmap.clone(), pending)
+            next_boundary = next(boundary_iter, None)
+        # Mirror AnalysisEngine._process: the activation lookahead resolves
+        # first, then the record's own scope effect.
+        if pending is not None:
+            if strings[function_id] == pending:
+                varmap.enter_scope(pending)
+            pending = None
+        if opcode == alloca_op:
+            varmap.add_alloca_record(record)
+        elif opcode == ret_op:
+            varmap.exit_scope(strings[function_id])
+        elif opcode == call_op:
+            callee = strings[callee_id]
+            if callee:
+                pending = callee
+        if (function_id == spec_function_id
+                and start_line <= line <= end_line):
+            if first_index is None:
+                first_index = index
+                first_dyn = dyn_id
+            last_index = index
+            last_dyn = dyn_id
+    record_count = index + 1
+    while next_boundary is not None:
+        snapshots[next_boundary] = (varmap.clone(), pending)
+        next_boundary = next(boundary_iter, None)
+    if first_index is None:
+        raise _no_loop_error(spec)
+    walk = EngineWalk(record_count=record_count, first_index=first_index,
+                      last_index=last_index, first_loop_dyn_id=first_dyn,
+                      last_loop_dyn_id=last_dyn)
+    return ScopeScan(walk=walk, snapshots=snapshots, varmap=varmap)
+
+
+def _mli_owner_candidate(spec_function: str, info: VariableInfo) -> bool:
+    """Could ``info`` possibly be an MLI variable?  (MLI collection only
+    admits module globals and the main-loop function's own allocations.)"""
+    return info.is_global or info.function == spec_function
+
+
+def analyze_partition(path: str, spec: MainLoopSpec, seed: PartitionSeed,
+                      first_index: int, last_index: int,
+                      include_global_accesses_in_calls: bool,
+                      need_probe: bool) -> PartitionOutcome:
+    """Phase 2 worker: run the full fused pass walk over one partition.
+
+    Runs in a worker process (or inline for single-partition runs): seeds
+    the engine with the boundary snapshot, streams the partition's records
+    via the block index, and returns the partition's pass states — with the
+    (potentially large) seeded variable map detached, since the coordinator
+    merges against the phase-1 map instead.
+    """
+    from repro.core.pipeline import InductionProbePass
+
+    varmap = seed.varmap
+    mli = MLICollectionPass(
+        varmap, spec,
+        include_global_accesses_in_calls=include_global_accesses_in_calls)
+    frontier = DependencyFrontierPass(varmap)
+    rw = RWExtractionPass(
+        varmap, owner_filter=partial(_mli_owner_candidate, spec.function))
+    passes = [mli, frontier, rw]
+    probe = None
+    if need_probe:
+        probe = InductionProbePass(varmap, spec)
+        passes.append(probe)
+    engine = AnalysisEngine(spec, passes, variable_map=varmap)
+    reader = TraceBinaryReader(path)
+    records = islice(reader.iter_records(start_record=seed.start),
+                     seed.end - seed.start)
+    processed = engine.run_indexed(
+        records, base_index=seed.start, first_index=first_index,
+        last_index=last_index, pending_activation=seed.pending_activation)
+    for pass_ in passes:
+        pass_.varmap = None  # don't ship the seeded map back
+    return PartitionOutcome(index=seed.index, processed=processed, mli=mli,
+                            frontier=frontier, rw=rw, probe=probe)
+
+
+def _ranges_from_boundaries(record_count: int,
+                            boundaries: Sequence[int]) -> List[RecordRange]:
+    """Build contiguous record ranges from explicit internal cut points.
+
+    Used by the equivalence tests to force a boundary onto a specific
+    record (mid-scope, mid-loop-iteration).  Cuts are clamped to
+    ``[0, record_count]`` and deduplicated.
+    """
+    cuts = sorted({min(max(int(cut), 0), record_count) for cut in boundaries}
+                  - {0, record_count})
+    edges = [0] + cuts + [record_count]
+    return [RecordRange(index=position, start=edges[position],
+                        end=edges[position + 1])
+            for position in range(len(edges) - 1)]
+
+
+def run_parallel_fused(path: str, spec: MainLoopSpec, *,
+                       workers: int = 4,
+                       include_global_accesses_in_calls: bool = False,
+                       need_probe: bool = False,
+                       boundaries: Optional[Sequence[int]] = None,
+                       timings: Optional[TimingBreakdown] = None,
+                       ) -> ParallelWalkResult:
+    """Run the fused analysis sharded over partitions of a binary trace.
+
+    Args:
+        path: a *block-indexed binary* trace file (the partitioning and the
+            per-worker O(1) seeks both come from its block index).
+        spec: the main computation loop location.
+        workers: number of partitions and worker processes.  ``1`` runs the
+            whole partition machinery inline (no subprocess) — useful for
+            testing the seeding path deterministically.
+        include_global_accesses_in_calls: forwarded to the MLI collection.
+        need_probe: run the dynamic induction-variable probe (the caller
+            skips it when the induction variable is already known).
+        boundaries: explicit internal record-index cut points overriding the
+            even ``workers``-way split (test hook for adversarial
+            boundaries).
+        timings: breakdown to record the ``scope_scan`` / ``parallel_walk``
+            / ``merge`` stages into.
+
+    Returns:
+        The merged pass states plus the walk shape — everything the report
+        assembly needs, bit-identical to a serial fused walk.
+
+    Raises:
+        AnalysisError: when ``path`` is not a binary trace or no record
+            falls inside the main loop range.
+    """
+    timings = timings if timings is not None else TimingBreakdown()
+    if not is_binary_trace_file(path):
+        raise AnalysisError(
+            f"analysis_engine='parallel' needs a block-indexed binary trace; "
+            f"{path!r} is not one (convert with trace_to_file(..., "
+            f"fmt='binary') or use the serial 'fused' engine)")
+    layout = read_layout(path)
+
+    with timings.stage("scope_scan"):
+        if boundaries is None:
+            ranges = partition_records(layout.record_count, max(1, workers))
+        else:
+            ranges = _ranges_from_boundaries(layout.record_count, boundaries)
+        ranges = [record_range for record_range in ranges
+                  if record_range.count > 0]
+        scan = scan_scope_snapshots(
+            path, layout, spec,
+            sorted({record_range.start for record_range in ranges}))
+    walk = scan.walk
+    timings.add_count("scope_scan", walk.record_count)
+
+    seeds = [PartitionSeed(index=record_range.index,
+                           start=record_range.start, end=record_range.end,
+                           varmap=scan.snapshots[record_range.start][0],
+                           pending_activation=(
+                               scan.snapshots[record_range.start][1]))
+             for record_range in ranges]
+
+    with timings.stage("parallel_walk"):
+        if len(seeds) <= 1 or workers <= 1:
+            outcomes = [
+                analyze_partition(path, spec, seed, walk.first_index,
+                                  walk.last_index,
+                                  include_global_accesses_in_calls, need_probe)
+                for seed in seeds]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(seeds))) as executor:
+                futures = [
+                    executor.submit(analyze_partition, path, spec, seed,
+                                    walk.first_index, walk.last_index,
+                                    include_global_accesses_in_calls,
+                                    need_probe)
+                    for seed in seeds]
+                outcomes = [future.result() for future in futures]
+    timings.add_count("parallel_walk", walk.record_count)
+
+    with timings.stage("merge"):
+        from repro.core.pipeline import InductionProbePass
+
+        varmap = scan.varmap
+        mli = MLICollectionPass(
+            varmap, spec,
+            include_global_accesses_in_calls=include_global_accesses_in_calls)
+        dep = DependencyPass(varmap, before_vars=mli.before_vars,
+                             inside_vars=mli.inside_vars)
+        rw = RWExtractionPass(varmap)
+        probe = InductionProbePass(varmap, spec) if need_probe else None
+        processed = 0
+        for outcome in outcomes:  # submit order == partition order
+            processed += outcome.processed
+            mli.merge(outcome.mli)
+            rw.merge(outcome.rw)
+            if probe is not None and outcome.probe is not None:
+                probe.merge(outcome.probe)
+        # The MLI sets are fully merged before the dependency replay, so
+        # node-kind decisions see at least what the serial walk saw;
+        # finalize() settles the rest identically in both pipelines.
+        for outcome in outcomes:
+            dep.merge(outcome.frontier)
+        if processed != walk.record_count:
+            raise AnalysisError(
+                f"parallel fused walk lost records: partitions processed "
+                f"{processed} of {walk.record_count}")
+        mli.finalize()
+        dep.finalize()
+
+    return ParallelWalkResult(walk=walk, varmap=varmap, mli=mli, dep=dep,
+                              rw=rw, probe=probe,
+                              global_count=len(layout.globals))

@@ -33,6 +33,7 @@ from repro.core.classify import classify_variables
 from repro.core.config import AutoCheckConfig, MainLoopSpec
 from repro.core.contraction import contract_ddg
 from repro.core.dependency import DependencyAnalysis, DependencyPass
+from repro.core.errors import AnalysisError
 from repro.core.engine import (
     REGION_INSIDE,
     AnalysisEngine,
@@ -98,10 +99,24 @@ class InductionProbePass(AnalysisPass):
         self._probe(record, region, 1, self.written)
 
     def pick(self) -> Tuple[Optional[str], Optional[VariableInfo]]:
+        """The detected induction variable: both read and written at the
+        loop's controlling line (``(None, None)`` when nothing matches)."""
         for name, info in self.written.items():
             if name in self.read:
                 return name, info
         return None, None
+
+    def merge(self, other: "InductionProbePass") -> None:
+        """Absorb a partition's probe sets (parallel fused engine).
+
+        Call once per partition, in partition order, so :meth:`pick`
+        iterates candidates in first-occurrence stream order exactly as a
+        serial walk would have.
+        """
+        for name, info in other.read.items():
+            self.read.setdefault(name, info)
+        for name, info in other.written.items():
+            self.written.setdefault(name, info)
 
 
 class AutoCheck:
@@ -169,8 +184,11 @@ class AutoCheck:
     # Entry point
     # ------------------------------------------------------------------ #
     def run(self) -> AutoCheckReport:
+        """Run the configured pipeline and return the full report."""
         if self.config.analysis_engine == "multipass":
             return self._run_multipass()
+        if self.config.analysis_engine == "parallel":
+            return self._run_parallel()
         return self._run_fused()
 
     # ------------------------------------------------------------------ #
@@ -228,6 +246,24 @@ class AutoCheck:
             walk = engine.run(records)
         timings.add_count("fused_analysis", walk.record_count)
 
+        return self._assemble_fused_report(
+            timings, spec, varmap, walk, len(globals_), mli_pass, dep_pass,
+            rw_pass, probe, induction_name)
+
+    def _assemble_fused_report(self, timings: TimingBreakdown,
+                               spec: MainLoopSpec, varmap: VariableMap,
+                               walk, global_count: int,
+                               mli_pass: MLICollectionPass,
+                               dep_pass: DependencyPass,
+                               rw_pass: RWExtractionPass,
+                               probe: Optional[InductionProbePass],
+                               induction_name: Optional[str],
+                               ) -> AutoCheckReport:
+        """The identify stage shared by the fused and parallel pipelines.
+
+        Takes the finalized pass states (however the walk was driven —
+        one serial pass or a partition merge) and packages the full report.
+        """
         with timings.stage("identify_variables"):
             # The fused stages consumed the regions during the walk; the
             # result object only needs their shape (materializing slices
@@ -255,7 +291,7 @@ class AutoCheck:
             before_count=walk.before_count,
             inside_count=walk.inside_count,
             after_count=walk.after_count,
-            global_count=len(globals_),
+            global_count=global_count,
         )
 
         return AutoCheckReport(
@@ -269,6 +305,43 @@ class AutoCheck:
             timings=timings,
             trace_stats=stats,
         )
+
+    # ------------------------------------------------------------------ #
+    # Parallel fused pipeline (sharded single-pass walk)
+    # ------------------------------------------------------------------ #
+    def _run_parallel(self) -> AutoCheckReport:
+        """Shard the fused walk over trace partitions in worker processes.
+
+        Requires a *block-indexed binary* trace file: the partitioning, the
+        phase-1 scope scan and the per-worker seeks all come from its block
+        index (see :mod:`repro.core.parallel`).  The report is identical to
+        the serial fused engine's.
+        """
+        from repro.core.parallel import run_parallel_fused
+
+        timings = TimingBreakdown()
+        config = self.config
+        spec = config.main_loop
+        if self._trace_path is None:
+            raise AnalysisError(
+                "analysis_engine='parallel' needs a trace file path; "
+                "in-memory traces are analysed by the serial 'fused' engine")
+
+        induction_name = config.induction_variable
+        if induction_name is None:
+            induction_name = self._static_induction_name()
+
+        result = run_parallel_fused(
+            self._trace_path, spec,
+            workers=config.workers,
+            include_global_accesses_in_calls=(
+                config.include_global_accesses_in_calls),
+            need_probe=induction_name is None,
+            timings=timings)
+
+        return self._assemble_fused_report(
+            timings, spec, result.varmap, result.walk, result.global_count,
+            result.mli, result.dep, result.rw, result.probe, induction_name)
 
     # ------------------------------------------------------------------ #
     # Legacy multi-pass pipeline (benchmark baseline)

@@ -366,6 +366,19 @@ class MLICollectionPass(AnalysisPass):
     def finalize(self) -> None:
         self.mli_variables = _match_mli(self.before_vars, self.inside_vars)
 
+    def merge(self, other: "MLICollectionPass") -> None:
+        """Absorb a partition's collected sets (parallel fused engine).
+
+        Call once per partition, in partition order: first-seen wins, so
+        the merged dicts carry the same first-occurrence insertion order a
+        serial walk would have produced.  Run :meth:`finalize` after the
+        last merge to compute the matched MLI set.
+        """
+        for key, info in other.before_vars.items():
+            self.before_vars.setdefault(key, info)
+        for key, info in other.inside_vars.items():
+            self.inside_vars.setdefault(key, info)
+
     def result(self, regions) -> PreprocessingResult:
         """Package the collected sets as a :class:`PreprocessingResult`."""
         return PreprocessingResult(

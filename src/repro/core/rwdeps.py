@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Container, Dict, List, Optional, Set
+from typing import Callable, Container, Dict, List, Optional, Set
 
 from repro.core.engine import REGION_AFTER, REGION_INSIDE, AnalysisPass
 from repro.core.preprocessing import PreprocessingResult
@@ -90,12 +90,22 @@ class RWExtractionPass(AnalysisPass):
     first inside record is dispatched, so filtering on it at event time
     bounds the tentative event lists without losing any MLI event.  The
     final filter to the matched MLI set happens in :meth:`build`.
+
+    A parallel-partition worker cannot use ``candidates`` (the before set
+    is only complete after the cross-partition merge), so it passes
+    ``owner_filter`` instead: a predicate over the resolved
+    :class:`~repro.core.varmap.VariableInfo` that must admit every possible
+    MLI owner (e.g. "global or owned by the main-loop function" — the
+    population MLI collection draws from).  Events it rejects could never
+    survive :meth:`build`, so the filter only bounds the tentative lists.
     """
 
     def __init__(self, varmap: VariableMap,
-                 candidates: Optional[Container[str]] = None) -> None:
+                 candidates: Optional[Container[str]] = None,
+                 owner_filter: Optional[Callable[..., bool]] = None) -> None:
         self.varmap = varmap
         self._candidates = candidates
+        self._owner_filter = owner_filter
         self._loop: List[AccessEvent] = []
         self._post: List[AccessEvent] = []
 
@@ -117,6 +127,9 @@ class RWExtractionPass(AnalysisPass):
         candidates = self._candidates
         if candidates is not None and info.key not in candidates:
             return
+        owner_filter = self._owner_filter
+        if owner_filter is not None and not owner_filter(info):
+            return
         sink.append(AccessEvent(
             dyn_id=record.dyn_id,
             variable=info.key,
@@ -132,6 +145,16 @@ class RWExtractionPass(AnalysisPass):
 
     def on_store(self, record: TraceRecord, region: int) -> None:
         self._record(record, region, AccessKind.WRITE, 1)
+
+    def merge(self, other: "RWExtractionPass") -> None:
+        """Append a partition's tentative events (parallel fused engine).
+
+        Call once per partition, in partition order — the concatenated
+        lists are then in stream order, exactly as a serial walk would have
+        appended them.
+        """
+        self._loop.extend(other._loop)
+        self._post.extend(other._post)
 
     def build(self, mli_keys: Set[str],
               mli_names: Optional[Dict[str, str]] = None) -> RWDependencies:

@@ -57,11 +57,14 @@ from repro.trace.binio import (
     partition_offsets_binary,
     read_trace_file_binary,
     read_trace_file_binary_parallel,
+    scan_record_headers,
     write_trace_file_binary,
 )
 from repro.trace.partition import (
+    RecordRange,
     TracePartition,
     partition_offsets,
+    partition_records,
     read_trace_file_parallel,
 )
 
@@ -89,8 +92,11 @@ __all__ = [
     "partition_offsets_binary",
     "read_trace_file_binary",
     "read_trace_file_binary_parallel",
+    "scan_record_headers",
     "write_trace_file_binary",
+    "RecordRange",
     "TracePartition",
     "partition_offsets",
+    "partition_records",
     "read_trace_file_parallel",
 ]

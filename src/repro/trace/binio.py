@@ -153,10 +153,23 @@ class TraceBinaryWriter:
             parts.append(_U64.pack(operand.address))
 
     def write_global(self, symbol: GlobalSymbol) -> None:
+        """Queue one module global for the footer's preamble section.
+
+        Args:
+            symbol: the global's name, base address and extent.  May be
+                called at any point before :meth:`close` (globals live in
+                the footer, not ahead of the records).
+        """
         assert self._fh is not None
         self._globals.append(symbol)
 
     def write_record(self, record: TraceRecord) -> None:
+        """Append one record block (and its index entry when due).
+
+        Args:
+            record: the executed instruction to encode; its strings are
+                interned into the footer's string table.
+        """
         assert self._fh is not None
         if self._record_count % INDEX_STRIDE == 0:
             self._index.append(self._offset)
@@ -177,6 +190,7 @@ class TraceBinaryWriter:
 
     @property
     def record_count(self) -> int:
+        """Number of record blocks written so far."""
         return self._record_count
 
     def _write_footer(self) -> None:
@@ -204,6 +218,9 @@ class TraceBinaryWriter:
         self._fh.write(b"".join(out))
 
     def close(self) -> None:
+        """Write the footer (globals + string table + block index) and the
+        trailer, then close the file.  Idempotent; a file without its
+        trailer is detected as truncated by :func:`read_layout`."""
         if self._fh is not None:
             self._write_footer()
             self._fh.close()
@@ -450,6 +467,12 @@ class TraceBinaryReader:
         self.layout = layout or read_layout(path)
 
     def read(self) -> Trace:
+        """Decode the whole file into an in-memory :class:`Trace`.
+
+        Returns:
+            The trace with its globals preamble and every record, in file
+            order.
+        """
         layout = self.layout
         with open(self.path, "rb") as handle:
             handle.seek(layout.records_start)
@@ -499,6 +522,103 @@ class TraceBinaryReader:
                     skip -= 1
                     continue
                 yield record
+
+
+def _skip_operands(buf, position: int, count: int) -> int:
+    """Advance ``position`` past ``count`` encoded operands without decoding.
+
+    The flags byte fully determines each operand's size (the same property
+    the decode dispatch table exploits), so skipping costs one byte peek and
+    one addition per operand.  Raises :class:`IndexError` / ``struct.error``
+    on a partial operand so chunked callers can refill and retry, exactly
+    like :func:`_decode_record`.
+    """
+    table = _OPERAND_TABLE
+    for _ in range(count):
+        flags = buf[position]
+        entry = table[flags]
+        if entry is not None:
+            position += entry[1]
+            continue
+        if (flags >> 4) != _VALUE_BIG:
+            raise BinaryTraceError(f"unknown operand value tag {flags >> 4}")
+        position += _OPERAND_FIXED.size
+        (digit_count,) = _U32.unpack_from(buf, position)
+        position += 4 + digit_count
+        if flags & 2:
+            position += 8
+    if position > len(buf):
+        raise struct.error("operand overruns the buffer")
+    return position
+
+
+def scan_record_headers(path: str,
+                        layout: Optional[BinaryTraceLayout] = None,
+                        full_opcodes: frozenset = frozenset(),
+                        chunk_bytes: int = 1 << 20,
+                        ) -> Iterator[Tuple[int, int, int, int, int,
+                                            Optional[TraceRecord]]]:
+    """Stream every record block's fixed header without decoding operands.
+
+    This is the parallel fused engine's phase-1 fast path: the sequential
+    scope scan needs each record's opcode, source line and function (to
+    locate the main loop and mirror the call/return structure) but not its
+    operands — except for the opcodes in ``full_opcodes`` (``Alloca``, whose
+    operands carry the allocation size), which are decoded in full.
+
+    Args:
+        path: binary trace file.
+        layout: pre-read footer (decoded from ``path`` when omitted).
+        full_opcodes: raw opcode values whose records are fully decoded.
+        chunk_bytes: read granularity; memory stays bounded by this.
+
+    Yields:
+        ``(dyn_id, opcode, line, function_id, callee_id, record)`` per
+        record block, in file order.  ``function_id`` / ``callee_id`` are
+        string-table ids (resolve via ``layout.strings``); ``record`` is the
+        fully decoded :class:`~repro.trace.records.TraceRecord` for opcodes
+        in ``full_opcodes`` and ``None`` otherwise.
+    """
+    layout = layout or read_layout(path)
+    strings = layout.strings
+    decode = _decode_record
+    skip = _skip_operands
+    fixed = _RECORD_FIXED
+    fixed_size = fixed.size
+    with open(path, "rb") as handle:
+        handle.seek(layout.records_start)
+        to_read = layout.records_end - layout.records_start
+        buffer = b""
+        position = 0
+        while True:
+            if position >= len(buffer):
+                if to_read <= 0:
+                    return
+                buffer = handle.read(min(chunk_bytes, to_read))
+                to_read -= len(buffer)
+                position = 0
+            try:
+                (dyn_id, opcode, line, _column, _bb_label, _opcode_name_id,
+                 function_id, _bb_id_id, callee_id, operand_count,
+                 has_result) = fixed.unpack_from(buffer, position)
+                if opcode in full_opcodes:
+                    record, next_position = decode(buffer, position, strings)
+                else:
+                    record = None
+                    next_position = skip(buffer, position + fixed_size,
+                                         operand_count + has_result)
+            except (IndexError, struct.error):
+                # Partial block at the end of the chunk: refill and retry
+                # (same protocol as TraceBinaryReader.iter_records).
+                if to_read <= 0:
+                    raise BinaryTraceError("truncated record block")
+                extra = handle.read(min(chunk_bytes, to_read))
+                to_read -= len(extra)
+                buffer = buffer[position:] + extra
+                position = 0
+                continue
+            position = next_position
+            yield dyn_id, opcode, line, function_id, callee_id, record
 
 
 def read_trace_file_binary(path: str) -> Trace:

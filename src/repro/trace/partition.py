@@ -51,6 +51,57 @@ class TracePartition:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class RecordRange:
+    """A half-open range of *record indices* ``[start, end)``.
+
+    The unit the parallel fused analysis engine shards on: unlike the byte
+    ranges of :class:`TracePartition`, record-index ranges are exact for any
+    encoding that can seek to a record (the binary format's block index
+    makes the seek O(1)).
+    """
+
+    index: int
+    start: int
+    end: int
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+
+def partition_records(record_count: int,
+                      num_partitions: int) -> List[RecordRange]:
+    """Split ``record_count`` records into ``num_partitions`` contiguous ranges.
+
+    Always returns exactly ``num_partitions`` well-formed ranges that tile
+    ``[0, record_count)`` in order.  Edge cases need no caller-side guards:
+    an empty trace yields all-empty ranges, and more partitions than records
+    yields (interleaved) empty ranges — a range's :attr:`RecordRange.count`
+    may be zero.
+
+    Args:
+        record_count: total number of records (>= 0).
+        num_partitions: how many ranges to produce (>= 1).
+
+    Returns:
+        ``num_partitions`` :class:`RecordRange` objects, sized within one
+        record of each other.
+
+    Raises:
+        ValueError: when ``num_partitions < 1`` or ``record_count < 0``.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    if record_count < 0:
+        raise ValueError("record_count must be >= 0")
+    boundaries = [(record_count * part) // num_partitions
+                  for part in range(num_partitions)] + [record_count]
+    return [RecordRange(index=part, start=boundaries[part],
+                        end=boundaries[part + 1])
+            for part in range(num_partitions)]
+
+
 def _align_to_block_start(handle, offset: int, file_size: int) -> int:
     """Advance ``offset`` to the beginning of the next instruction block.
 
@@ -76,12 +127,31 @@ def _align_to_block_start(handle, offset: int, file_size: int) -> int:
 
 
 def partition_offsets(path: str, num_partitions: int) -> List[TracePartition]:
-    """Split a text trace file into ``num_partitions`` block-aligned byte ranges."""
+    """Split a text trace file into ``num_partitions`` block-aligned byte ranges.
+
+    Always returns exactly ``num_partitions`` partitions tiling the file in
+    order; partitions may be empty (an empty file yields all-empty
+    partitions, and a trace with fewer instruction blocks than partitions
+    leaves the surplus partitions empty) so callers need no special-case
+    guards.
+
+    Args:
+        path: text trace file to partition.
+        num_partitions: how many byte ranges to produce (>= 1).
+
+    Returns:
+        ``num_partitions`` :class:`TracePartition` objects whose internal
+        boundaries each fall on an instruction-block start.
+
+    Raises:
+        ValueError: when ``num_partitions < 1``.
+    """
     if num_partitions < 1:
         raise ValueError("num_partitions must be >= 1")
     file_size = os.path.getsize(path)
     if file_size == 0:
-        return [TracePartition(index=0, start=0, end=0)]
+        return [TracePartition(index=part, start=0, end=0)
+                for part in range(num_partitions)]
 
     boundaries = [0]
     with open(path, "rb") as handle:
@@ -125,6 +195,15 @@ def read_trace_file_parallel(path: str, num_workers: int = 4,
     identical (record for record) to the serial
     :func:`repro.trace.textio.read_trace_file`; the property-based tests
     assert this equivalence.
+
+    Args:
+        path: trace file in either encoding.
+        num_workers: partition/worker count (values < 1 behave like 1).
+        use_processes: parse with a process pool instead of the default
+            thread pool (worth it only for very large traces).
+
+    Returns:
+        The fully materialized :class:`Trace`, records in file order.
     """
     if is_binary_trace_file(path):
         return read_trace_file_binary_parallel(path, num_workers=num_workers,

@@ -1,0 +1,109 @@
+"""Documentation integrity: links and anchors in README.md and docs/.
+
+The CI docs job runs exactly this module, so a broken relative link, a
+dangling anchor, or a docs page referencing a deleted source file fails
+both locally (tier-1) and in CI.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS_DIR = os.path.join(REPO_ROOT, "docs")
+REQUIRED_PAGES = ("architecture.md", "trace-format.md", "cli.md",
+                  "quickstart.md")
+
+#: [text](target) — excluding images and in-code parens
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+#: `code` spans and fenced blocks are stripped before link extraction
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_INLINE_CODE = re.compile(r"`[^`]*`")
+
+
+def _doc_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    files.extend(os.path.join(DOCS_DIR, name)
+                 for name in sorted(os.listdir(DOCS_DIR))
+                 if name.endswith(".md"))
+    return files
+
+
+def _links(path):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    text = _FENCE.sub("", text)
+    text = _INLINE_CODE.sub("", text)
+    return _LINK.findall(text)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def _anchors(path):
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if not in_fence and line.startswith("#"):
+                anchors.add(_github_slug(line.lstrip("#")))
+    return anchors
+
+
+def test_all_required_docs_pages_exist():
+    for name in REQUIRED_PAGES:
+        assert os.path.isfile(os.path.join(DOCS_DIR, name)), \
+            f"docs/{name} is missing"
+
+
+def test_readme_links_into_docs():
+    links = _links(os.path.join(REPO_ROOT, "README.md"))
+    for name in REQUIRED_PAGES:
+        assert any(link.rstrip("/").endswith(f"docs/{name}")
+                   for link in links), \
+            f"README.md does not link to docs/{name}"
+
+
+@pytest.mark.parametrize("doc", _doc_files(),
+                         ids=lambda path: os.path.relpath(path, REPO_ROOT))
+def test_relative_links_resolve(doc):
+    """Every relative link target (file and, if present, anchor) exists."""
+    base = os.path.dirname(doc)
+    for link in _links(doc):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", link):  # http:, mailto:, ...
+            continue
+        target, _, anchor = link.partition("#")
+        if target:
+            target_path = os.path.normpath(os.path.join(base, target))
+            assert os.path.exists(target_path), \
+                f"{os.path.relpath(doc, REPO_ROOT)}: broken link {link!r}"
+        else:
+            target_path = doc
+        if anchor and target_path.endswith(".md"):
+            assert anchor in _anchors(target_path), \
+                (f"{os.path.relpath(doc, REPO_ROOT)}: dangling anchor "
+                 f"{link!r} (known: {sorted(_anchors(target_path))})")
+
+
+def test_docs_reference_only_existing_source_paths():
+    """Backtick-free source references like tests/test_x.py must exist."""
+    pattern = re.compile(
+        r"(?:src/repro|tests|benchmarks|docs)/[\w\-/.]+\.(?:py|md)")
+    for doc in _doc_files():
+        with open(doc, encoding="utf-8") as handle:
+            text = handle.read()
+        for reference in set(pattern.findall(text)):
+            assert os.path.exists(os.path.join(REPO_ROOT, reference)), \
+                (f"{os.path.relpath(doc, REPO_ROOT)} references missing "
+                 f"path {reference!r}")

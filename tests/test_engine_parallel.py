@@ -1,0 +1,322 @@
+"""The parallel fused engine: equivalence, boundary seeding, transport.
+
+Four properties pin the sharded walk down:
+
+1. **Full-report equivalence** — on every registered benchmark (plus the
+   synthetic ``bigarray`` stress app), ``analysis_engine="parallel"``
+   produces the same MLI sets, classified variables, DDG (edges *and* node
+   kinds), R/W event sequences and trace stats as the serial fused engine,
+   at 1, 2 and 4 workers.
+2. **Boundary independence** — on adversarial synthetic traces, *every*
+   possible partition boundary position yields the identical report,
+   including boundaries that fall mid-scope (inside a callee activation,
+   even one opened by a pending ``Call`` straddling the cut) and
+   mid-loop-iteration.
+3. **Snapshot transport** — :class:`~repro.core.varmap.VariableMap` clones
+   are independent and survive pickling with shadowing, scoping and
+   shadow-undo state intact (the identity-keyed internals are re-keyed).
+4. **Input contract** — text traces and in-memory traces are rejected with
+   a clear error instead of a wrong answer.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from conftest import make_alloca_record, make_record
+from test_engine_fused import SHADOW_SPEC, _assert_reports_equal, mem, reg
+from test_engine_fused import shadow_trace  # noqa: F401 (re-exported fixture)
+
+from repro.apps import all_apps, get_app
+from repro.codegen.lowering import compile_source
+from repro.core import AutoCheck, AutoCheckConfig, MainLoopSpec
+from repro.core.errors import AnalysisError
+from repro.core.parallel import run_parallel_fused
+from repro.core.varmap import VariableMap
+from repro.ir.opcodes import Opcode
+from repro.trace import write_trace_file, write_trace_file_binary
+from repro.trace.binio import read_layout, scan_record_headers
+from repro.trace.records import Trace
+from repro.tracer.driver import trace_to_file
+from repro.util.timing import TimingBreakdown
+
+record = make_record
+
+
+def _equivalence_apps():
+    return all_apps() + [get_app("bigarray")]
+
+
+@pytest.fixture(scope="module", params=_equivalence_apps(),
+                ids=lambda app: app.name)
+def app_setup(request, tmp_path_factory):
+    """Binary trace + serial fused reference report, once per app."""
+    app = request.param
+    source = app.source()
+    module = compile_source(source, module_name=app.name)
+    spec = app.main_loop(source)
+    path = str(tmp_path_factory.mktemp("par") / f"{app.name}.btrace")
+    trace_to_file(module, path, fmt="binary")
+    options = dict(app.autocheck_options)
+    reference = AutoCheck(AutoCheckConfig(main_loop=spec, **options),
+                          trace_path=path).run()
+    return spec, path, options, reference
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_report_identical_on_all_apps(app_setup, workers):
+    """Acceptance: the sharded walk's report equals the serial fused one —
+    MLI sets, classified variables, DDG edges/kinds, R/W sequences, stats —
+    on every registered benchmark, at 1/2/4 workers."""
+    spec, path, options, reference = app_setup
+    report = AutoCheck(
+        AutoCheckConfig(main_loop=spec, analysis_engine="parallel",
+                        workers=workers, **options),
+        trace_path=path).run()
+    _assert_reports_equal(report, reference)
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial boundaries on synthetic traces
+# --------------------------------------------------------------------------- #
+def _parallel_report(path, spec, boundaries, workers=1):
+    """Drive the coordinator with explicit cut points, then assemble the
+    report through the pipeline's shared identify stage."""
+    autocheck = AutoCheck(
+        AutoCheckConfig(main_loop=spec, analysis_engine="parallel",
+                        workers=workers),
+        trace_path=path)
+    result = run_parallel_fused(path, spec, workers=workers,
+                                need_probe=True, boundaries=boundaries)
+    return autocheck._assemble_fused_report(
+        TimingBreakdown(), spec, result.varmap, result.walk,
+        result.global_count, result.mli, result.dep, result.rw,
+        result.probe, None)
+
+
+class TestAdversarialBoundaries:
+    """Every cut position must reproduce the serial report exactly."""
+
+    @pytest.fixture()
+    def shadow_file(self, shadow_trace, tmp_path):
+        path = str(tmp_path / "shadow.btrace")
+        write_trace_file_binary(shadow_trace, path)
+        return path
+
+    def test_every_single_cut_matches_fused(self, shadow_trace, shadow_file):
+        """The shadow trace packs a loop access, a pending-activation
+        ``Call``, a mid-activation ``Alloca`` that shadows an MLI byte
+        range, and a never-returning callee into 6 records — cutting at
+        every position crosses each of those states in turn (cut 4 starts a
+        partition on the callee's first record, so the pending activation
+        itself straddles the boundary; cut 3/5 split mid-loop-iteration)."""
+        reference = AutoCheck(AutoCheckConfig(main_loop=SHADOW_SPEC),
+                              trace=shadow_trace).run()
+        for cut in range(1, len(shadow_trace.records)):
+            report = _parallel_report(shadow_file, SHADOW_SPEC, [cut])
+            _assert_reports_equal(report, reference)
+
+    def test_cut_pairs_matches_fused(self, shadow_trace, shadow_file):
+        reference = AutoCheck(AutoCheckConfig(main_loop=SHADOW_SPEC),
+                              trace=shadow_trace).run()
+        count = len(shadow_trace.records)
+        for first in range(1, count):
+            for second in range(first + 1, count):
+                report = _parallel_report(shadow_file, SHADOW_SPEC,
+                                          [first, second])
+                _assert_reports_equal(report, reference)
+
+    def test_mid_activation_cut_through_worker_processes(self, shadow_trace,
+                                                         shadow_file):
+        """The same mid-scope boundary, but exercising the real process
+        fan-out (snapshot pickling included)."""
+        reference = AutoCheck(AutoCheckConfig(main_loop=SHADOW_SPEC),
+                              trace=shadow_trace).run()
+        report = _parallel_report(shadow_file, SHADOW_SPEC, [4], workers=2)
+        _assert_reports_equal(report, reference)
+
+
+class TestNestedCalleeBoundaries:
+    """The main loop living in a *called* function, partitioned at every
+    position — parameter-binding frames and ancestor-frame rejection must
+    stitch across the cut."""
+
+    SPEC = MainLoopSpec(function="compute", start_line=20, end_line=25)
+    BUF = 0x2000
+    ACC = 0x3000
+
+    def _trace(self):
+        records = [
+            make_alloca_record("buf", self.BUF, count=4, bits=32,
+                               function="main", dyn_id=1, line=2),
+            record(2, Opcode.CALL, "main", 3,
+                   operands=[mem("p1", "p", None)], callee="compute"),
+            make_alloca_record("acc", self.ACC, function="compute",
+                               dyn_id=3, line=17),
+            record(4, Opcode.STORE, "compute", 18,
+                   operands=[reg("1", "1"), mem("2", "acc", self.ACC)]),
+            record(5, Opcode.STORE, "compute", 19,
+                   operands=[reg("1", "1"), mem("2", "p", self.BUF)]),
+            record(6, Opcode.LOAD, "compute", 21,
+                   operands=[mem("1", "acc", self.ACC)], result=reg("r", "2")),
+            record(7, Opcode.LOAD, "compute", 22,
+                   operands=[mem("1", "p", self.BUF)], result=reg("r", "3")),
+            record(8, Opcode.STORE, "compute", 24,
+                   operands=[reg("1", "2"), mem("2", "acc", self.ACC)]),
+        ]
+        return Trace(module_name="nested", records=records)
+
+    def test_every_cut_matches_fused(self, tmp_path):
+        trace = self._trace()
+        path = str(tmp_path / "nested.btrace")
+        write_trace_file_binary(trace, path)
+        reference = AutoCheck(AutoCheckConfig(main_loop=self.SPEC),
+                              trace=trace).run()
+        assert "acc" in reference.mli_variable_names
+        for cut in range(1, len(trace.records)):
+            report = _parallel_report(path, self.SPEC, [cut])
+            _assert_reports_equal(report, reference)
+
+    def test_more_workers_than_records(self, tmp_path):
+        trace = self._trace()
+        path = str(tmp_path / "nested16.btrace")
+        write_trace_file_binary(trace, path)
+        reference = AutoCheck(AutoCheckConfig(main_loop=self.SPEC),
+                              trace=trace).run()
+        report = AutoCheck(
+            AutoCheckConfig(main_loop=self.SPEC, analysis_engine="parallel",
+                            workers=16),
+            trace_path=path).run()
+        _assert_reports_equal(report, reference)
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot transport: VariableMap clone + pickle
+# --------------------------------------------------------------------------- #
+class TestVariableMapTransport:
+    ARR = 0x1000
+
+    def _shadowed_map(self):
+        """arr[4] with a callee's tmp shadowing arr[2], scope still open."""
+        varmap = VariableMap()
+        arr = make_alloca_record("arr", self.ARR, count=4, bits=32,
+                                 function="main", dyn_id=1)
+        varmap.add_alloca_record(arr)
+        varmap.enter_scope("g")
+        tmp = make_alloca_record("tmp", self.ARR + 8, count=1, bits=32,
+                                 function="g", dyn_id=2)
+        varmap.add_alloca_record(tmp)
+        return varmap
+
+    def test_clone_is_independent(self):
+        varmap = self._shadowed_map()
+        clone = varmap.clone()
+        # New registration on the clone must not leak into the original.
+        clone.add_alloca_record(make_alloca_record(
+            "other", self.ARR, count=4, bits=32, function="main", dyn_id=3))
+        assert varmap.resolve(self.ARR).name == "arr"
+        assert clone.resolve(self.ARR).name == "other"
+        # Scope state is copied too: exiting on the clone restores arr[2]
+        # there and only there.
+        clone2 = varmap.clone()
+        clone2.exit_scope("g")
+        assert clone2.resolve(self.ARR + 8).name == "arr"
+        assert varmap.resolve(self.ARR + 8).name == "tmp"
+
+    def test_pickle_roundtrip_preserves_resolution_and_scopes(self):
+        varmap = self._shadowed_map()
+        restored = pickle.loads(pickle.dumps(varmap))
+        assert restored.resolve(self.ARR).name == "arr"
+        assert restored.resolve(self.ARR + 8).name == "tmp"
+        assert restored.open_scope_count == 1
+        assert len(restored) == len(varmap)
+        # The shadow-undo journal must survive the identity re-keying:
+        # retiring the shadower hands arr[2] back.
+        restored.exit_scope("g")
+        assert restored.resolve(self.ARR + 8).name == "arr"
+        assert restored.open_scope_count == 0
+
+    def test_pickle_roundtrip_preserves_retired_owners(self):
+        varmap = self._shadowed_map()
+        # Retire arr itself first; tmp's undo journal must then NOT restore
+        # the range to the retired arr after a roundtrip.
+        arr_info = varmap.by_name("arr")[0]
+        restored = pickle.loads(pickle.dumps(varmap))
+        varmap.retire(arr_info)
+        restored.retire(restored.by_name("arr")[0])
+        for current in (varmap, restored):
+            current.exit_scope("g")
+            assert current.resolve(self.ARR + 8) is None
+
+
+# --------------------------------------------------------------------------- #
+# Header-only scanning
+# --------------------------------------------------------------------------- #
+class TestScanRecordHeaders:
+    def test_headers_match_full_decode(self, example_trace, tmp_path):
+        path = str(tmp_path / "scan.btrace")
+        write_trace_file_binary(example_trace, path)
+        layout = read_layout(path)
+        alloca = int(Opcode.ALLOCA)
+        entries = list(scan_record_headers(path, layout,
+                                           full_opcodes=frozenset({alloca})))
+        assert len(entries) == len(example_trace.records)
+        for entry, expected in zip(entries, example_trace.records):
+            dyn_id, opcode, line, function_id, callee_id, full = entry
+            assert dyn_id == expected.dyn_id
+            assert opcode == expected.opcode
+            assert line == expected.line
+            assert layout.strings[function_id] == expected.function
+            assert layout.strings[callee_id] == expected.callee
+            if expected.opcode == alloca:
+                assert full == expected
+            else:
+                assert full is None
+
+    def test_small_chunk_size_refill_path(self, example_trace, tmp_path):
+        path = str(tmp_path / "scan-small.btrace")
+        write_trace_file_binary(example_trace, path)
+        entries = list(scan_record_headers(path, chunk_bytes=64))
+        assert len(entries) == len(example_trace.records)
+        assert [e[0] for e in entries] == \
+            [r.dyn_id for r in example_trace.records]
+
+
+# --------------------------------------------------------------------------- #
+# Input contract
+# --------------------------------------------------------------------------- #
+class TestParallelInputContract:
+    def test_text_trace_is_rejected(self, example_trace, example_spec,
+                                    tmp_path):
+        path = str(tmp_path / "text.trace")
+        write_trace_file(example_trace, path)
+        with pytest.raises(AnalysisError, match="binary trace"):
+            AutoCheck(
+                AutoCheckConfig(main_loop=example_spec,
+                                analysis_engine="parallel"),
+                trace_path=path).run()
+
+    def test_in_memory_trace_is_rejected(self, example_trace, example_spec):
+        with pytest.raises(AnalysisError, match="trace file path"):
+            AutoCheck(
+                AutoCheckConfig(main_loop=example_spec,
+                                analysis_engine="parallel"),
+                trace=example_trace).run()
+
+    def test_no_loop_records_raises(self, example_trace, tmp_path):
+        path = str(tmp_path / "noloop.btrace")
+        write_trace_file_binary(example_trace, path)
+        spec = MainLoopSpec(function="nonexistent", start_line=1, end_line=2)
+        with pytest.raises(AnalysisError, match="main computation loop"):
+            AutoCheck(
+                AutoCheckConfig(main_loop=spec, analysis_engine="parallel"),
+                trace_path=path).run()
+
+    def test_workers_validation(self, example_spec):
+        with pytest.raises(ValueError, match="workers"):
+            AutoCheckConfig(main_loop=example_spec,
+                            analysis_engine="parallel", workers=0)
+        # Only read by the parallel engine — other engines keep the old
+        # tolerance for any --workers value.
+        assert AutoCheckConfig(main_loop=example_spec, workers=0)

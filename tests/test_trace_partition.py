@@ -11,9 +11,12 @@ from repro.trace import (
     TraceOperand,
     TraceRecord,
     partition_offsets,
+    partition_offsets_binary,
+    partition_records,
     read_trace_file,
     read_trace_file_parallel,
     write_trace_file,
+    write_trace_file_binary,
 )
 
 
@@ -59,6 +62,100 @@ class TestPartitioning:
     def test_invalid_partition_count(self, trace_file):
         with pytest.raises(ValueError):
             partition_offsets(trace_file, 0)
+
+
+class TestPartitionEdgeCases:
+    """Empty traces, single-block traces and more workers than blocks must
+    yield well-formed (possibly empty) partitions without caller guards."""
+
+    def _check_tiling(self, partitions, num_partitions, total):
+        assert len(partitions) == num_partitions
+        assert partitions[0].start == 0
+        assert partitions[-1].end == total
+        for previous, current in zip(partitions, partitions[1:]):
+            assert previous.end == current.start
+        for part in partitions:
+            assert part.start <= part.end
+
+    def test_empty_file_yields_all_empty_partitions(self, tmp_path):
+        path = str(tmp_path / "empty.trace")
+        open(path, "w").close()
+        for workers in (1, 3, 8):
+            partitions = partition_offsets(path, workers)
+            self._check_tiling(partitions, workers, 0)
+
+    def test_preamble_only_text_trace(self, tmp_path):
+        """A trace with globals but zero records: the record partitions are
+        empty and the parallel reader returns an empty record list."""
+        trace = Trace(module_name="hollow",
+                      globals=[GlobalSymbol("g", 0x1000, 8, 64, False)])
+        path = str(tmp_path / "hollow.trace")
+        write_trace_file(trace, path)
+        partitions = partition_offsets(path, 4)
+        self._check_tiling(partitions, 4, os.path.getsize(path))
+        parallel = read_trace_file_parallel(path, num_workers=4)
+        assert parallel.records == []
+        assert parallel.globals == trace.globals
+
+    def test_single_block_text_trace(self, tmp_path, example_trace):
+        single = Trace(module_name="single",
+                       globals=list(example_trace.globals),
+                       records=example_trace.records[:1])
+        path = str(tmp_path / "single.trace")
+        write_trace_file(single, path)
+        partitions = partition_offsets(path, 8)
+        self._check_tiling(partitions, 8, os.path.getsize(path))
+        parallel = read_trace_file_parallel(path, num_workers=8)
+        assert parallel.records == single.records
+
+    def test_binary_zero_record_trace(self, tmp_path):
+        trace = Trace(module_name="hollow",
+                      globals=[GlobalSymbol("g", 0x1000, 8, 64, False)])
+        path = str(tmp_path / "hollow.btrace")
+        write_trace_file_binary(trace, path)
+        partitions = partition_offsets_binary(path, 4)
+        assert len(partitions) == 4
+        assert all(part.size == 0 for part in partitions)
+        parallel = read_trace_file_parallel(path, num_workers=4)
+        assert parallel.records == []
+        assert parallel.globals == trace.globals
+
+    def test_binary_more_partitions_than_blocks(self, tmp_path,
+                                                example_trace):
+        path = str(tmp_path / "few.btrace")
+        write_trace_file_binary(
+            Trace(module_name="few", globals=list(example_trace.globals),
+                  records=example_trace.records[:5]), path)
+        partitions = partition_offsets_binary(path, 16)
+        assert len(partitions) == 16
+        for previous, current in zip(partitions, partitions[1:]):
+            assert previous.end == current.start
+        parallel = read_trace_file_parallel(path, num_workers=16)
+        assert parallel.records == example_trace.records[:5]
+
+
+class TestPartitionRecords:
+    """Record-index partitioning (the parallel fused engine's unit)."""
+
+    @pytest.mark.parametrize("record_count,num_partitions", [
+        (0, 1), (0, 4), (1, 4), (3, 8), (100, 7), (256, 4),
+    ])
+    def test_ranges_tile_in_order(self, record_count, num_partitions):
+        ranges = partition_records(record_count, num_partitions)
+        assert len(ranges) == num_partitions
+        assert ranges[0].start == 0
+        assert ranges[-1].end == record_count
+        for previous, current in zip(ranges, ranges[1:]):
+            assert previous.end == current.start
+        assert sum(r.count for r in ranges) == record_count
+        sizes = [r.count for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_records(10, 0)
+        with pytest.raises(ValueError):
+            partition_records(-1, 2)
 
 
 class TestParallelRead:
