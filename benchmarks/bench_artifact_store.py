@@ -1,0 +1,76 @@
+"""Benchmark: the artifact store's warm path vs a cold fleet analysis.
+
+The store's reason to exist is amortization at fleet scale: re-validating
+every bundled app after a change that does not touch the analysis should
+cost digest lookups and JSON loads, not record walks. The acceptance bar
+is a **≥5x** end-to-end speedup of a warm ``analyze-batch`` over the app
+fleet versus the cold run that populated the store (measured far above —
+the warm path performs zero trace-record decodes, see
+``tests/test_store.py``).
+
+Trace generation is kept out of both measurements: the traces are written
+once, untimed, into the batch's own reuse location
+(``repro.store.batch.app_trace_path``), so cold measures *analysis* and
+warm measures *store lookups* — the honest comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.apps.registry import app_names, get_app
+from repro.codegen.lowering import compile_source
+from repro.store import ArtifactStore, BatchEntry, app_trace_path, run_batch
+from repro.tracer.driver import trace_to_file
+
+#: The fleet: the 14 study benchmarks + the worked example + bigarray.
+FLEET = app_names(include_example=True) + ["bigarray"]
+
+#: Acceptance bar: warm batch ≥ this factor faster than cold.
+WARM_SPEEDUP_BAR = 5.0
+
+
+@pytest.fixture(scope="module")
+def fleet_dirs(tmp_path_factory):
+    """Pre-generated binary traces for every fleet app (untimed)."""
+    root = tmp_path_factory.mktemp("bench-store")
+    trace_dir = str(root / "traces")
+    os.makedirs(trace_dir, exist_ok=True)
+    for name in FLEET:
+        app = get_app(name)
+        module = compile_source(app.source(), module_name=app.name)
+        path = app_trace_path(trace_dir, app.name)
+        trace_to_file(module, path, module_name=app.name, fmt="binary")
+    return {"trace_dir": trace_dir, "cache_dir": str(root / "cache")}
+
+
+def test_warm_batch_beats_cold_by_5x(fleet_dirs):
+    entries = [BatchEntry(app=name) for name in FLEET]
+
+    cold = run_batch(entries, workers=1, use_cache=True,
+                     cache_dir=fleet_dirs["cache_dir"],
+                     trace_dir=fleet_dirs["trace_dir"])
+    assert cold.all_ok and cold.misses == len(FLEET)
+
+    warm = run_batch(entries, workers=1, use_cache=True,
+                     cache_dir=fleet_dirs["cache_dir"],
+                     trace_dir=fleet_dirs["trace_dir"])
+    assert warm.all_ok and warm.hits == len(FLEET)
+
+    speedup = cold.seconds / max(warm.seconds, 1e-9)
+    print(f"\nartifact store, {len(FLEET)}-app fleet: "
+          f"cold {cold.seconds:.3f}s, warm {warm.seconds:.3f}s "
+          f"({speedup:.1f}x)")
+    assert speedup >= WARM_SPEEDUP_BAR, (
+        f"warm analyze-batch is only {speedup:.1f}x faster than cold "
+        f"(bar: {WARM_SPEEDUP_BAR}x)")
+
+    # The warm run returned the same critical-variable sets.
+    cold_sets = {item.name: item.critical for item in cold.items}
+    warm_sets = {item.name: item.critical for item in warm.items}
+    assert warm_sets == cold_sets
+
+    # And the store holds exactly one entry per fleet app.
+    assert ArtifactStore(fleet_dirs["cache_dir"]).stats().entries == len(FLEET)

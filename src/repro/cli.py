@@ -5,12 +5,19 @@ Subcommands:
 * ``autocheck analyze <trace file> --function main --start L1 --end L2`` —
   run the analysis on an existing dynamic trace file (the paper's primary
   usage: trace + main loop location in, critical variables out);
+* ``autocheck analyze-batch <manifest.json>`` — fan a manifest of traces
+  and bundled apps across a process pool, reusing the artifact store;
 * ``autocheck app <name>`` — trace and analyse one of the bundled benchmarks;
 * ``autocheck trace <mini-C file> -o out.trace`` — compile and trace a mini-C
   program;
+* ``autocheck gc`` — inspect and evict entries of the artifact store;
 * ``autocheck table2|table3|table4|validate|figure5|run-all`` — regenerate
   the paper's evaluation artefacts;
 * ``autocheck list`` — list the bundled benchmarks.
+
+The parser is built by :func:`build_parser` (separate from :func:`main`) so
+the docs flag-drift check in ``tests/test_docs.py`` can compare the live
+option surface against ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -48,9 +55,46 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                              streaming_preprocessing=args.streaming,
                              induction_variable=args.induction,
                              analysis_engine=args.engine,
-                             workers=args.workers)
+                             workers=args.workers,
+                             use_cache=args.cache,
+                             cache_dir=args.cache_dir)
     report = AutoCheck(config, trace_path=args.trace).run()
     print(report.summary())
+    return 0
+
+
+def _cmd_analyze_batch(args: argparse.Namespace) -> int:
+    from repro.store.batch import run_batch
+
+    result = run_batch(args.manifest,
+                       workers=args.workers,
+                       use_cache=args.cache,
+                       cache_dir=args.cache_dir,
+                       trace_dir=args.trace_dir)
+    print(result.summary())
+    return 0 if result.all_ok else 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    from repro.store.cache import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    before = store.stats()
+    print(f"store {store.root}: {before.entries} entries, "
+          f"{before.total_bytes} bytes")
+    if not (args.clear or args.max_entries is not None
+            or args.max_age_days is not None or args.max_bytes is not None):
+        return 0
+    result = store.gc(
+        max_entries=args.max_entries,
+        max_age_seconds=(args.max_age_days * 86400.0
+                         if args.max_age_days is not None else None),
+        max_bytes=args.max_bytes,
+        clear=args.clear,
+        dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"{verb} {result.evicted} entries ({result.evicted_bytes} bytes), "
+          f"kept {result.kept} ({result.kept_bytes} bytes)")
     return 0
 
 
@@ -84,7 +128,23 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _add_cache_flags(parser: argparse.ArgumentParser, default: bool) -> None:
+    """The shared ``--cache/--no-cache`` + ``--cache-dir`` pair."""
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=default,
+                        help="consult/publish the content-addressed artifact "
+                             "store: a hit (same trace digest, same semantic "
+                             "config, same report schema) skips the record "
+                             "walk entirely"
+                             + (" (default: on)" if default
+                                else " (default: off)"))
+    parser.add_argument("--cache-dir", default=None,
+                        help="artifact store root (default: "
+                             "$AUTOCHECK_CACHE_DIR or ~/.cache/autocheck)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the full CLI parser (also consumed by the docs drift check)."""
     parser = argparse.ArgumentParser(
         prog="autocheck",
         description="AutoCheck: automatically identify variables for "
@@ -120,7 +180,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_analyze.add_argument("--workers", type=int, default=4,
                            help="worker count for --parallel preprocessing "
                                 "and for --engine parallel")
+    _add_cache_flags(p_analyze, default=False)
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_batch = sub.add_parser(
+        "analyze-batch",
+        help="analyse a manifest of traces/apps over a process pool, "
+             "reusing the artifact store")
+    p_batch.add_argument("manifest",
+                         help="JSON manifest: a list of entries, or an "
+                              "object with 'entries' (and optionally "
+                              "'trace_dir')")
+    p_batch.add_argument("--workers", type=int, default=1,
+                         help="process-pool width; 1 runs inline")
+    p_batch.add_argument("--trace-dir", default=None,
+                         help="where app entries keep their generated "
+                              "binary traces (reused across runs; default: "
+                              "<store root>/traces)")
+    _add_cache_flags(p_batch, default=True)
+    p_batch.set_defaults(func=_cmd_analyze_batch)
+
+    p_gc = sub.add_parser("gc",
+                          help="inspect the artifact store and evict entries")
+    p_gc.add_argument("--cache-dir", default=None,
+                      help="artifact store root (default: "
+                           "$AUTOCHECK_CACHE_DIR or ~/.cache/autocheck)")
+    p_gc.add_argument("--max-entries", type=int, default=None,
+                      help="keep at most N entries (oldest evicted first)")
+    p_gc.add_argument("--max-age-days", type=float, default=None,
+                      help="evict entries older than D days")
+    p_gc.add_argument("--max-bytes", type=int, default=None,
+                      help="keep the newest entries totalling at most B bytes")
+    p_gc.add_argument("--clear", action="store_true",
+                      help="evict every entry")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be evicted without deleting")
+    p_gc.set_defaults(func=_cmd_gc)
 
     p_app = sub.add_parser("app", help="trace + analyse a bundled benchmark")
     p_app.add_argument("name")
@@ -159,6 +254,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         apps=a.apps, output_path=a.output,
         include_validation=not a.skip_validation)) or 0))
 
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     if not getattr(args, "command", None):
         parser.print_help()

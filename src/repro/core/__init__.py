@@ -37,6 +37,7 @@ from repro.core.engine import (
 from repro.core.errors import AnalysisError
 from repro.core.report import (
     AutoCheckReport,
+    CacheInfo,
     CriticalVariable,
     DependencyType,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "REGION_INSIDE",
     "REGION_AFTER",
     "AutoCheckReport",
+    "CacheInfo",
     "CriticalVariable",
     "DependencyType",
     "VariableInfo",

@@ -99,6 +99,17 @@ class AutoCheckConfig:
     #: engine; only read when ``analysis_engine="parallel"``.  ``1`` runs
     #: the partition machinery inline without subprocesses.
     workers: int = 4
+    #: Consult the content-addressed artifact store (:mod:`repro.store`)
+    #: before running the analysis, and publish the result into it after.
+    #: A hit — same trace content digest, same semantic config fingerprint,
+    #: same report schema — skips the record walk entirely and deserializes
+    #: the stored report.  Off by default; the CLI exposes it as
+    #: ``--cache`` / ``--no-cache``.
+    use_cache: bool = False
+    #: Root directory of the artifact store.  ``None`` uses
+    #: ``$AUTOCHECK_CACHE_DIR`` or ``~/.cache/autocheck`` (see
+    #: :func:`repro.store.cache.default_cache_dir`).
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.parallel_preprocessing and self.streaming_preprocessing:

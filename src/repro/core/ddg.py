@@ -180,5 +180,20 @@ class DDG:
         lines.append("}")
         return "\n".join(lines)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same nodes (key, kind, label) and edges.
+
+        Needed by the artifact store's round-trip guarantee — a report
+        deserialized from JSON must compare equal to the report it was
+        serialized from, and :class:`~repro.core.report.AutoCheckReport` is
+        a dataclass whose ``__eq__`` recurses into its DDGs.
+        """
+        if not isinstance(other, DDG):
+            return NotImplemented
+        return (self._nodes == other._nodes
+                and self._parents == other._parents)
+
+    __hash__ = None  # mutable container; structural eq forbids hashing
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<DDG nodes={self.node_count} edges={self.edge_count}>"

@@ -46,7 +46,7 @@ from repro.core.preprocessing import (
     identify_mli_variables,
     identify_mli_variables_streaming,
 )
-from repro.core.report import AutoCheckReport, TraceStats
+from repro.core.report import AutoCheckReport, CacheInfo, TraceStats
 from repro.core.rwdeps import RWExtractionPass, extract_rw_dependencies
 from repro.core.varmap import VariableInfo, VariableMap
 from repro.ir.module import Module
@@ -184,12 +184,73 @@ class AutoCheck:
     # Entry point
     # ------------------------------------------------------------------ #
     def run(self) -> AutoCheckReport:
-        """Run the configured pipeline and return the full report."""
+        """Run the configured pipeline and return the full report.
+
+        With :attr:`~repro.core.config.AutoCheckConfig.use_cache` set, the
+        content-addressed artifact store is consulted first: a hit — same
+        trace content digest, same semantic config fingerprint, same report
+        schema — skips the record walk entirely and returns the stored
+        report (its :attr:`~repro.core.report.AutoCheckReport.cache_info`
+        says so); a miss runs the configured engine and publishes the
+        result for the next run.
+        """
+        if not self.config.use_cache:
+            return self._run_engine()
+        return self._run_with_cache()
+
+    def _run_engine(self) -> AutoCheckReport:
+        """Dispatch to the configured analysis engine (no cache involved)."""
         if self.config.analysis_engine == "multipass":
             return self._run_multipass()
         if self.config.analysis_engine == "parallel":
             return self._run_parallel()
         return self._run_fused()
+
+    def _run_with_cache(self) -> AutoCheckReport:
+        """Cache lookup → engine run on miss → publish.
+
+        The trace digest costs zero record decodes for file inputs (binary
+        footers carry it precomputed; text files hash raw bytes); an
+        in-memory trace is digested by streaming it through the binary
+        encoder into a hash sink, which yields the same digest its on-disk
+        binary form would carry.
+        """
+        # Imported lazily: repro.store imports core modules, so a top-level
+        # import here would be circular when repro.store is imported first.
+        from repro.store.cache import (
+            ArtifactStore,
+            artifact_key,
+            config_fingerprint,
+        )
+        from repro.store.digest import compute_trace_digest, digest_trace
+
+        if self._trace is not None:
+            trace_digest = digest_trace(self._trace)
+        else:
+            assert self._trace_path is not None
+            trace_digest = compute_trace_digest(self._trace_path)
+        # The static induction name is an analysis input that lives outside
+        # the config (it comes from the module's IR): a run that resolves it
+        # and one that cannot (no module) must address different entries.
+        static_induction = None
+        if self.config.induction_variable is None:
+            static_induction = self._static_induction_name()
+        fingerprint = config_fingerprint(self.config,
+                                         static_induction=static_induction)
+        key = artifact_key(trace_digest, fingerprint)
+        store = ArtifactStore(self.config.cache_dir)
+        cached = store.load(key)
+        if cached is not None:
+            cached.cache_info = CacheInfo(hit=True, key=key,
+                                          trace_digest=trace_digest,
+                                          path=store.entry_path(key))
+            return cached
+        report = self._run_engine()
+        path = store.store(key, report, trace_digest=trace_digest,
+                           fingerprint=fingerprint)
+        report.cache_info = CacheInfo(hit=False, key=key,
+                                      trace_digest=trace_digest, path=path)
+        return report
 
     # ------------------------------------------------------------------ #
     # Fused single-pass pipeline

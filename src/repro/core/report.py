@@ -51,6 +51,30 @@ class TraceStats:
     trace_bytes: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class CacheInfo:
+    """How the artifact store was involved in producing one report.
+
+    Attached by the pipeline when caching is enabled
+    (:attr:`repro.core.config.AutoCheckConfig.use_cache`): on a hit the
+    report was deserialized from the store and the record walk was skipped
+    entirely; on a miss it was computed and stored under ``key``.  This is
+    *per-run provenance*, not analysis content — it is excluded from report
+    equality and from the serialized form (a report loaded from the cache
+    carries the hit's CacheInfo, not the original miss's).
+    """
+
+    #: True when the report came out of the store without a record walk.
+    hit: bool
+    #: Content-addressed store key (hex SHA-256 over trace digest, config
+    #: fingerprint and schema version).
+    key: str
+    #: Digest of the analysed trace content.
+    trace_digest: str
+    #: On-disk entry path inside the store.
+    path: Optional[str] = None
+
+
 @dataclass
 class AutoCheckReport:
     """Everything AutoCheck produces for one benchmark run."""
@@ -64,6 +88,10 @@ class AutoCheckReport:
     rw_sequence: Optional[object] = None       # repro.core.rwdeps.RWDependencies
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
     trace_stats: TraceStats = field(default_factory=TraceStats)
+    #: Artifact-store provenance (hit/miss, key) — per-run metadata, hence
+    #: excluded from equality and from the serialized form.
+    cache_info: Optional[CacheInfo] = field(default=None, compare=False,
+                                            repr=False)
 
     # ------------------------------------------------------------------ #
     # Convenience accessors
@@ -119,4 +147,10 @@ class AutoCheckReport:
             parts.append(part)
         lines.append("Analysis time: " + ", ".join(parts)
                      + f", total={self.timings.total:.4f}s")
+        if self.cache_info is not None:
+            status = ("hit (record walk skipped; timings are the original "
+                      "run's)" if self.cache_info.hit else "miss (stored)")
+            lines.append(f"Artifact cache: {status}, "
+                         f"key={self.cache_info.key[:16]}…, "
+                         f"trace={self.cache_info.trace_digest[:16]}…")
         return "\n".join(lines)

@@ -13,9 +13,11 @@ trace pre-processing optimization:
   (:func:`read_trace_file`, :func:`read_preamble`,
   :func:`iter_trace_records`) that accept either encoding;
 * :mod:`repro.trace.binio` — the compact block-indexed binary encoding:
-  struct-packed records, an interned string table and a block-offset index
-  footer, making partitioning exact byte arithmetic and parallel reading a
-  seek-and-decode;
+  struct-packed records, an interned string table, a block-offset index
+  footer (making partitioning exact byte arithmetic and parallel reading a
+  seek-and-decode) and, since format version 2, a streaming content digest
+  computed at write time — what the artifact store (:mod:`repro.store`)
+  keys analysis results on;
 * :mod:`repro.trace.partition` — block-boundary-preserving partitioning of a
   trace file into sub-streams parsed concurrently, reproducing the OpenMP
   pre-processing optimization of paper Sec. V-A (byte-exact for both
@@ -49,6 +51,8 @@ from repro.trace.textio import (
     write_trace_file,
 )
 from repro.trace.binio import (
+    BINARY_VERSION,
+    SUPPORTED_VERSIONS,
     BinaryTraceError,
     TraceBinaryReader,
     TraceBinaryWriter,
@@ -84,6 +88,8 @@ __all__ = [
     "record_to_lines",
     "sniff_trace_format",
     "write_trace_file",
+    "BINARY_VERSION",
+    "SUPPORTED_VERSIONS",
     "BinaryTraceError",
     "TraceBinaryReader",
     "TraceBinaryWriter",

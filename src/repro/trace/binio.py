@@ -14,8 +14,18 @@ File layout (all integers little-endian)::
 
     header   "ACTB" | u16 version | u16 reserved | u16 len | module name utf-8
     records  one variable-length block per TraceRecord (see below)
-    footer   "ACTF" | globals | string table | block index
+    footer   "ACTF" | globals | string table | block index | content digest
     trailer  u64 footer offset | "ACTE"
+
+Since format version 2 the footer also records a **content digest**: the
+SHA-256 of every record block (in stream order) followed by the encoded
+globals section, maintained incrementally by the writer as it streams.  The
+digest identifies the trace *content* independently of the file it lives in,
+which is what the artifact store (:mod:`repro.store`) keys analysis results
+on — reading it back costs one footer decode, no record I/O.  Version-1
+files (no digest field) are still read; their digest is reported as ``None``
+and :func:`repro.store.digest.compute_trace_digest` falls back to hashing
+the raw file bytes.
 
 Record block::
 
@@ -41,6 +51,7 @@ file into exact block-aligned byte ranges without reading record data at all.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import struct
 from bisect import bisect_right
@@ -58,7 +69,10 @@ from repro.trace.records import (
 BINARY_MAGIC = b"ACTB"
 FOOTER_MAGIC = b"ACTF"
 TRAILER_MAGIC = b"ACTE"
-BINARY_VERSION = 1
+#: Version written by :class:`TraceBinaryWriter` (2 adds the footer digest).
+BINARY_VERSION = 2
+#: Versions :func:`read_layout` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 #: One block-index entry is emitted every this many records.
 INDEX_STRIDE = 256
 
@@ -66,6 +80,7 @@ _HEADER = struct.Struct("<4sHHH")
 _TRAILER = struct.Struct("<Q4s")
 _RECORD_FIXED = struct.Struct("<qiiiiIIIIBB")
 _OPERAND_FIXED = struct.Struct("<BIiI")
+_U8 = struct.Struct("<B")
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -102,12 +117,24 @@ class TraceBinaryWriter:
     ``write_record``), so the tracing interpreter can stream directly into
     the binary format.  Globals and the string table live in the footer, so
     they may arrive at any point before :meth:`close`.
+
+    The writer also maintains the trace's **content digest** (SHA-256 over
+    the record blocks in stream order plus the encoded globals section) as a
+    by-product of encoding — one incremental hash update per block, no
+    second pass — and records it in the footer.  Pass ``fileobj`` to encode
+    into an existing binary sink (e.g. a discard sink when only the digest
+    is wanted); the writer then never opens or closes a file of its own.
     """
 
-    def __init__(self, path: str, module_name: str = "module") -> None:
+    def __init__(self, path: Optional[str], module_name: str = "module",
+                 fileobj: Optional[IO[bytes]] = None) -> None:
+        if (path is None) == (fileobj is None):
+            raise ValueError("pass exactly one of path or fileobj")
         self.path = path
         self.module_name = module_name
-        self._fh: Optional[IO[bytes]] = open(path, "wb")
+        self._owns_handle = fileobj is None
+        self._fh: Optional[IO[bytes]] = (open(path, "wb") if fileobj is None
+                                         else fileobj)
         name_bytes = module_name.encode("utf-8")
         self._fh.write(_HEADER.pack(BINARY_MAGIC, BINARY_VERSION, 0,
                                     len(name_bytes)))
@@ -118,6 +145,8 @@ class TraceBinaryWriter:
         self._string_ids: dict = {}
         self._index: List[int] = []
         self._record_count = 0
+        self._digest = hashlib.sha256()
+        self._digest_hex: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     def _intern(self, text: str) -> int:
@@ -185,6 +214,7 @@ class TraceBinaryWriter:
             self._encode_operand(parts, record.result)
         block = b"".join(parts)
         self._fh.write(block)
+        self._digest.update(block)
         self._offset += len(block)
         self._record_count += 1
 
@@ -193,17 +223,32 @@ class TraceBinaryWriter:
         """Number of record blocks written so far."""
         return self._record_count
 
+    @property
+    def digest_hex(self) -> Optional[str]:
+        """The trace's content digest; available once :meth:`close` ran."""
+        return self._digest_hex
+
     def _write_footer(self) -> None:
         assert self._fh is not None
         footer_offset = self._offset
-        out: List[bytes] = [FOOTER_MAGIC, _U32.pack(len(self._globals))]
+        globals_parts: List[bytes] = []
         for symbol in self._globals:
             name_bytes = symbol.name.encode("utf-8")
-            out.append(_U16.pack(len(name_bytes)))
-            out.append(name_bytes)
-            out.append(_GLOBAL_FIXED.pack(symbol.address, symbol.size_bytes,
-                                          symbol.element_bits,
-                                          1 if symbol.is_array else 0))
+            globals_parts.append(_U16.pack(len(name_bytes)))
+            globals_parts.append(name_bytes)
+            globals_parts.append(
+                _GLOBAL_FIXED.pack(symbol.address, symbol.size_bytes,
+                                   symbol.element_bits,
+                                   1 if symbol.is_array else 0))
+        globals_bytes = b"".join(globals_parts)
+        # Content digest = record blocks (already folded in, in stream
+        # order) + encoded globals.  The string table and block index are
+        # derived data and deliberately excluded.
+        self._digest.update(globals_bytes)
+        digest = self._digest.digest()
+        self._digest_hex = digest.hex()
+        out: List[bytes] = [FOOTER_MAGIC, _U32.pack(len(self._globals)),
+                            globals_bytes]
         out.append(_U32.pack(len(self._strings)))
         for text in self._strings:
             text_bytes = text.encode("utf-8")
@@ -214,16 +259,21 @@ class TraceBinaryWriter:
         out.append(_U32.pack(len(self._index)))
         for offset in self._index:
             out.append(_U64.pack(offset))
+        out.append(_U8.pack(len(digest)))
+        out.append(digest)
         out.append(_TRAILER.pack(footer_offset, TRAILER_MAGIC))
         self._fh.write(b"".join(out))
 
     def close(self) -> None:
-        """Write the footer (globals + string table + block index) and the
-        trailer, then close the file.  Idempotent; a file without its
-        trailer is detected as truncated by :func:`read_layout`."""
+        """Write the footer (globals + string table + block index + content
+        digest) and the trailer, then close the file.  Idempotent; a file
+        without its trailer is detected as truncated by
+        :func:`read_layout`.  An externally supplied ``fileobj`` is left
+        open (the caller owns it)."""
         if self._fh is not None:
             self._write_footer()
-            self._fh.close()
+            if self._owns_handle:
+                self._fh.close()
             self._fh = None
 
     def __enter__(self) -> "TraceBinaryWriter":
@@ -261,6 +311,9 @@ class BinaryTraceLayout:
     records_start: int
     #: byte offset one past the last record block (== footer offset)
     records_end: int
+    #: hex SHA-256 of the trace content (``None`` for version-1 files,
+    #: which predate the footer digest)
+    content_digest: Optional[str] = None
 
     def seek_position(self, record_index: int) -> Tuple[int, int]:
         """(byte offset, records to skip) to reach ``record_index``."""
@@ -272,40 +325,49 @@ class BinaryTraceLayout:
                 record_index - entry * self.index_stride)
 
 
-def _read_exact(handle: IO[bytes], count: int) -> bytes:
+def _read_exact(handle: IO[bytes], count: int,
+                path: Optional[str] = None) -> bytes:
     data = handle.read(count)
     if len(data) != count:
-        raise BinaryTraceError("truncated binary trace file")
+        where = f" {path!r}" if path else ""
+        raise BinaryTraceError(f"truncated binary trace file{where}")
     return data
 
 
 def read_layout(path: str) -> BinaryTraceLayout:
-    """Read the header and footer (globals + string table + index)."""
+    """Read the header and footer (globals + string table + index).
+
+    Every failure mode names the offending file in the exception message —
+    a truncated, version-skewed or corrupt trace surfaced deep inside a
+    batch run must be attributable without a stack trace.
+    """
     file_size = os.path.getsize(path)
     with open(path, "rb") as handle:
         magic, version, _, name_len = _HEADER.unpack(
-            _read_exact(handle, _HEADER.size))
+            _read_exact(handle, _HEADER.size, path))
         if magic != BINARY_MAGIC:
             raise BinaryTraceError(f"{path!r} is not a binary trace file")
-        if version != BINARY_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise BinaryTraceError(
-                f"unsupported binary trace version {version}")
-        module_name = _read_exact(handle, name_len).decode("utf-8")
+                f"{path!r}: unsupported binary trace version {version} "
+                f"(supported: {SUPPORTED_VERSIONS})")
+        module_name = _read_exact(handle, name_len, path).decode("utf-8")
         records_start = _HEADER.size + name_len
         if file_size < records_start + _TRAILER.size:
-            raise BinaryTraceError("truncated binary trace file")
+            raise BinaryTraceError(f"truncated binary trace file {path!r}")
         handle.seek(file_size - _TRAILER.size)
         footer_offset, trailer = _TRAILER.unpack(
-            _read_exact(handle, _TRAILER.size))
+            _read_exact(handle, _TRAILER.size, path))
         if trailer != TRAILER_MAGIC:
-            raise BinaryTraceError("missing binary trace trailer "
-                                   "(file truncated or still being written)")
+            raise BinaryTraceError(
+                f"{path!r}: missing binary trace trailer "
+                f"(file truncated or still being written)")
         handle.seek(footer_offset)
         footer = handle.read(file_size - _TRAILER.size - footer_offset)
 
     view = memoryview(footer)
     if view[:4].tobytes() != FOOTER_MAGIC:
-        raise BinaryTraceError("corrupt binary trace footer")
+        raise BinaryTraceError(f"{path!r}: corrupt binary trace footer")
     position = 4
     (global_count,) = _U32.unpack_from(view, position)
     position += 4
@@ -338,12 +400,19 @@ def read_layout(path: str) -> BinaryTraceLayout:
     (entry_count,) = _U32.unpack_from(view, position)
     position += 4
     block_offsets = list(struct.unpack_from(f"<{entry_count}Q", view, position))
+    position += 8 * entry_count
+    content_digest: Optional[str] = None
+    if version >= 2:
+        (digest_len,) = _U8.unpack_from(view, position)
+        position += 1
+        content_digest = view[position:position + digest_len].tobytes().hex()
     return BinaryTraceLayout(module_name=module_name, globals=globals_,
                              strings=strings, index_stride=index_stride,
                              record_count=record_count,
                              block_offsets=block_offsets,
                              records_start=records_start,
-                             records_end=footer_offset)
+                             records_end=footer_offset,
+                             content_digest=content_digest)
 
 
 def read_preamble_binary(path: str) -> Tuple[str, List[GlobalSymbol]]:
@@ -512,7 +581,8 @@ class TraceBinaryReader:
                     # peek raises IndexError, fixed-layout unpacks raise
                     # struct.error): pull more bytes and retry.
                     if to_read <= 0:
-                        raise BinaryTraceError("truncated record block")
+                        raise BinaryTraceError(
+                            f"truncated record block in {self.path!r}")
                     extra = handle.read(min(chunk_bytes, to_read))
                     to_read -= len(extra)
                     buffer = buffer[position:] + extra
@@ -611,7 +681,8 @@ def scan_record_headers(path: str,
                 # Partial block at the end of the chunk: refill and retry
                 # (same protocol as TraceBinaryReader.iter_records).
                 if to_read <= 0:
-                    raise BinaryTraceError("truncated record block")
+                    raise BinaryTraceError(
+                        f"truncated record block in {path!r}")
                 extra = handle.read(min(chunk_bytes, to_read))
                 to_read -= len(extra)
                 buffer = buffer[position:] + extra

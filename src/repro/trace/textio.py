@@ -365,7 +365,15 @@ def iter_trace_records(path: str,
 
 
 def read_preamble(path: str) -> Tuple[str, List[GlobalSymbol]]:
-    """Read only the module name and globals of a trace file (sniffed)."""
+    """Read only the module name and globals of a trace file (sniffed).
+
+    Raises:
+        TraceFormatError: on a malformed text preamble — the message names
+            the offending file and line, so a bad trace surfaced deep inside
+            a batch or cache run is attributable without a stack trace.
+        repro.trace.binio.BinaryTraceError: on a truncated or corrupt
+            binary trace (the message names the file).
+    """
     from repro.trace.binio import is_binary_trace_file, read_preamble_binary
 
     if is_binary_trace_file(path):
@@ -384,13 +392,18 @@ def read_preamble(path: str) -> Tuple[str, List[GlobalSymbol]]:
                     module_name = parts[3]
             elif tag == GLOBAL_TAG:
                 parts = stripped.split(",")
-                globals_.append(GlobalSymbol(
-                    name=parts[1],
-                    address=int(parts[2], 16),
-                    size_bytes=int(parts[3]),
-                    element_bits=int(parts[4]),
-                    is_array=bool(int(parts[5])),
-                ))
+                try:
+                    globals_.append(GlobalSymbol(
+                        name=parts[1],
+                        address=int(parts[2], 16),
+                        size_bytes=int(parts[3]),
+                        element_bits=int(parts[4]),
+                        is_array=bool(int(parts[5])),
+                    ))
+                except (ValueError, IndexError) as exc:
+                    raise TraceFormatError(
+                        f"{path!r}: malformed globals preamble line "
+                        f"{stripped!r}: {exc}") from exc
             else:
                 break
     return module_name, globals_

@@ -60,3 +60,59 @@ class TestCLI:
         assert main(["table4", "--apps", "himeno"]) == 0
         out = capsys.readouterr().out
         assert "BLCR" in out
+
+
+class TestCacheCLI:
+    def test_analyze_cache_cold_then_warm(self, capsys, tmp_path,
+                                          example_trace, example_spec):
+        path = str(tmp_path / "example.trace")
+        write_trace_file(example_trace, path)
+        cache_dir = str(tmp_path / "cache")
+        argv = ["analyze", path,
+                "--function", example_spec.function,
+                "--start", str(example_spec.start_line),
+                "--end", str(example_spec.end_line),
+                "--cache", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Artifact cache: miss" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "Artifact cache: hit" in warm
+        # --no-cache bypasses the store entirely.
+        assert main(argv[:-3] + ["--no-cache"]) == 0
+        assert "Artifact cache" not in capsys.readouterr().out
+
+    def test_analyze_batch_and_gc(self, capsys, tmp_path):
+        import json
+
+        manifest = str(tmp_path / "manifest.json")
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump([{"app": "example"}], handle)
+        cache_dir = str(tmp_path / "cache")
+        argv = ["analyze-batch", manifest, "--cache-dir", cache_dir,
+                "--trace-dir", str(tmp_path / "traces")]
+        assert main(argv) == 0
+        assert "miss" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "hit" in capsys.readouterr().out
+
+        assert main(["gc", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert main(["gc", "--cache-dir", cache_dir, "--clear",
+                     "--dry-run"]) == 0
+        assert "would evict 1" in capsys.readouterr().out
+        assert main(["gc", "--cache-dir", cache_dir, "--clear"]) == 0
+        assert "evicted 1" in capsys.readouterr().out
+
+    def test_analyze_batch_reports_failures(self, capsys, tmp_path):
+        import json
+
+        manifest = str(tmp_path / "manifest.json")
+        with open(manifest, "w", encoding="utf-8") as handle:
+            json.dump([{"app": "no-such-app"}], handle)
+        assert main(["analyze-batch", manifest,
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir", str(tmp_path / "traces")]) == 1
+        assert "ERROR" in capsys.readouterr().out

@@ -15,7 +15,7 @@ import pytest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 REQUIRED_PAGES = ("architecture.md", "trace-format.md", "cli.md",
-                  "quickstart.md")
+                  "quickstart.md", "analysis.md", "checkpoint.md")
 
 #: [text](target) — excluding images and in-code parens
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -107,3 +107,59 @@ def test_docs_reference_only_existing_source_paths():
             assert os.path.exists(os.path.join(REPO_ROOT, reference)), \
                 (f"{os.path.relpath(doc, REPO_ROOT)} references missing "
                  f"path {reference!r}")
+
+
+# --------------------------------------------------------------------------- #
+# CLI flag drift: docs/cli.md vs the live argparse parser
+# --------------------------------------------------------------------------- #
+def _cli_subcommand_flags():
+    """``{subcommand: {--flag, ...}}`` from the live parser."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subparsers_action = parser._subparsers._group_actions[0]
+    flags_by_command = {}
+    for name, subparser in subparsers_action.choices.items():
+        flags = set()
+        for action in subparser._actions:
+            flags.update(option for option in action.option_strings
+                         if option.startswith("--"))
+        flags.discard("--help")
+        flags_by_command[name] = flags
+    return flags_by_command
+
+
+_FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+
+
+def _cli_md_text():
+    with open(os.path.join(DOCS_DIR, "cli.md"), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_cli_md_documents_every_subcommand():
+    text = _cli_md_text()
+    for name in _cli_subcommand_flags():
+        assert f"`{name}`" in text or f"autocheck {name}" in text, \
+            f"docs/cli.md does not document the {name!r} subcommand"
+
+
+def test_cli_md_documents_every_live_flag():
+    """Every flag the parser accepts must appear in docs/cli.md — a new
+    option cannot ship undocumented."""
+    documented = set(_FLAG.findall(_cli_md_text()))
+    for name, flags in _cli_subcommand_flags().items():
+        missing = flags - documented
+        assert not missing, \
+            f"docs/cli.md is missing flags of {name!r}: {sorted(missing)}"
+
+
+def test_cli_md_mentions_no_phantom_flags():
+    """Every flag docs/cli.md mentions must exist on some subcommand — a
+    removed or renamed option cannot linger in the docs."""
+    live = set()
+    for flags in _cli_subcommand_flags().values():
+        live.update(flags)
+    phantom = set(_FLAG.findall(_cli_md_text())) - live
+    assert not phantom, \
+        f"docs/cli.md mentions unknown flags: {sorted(phantom)}"
