@@ -122,9 +122,10 @@ def find_loops(function: Function) -> LoopInfo:
         for other in loops:
             if other is loop:
                 continue
-            if loop.header in other.blocks and loop.blocks <= other.blocks:
-                if best is None or len(other.blocks) < len(best.blocks):
-                    best = other
+            if (loop.header in other.blocks and loop.blocks <= other.blocks
+                    and (best is None
+                         or len(other.blocks) < len(best.blocks))):
+                best = other
         loop.parent = best
         if best is not None:
             best.children.append(loop)

@@ -74,7 +74,7 @@ class CheckpointStorage:
         return [os.path.join(self.directory, name) for name in sorted(names)]
 
     def load(self, path: str) -> CheckpointData:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
         return CheckpointData(
             iteration=int(payload["iteration"]),

@@ -10,6 +10,8 @@ Subcommands:
 * ``autocheck app <name>`` — trace and analyse one of the bundled benchmarks;
 * ``autocheck trace <mini-C file> -o out.trace`` — compile and trace a mini-C
   program;
+* ``autocheck static-report <app-or-source>`` — print the static CFG /
+  loop / liveness picture of a bundled app or a mini-C file;
 * ``autocheck gc`` — inspect and evict entries of the artifact store;
 * ``autocheck table2|table3|table4|validate|figure5|run-all`` — regenerate
   the paper's evaluation artefacts;
@@ -43,10 +45,40 @@ from repro.experiments import (
     run_validation,
 )
 from repro.experiments.common import analyze_app
+from repro.static.check import cross_check
+from repro.static.textreport import render_static_report
 from repro.tracer.driver import trace_to_file
 
 
+def _load_module(path: str):
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return compile_source(source, module_name=path), source
+
+
+def _print_static_check(module, spec, report,
+                        include_global_accesses_in_calls: bool) -> int:
+    diagnostics = cross_check(
+        module, spec, report,
+        include_global_accesses_in_calls=include_global_accesses_in_calls)
+    if diagnostics:
+        print(f"Static cross-check: {len(diagnostics)} violation(s)")
+        for diagnostic in diagnostics:
+            print(f"  {diagnostic}")
+        return 1
+    print("Static cross-check: ok (dynamic MLI within the static candidate "
+          "set; every dynamic DDG edge statically feasible)")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if (args.static_check or args.static_prefilter) and not args.source:
+        print("error: --static-check/--static-prefilter need the IR module; "
+              "pass the mini-C program via --source", file=sys.stderr)
+        return 2
+    module = None
+    if args.source:
+        module, _ = _load_module(args.source)
     spec = MainLoopSpec(function=args.function, start_line=args.start,
                         end_line=args.end)
     config = AutoCheckConfig(main_loop=spec,
@@ -57,9 +89,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                              analysis_engine=args.engine,
                              workers=args.workers,
                              use_cache=args.cache,
-                             cache_dir=args.cache_dir)
-    report = AutoCheck(config, trace_path=args.trace).run()
+                             cache_dir=args.cache_dir,
+                             static_prefilter=args.static_prefilter)
+    report = AutoCheck(config, trace_path=args.trace, module=module).run()
     print(report.summary())
+    if args.static_check:
+        return _print_static_check(
+            module, spec, report, config.include_global_accesses_in_calls)
     return 0
 
 
@@ -106,11 +142,46 @@ def _cmd_app(args: argparse.Namespace) -> int:
     status = "matches" if analysis.matches_expected else "DIFFERS from"
     print(f"Result {status} the paper's Table II row "
           f"({analysis.mismatch_description()}).")
-    return 0 if analysis.matches_expected else 1
+    exit_code = 0 if analysis.matches_expected else 1
+    if args.static_check:
+        flag = bool(app.autocheck_options.get(
+            "include_global_accesses_in_calls", False))
+        check_code = _print_static_check(
+            analysis.module, analysis.report.main_loop, analysis.report, flag)
+        exit_code = exit_code or check_code
+    return exit_code
+
+
+def _cmd_static_report(args: argparse.Namespace) -> int:
+    try:
+        app = get_app(args.target)
+    except KeyError:
+        app = None
+    if app is not None:
+        module = app.module()
+        spec = app.main_loop()
+    else:
+        from repro.apps.base import find_mclr
+
+        try:
+            module, source = _load_module(args.target)
+        except OSError:
+            print(f"error: {args.target!r} is neither a bundled app nor a "
+                  f"readable mini-C source file", file=sys.stderr)
+            return 2
+        try:
+            start, end = find_mclr(source)
+            spec = MainLoopSpec(function=args.function, start_line=start,
+                                end_line=end)
+        except ValueError:
+            # No @mclr markers: report structure only, no spec-derived parts.
+            spec = None
+    print(render_static_report(module, spec=spec))
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    with open(args.source, "r", encoding="utf-8") as handle:
+    with open(args.source, encoding="utf-8") as handle:
         source = handle.read()
     module = compile_source(source, module_name=args.source)
     size, result = trace_to_file(module, args.output, fmt=args.format)
@@ -180,6 +251,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--workers", type=int, default=4,
                            help="worker count for --parallel preprocessing "
                                 "and for --engine parallel")
+    p_analyze.add_argument("--source", default=None,
+                           help="the traced mini-C program; supplies the IR "
+                                "module the static analyses need (required "
+                                "by --static-check and --static-prefilter)")
+    p_analyze.add_argument("--static-check", action="store_true",
+                           help="after the analysis, cross-check the dynamic "
+                                "result against the static IR dataflow "
+                                "over-approximation (dynamic MLI must be "
+                                "within the static candidate set, every "
+                                "dynamic DDG edge statically feasible); "
+                                "violations are printed as named "
+                                "diagnostics and exit non-zero")
+    p_analyze.add_argument("--static-prefilter", action="store_true",
+                           help="let the fused engine skip pass dispatch for "
+                                "records the static analysis proves "
+                                "irrelevant outside the main loop (the "
+                                "report is identical; the summary shows the "
+                                "skip count)")
     _add_cache_flags(p_analyze, default=False)
     p_analyze.set_defaults(func=_cmd_analyze)
 
@@ -219,7 +308,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_app = sub.add_parser("app", help="trace + analyse a bundled benchmark")
     p_app.add_argument("name")
+    p_app.add_argument("--static-check", action="store_true",
+                       help="also run the static-vs-dynamic cross-check "
+                            "oracle on the result (exit non-zero on any "
+                            "violation)")
     p_app.set_defaults(func=_cmd_app)
+
+    p_static = sub.add_parser(
+        "static-report",
+        help="print the static IR picture (CFG, dominators, loops, "
+             "liveness, MLI candidates) of a bundled app or mini-C file")
+    p_static.add_argument("target",
+                          help="bundled benchmark name or path to a mini-C "
+                               "source file")
+    p_static.add_argument("--function", default="main",
+                          help="main-loop function for source files whose "
+                               "@mclr markers supply the line range "
+                               "(default: main)")
+    p_static.set_defaults(func=_cmd_static_report)
 
     p_trace = sub.add_parser("trace", help="compile and trace a mini-C source file")
     p_trace.add_argument("source")

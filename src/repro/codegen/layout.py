@@ -42,9 +42,7 @@ def flat_index_dims(ctype: ast.CType, num_indices: int) -> Tuple[int, ...]:
     """
     if num_indices <= 1:
         return ()
-    if isinstance(ctype, ast.ArrayType):
-        dims = ctype.dims
-    elif isinstance(ctype, ast.PointerType):
+    if isinstance(ctype, (ast.ArrayType, ast.PointerType)):
         dims = ctype.dims
     else:
         raise TypeError("flat_index_dims expects an array or pointer type")

@@ -110,6 +110,14 @@ class AutoCheckConfig:
     #: ``$AUTOCHECK_CACHE_DIR`` or ``~/.cache/autocheck`` (see
     #: :func:`repro.store.cache.default_cache_dir`).
     cache_dir: Optional[str] = None
+    #: Hand the fused engine a static prefilter derived from the module's
+    #: IR (:mod:`repro.static.prefilter`): records outside the loop region
+    #: that provably cannot reach the MLI / R/W passes skip pass dispatch
+    #: entirely.  Requires the module to be supplied to :class:`AutoCheck`
+    #: and ``analysis_engine="fused"``; the report is proven byte-identical
+    #: by ``tests/test_static_prefilter.py``.  When on, the static
+    #: analysis' fingerprint joins the artifact-store cache key.
+    static_prefilter: bool = False
 
     def __post_init__(self) -> None:
         if self.parallel_preprocessing and self.streaming_preprocessing:
@@ -126,3 +134,8 @@ class AutoCheckConfig:
             raise ValueError(
                 f"analysis_engine='parallel' needs workers >= 1, "
                 f"got {self.workers}")
+        if self.static_prefilter and self.analysis_engine != "fused":
+            raise ValueError(
+                "static_prefilter is only implemented for the fused "
+                "single-pass engine (analysis_engine='fused'); the skip "
+                "rules are proven against exactly its pass set")

@@ -255,10 +255,31 @@ class AnalysisEngine:
     """
 
     def __init__(self, spec: MainLoopSpec, passes: Sequence[AnalysisPass],
-                 variable_map: Optional[VariableMap] = None) -> None:
+                 variable_map: Optional[VariableMap] = None,
+                 prefilter: Optional[object] = None) -> None:
         self.spec = spec
         self.passes: List[AnalysisPass] = list(passes)
         self.varmap = variable_map if variable_map is not None else VariableMap()
+        # Optional static skip filter (repro.static.prefilter.StaticPrefilter,
+        # duck-typed to avoid a core -> static import cycle).  Consulted only
+        # for records *outside* the loop region, and only valid for pass sets
+        # that — like the fused pipeline's — gate non-memory kinds to the
+        # inside region.  Engine-side actions (Alloca registration, scope
+        # open/close) always run; only pass dispatch is skipped.  Filters
+        # exposing ``make_skip_plan()`` split the decision into a
+        # membership-testable always-skip opcode set plus a closure for the
+        # rest — the per-record Python call is what the split avoids.
+        if prefilter is None:
+            self._prefilter_skip = None
+            self._prefilter_always: frozenset = frozenset()
+        else:
+            make_plan = getattr(prefilter, "make_skip_plan", None)
+            if make_plan is not None:
+                self._prefilter_always, self._prefilter_skip = make_plan()
+            else:
+                self._prefilter_always = frozenset()
+                self._prefilter_skip = prefilter.should_skip
+        self.skipped_records = 0
         self._pending_activation: Optional[str] = None
         self._activation_callbacks = tuple(
             p.on_activation for p in self.passes
@@ -329,6 +350,28 @@ class AnalysisEngine:
         last_index = -1
         first_dyn = last_dyn = 0
         index = -1
+        # Prefilter fast path for the before region: records whose opcode
+        # carries no engine action resolve against precomputed sets without
+        # entering :meth:`_process` at all (its pending-activation check,
+        # plan probe and attribute loads cost more than the skip decision).
+        # Any record that might open an activation (the one right after a
+        # Call) or run an action takes the full path; skip-count semantics
+        # match _process exactly — only records with subscribed callbacks
+        # count.
+        fast_on = self._prefilter_skip is not None
+        if fast_on:
+            mem_skip = self._prefilter_skip
+            always = self._prefilter_always
+            fast_count = frozenset(
+                op for op, (act, cbs) in self._plan.items()
+                if act == _ACT_NONE and cbs and op in always)
+            fast_noop = frozenset(
+                op for op, (act, cbs) in self._plan.items()
+                if act == _ACT_NONE and not cbs)
+            mem_callbacks_get = {
+                op: cbs for op, (act, cbs) in self._plan.items()
+                if act == _ACT_NONE and cbs and op not in always}.get
+        fast_skipped = 0
         self._emit_region(REGION_BEFORE)
         for index, record in enumerate(records):
             if (record.function == spec_function
@@ -348,9 +391,25 @@ class AnalysisEngine:
                 last_dyn = record.dyn_id
                 process(record, REGION_INSIDE)
             elif first_index is None:
+                if fast_on and self._pending_activation is None:
+                    opcode = record.opcode
+                    if opcode in fast_count:
+                        fast_skipped += 1
+                        continue
+                    if opcode in fast_noop:
+                        continue
+                    callbacks = mem_callbacks_get(opcode)
+                    if callbacks is not None:
+                        if mem_skip(record, REGION_BEFORE):
+                            fast_skipped += 1
+                        else:
+                            for callback in callbacks:
+                                callback(record, REGION_BEFORE)
+                        continue
                 process(record, REGION_BEFORE)
             else:
                 pending_append(record)
+        self.skipped_records += fast_skipped
         if first_index is None:
             raise AnalysisError(
                 f"no trace record falls inside the main computation loop "
@@ -471,8 +530,17 @@ class AnalysisEngine:
             self.varmap.exit_scope(record.function)
             for callback in self._return_callbacks:
                 callback(record, region)
-        for callback in callbacks:
-            callback(record, region)
+        if callbacks:
+            skip = self._prefilter_skip
+            if skip is None or region == REGION_INSIDE:
+                for callback in callbacks:
+                    callback(record, region)
+            elif (record.opcode in self._prefilter_always
+                    or skip(record, region)):
+                self.skipped_records += 1
+            else:
+                for callback in callbacks:
+                    callback(record, region)
         if action == _ACT_CALL and record.callee:
             self._pending_activation = record.callee
 

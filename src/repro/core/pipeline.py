@@ -46,10 +46,17 @@ from repro.core.preprocessing import (
     identify_mli_variables,
     identify_mli_variables_streaming,
 )
-from repro.core.report import AutoCheckReport, CacheInfo, TraceStats
+from repro.core.report import (
+    AutoCheckReport,
+    CacheInfo,
+    PrefilterInfo,
+    TraceStats,
+)
 from repro.core.rwdeps import RWExtractionPass, extract_rw_dependencies
 from repro.core.varmap import VariableInfo, VariableMap
 from repro.ir.module import Module
+from repro.static.prefilter import StaticPrefilter, build_prefilter
+from repro.static.summary import StaticModuleAnalysis, analyze_module
 from repro.trace.partition import read_trace_file_parallel
 from repro.trace.records import TraceRecord, Trace
 from repro.trace.textio import iter_trace_records, read_preamble, read_trace_file
@@ -132,6 +139,7 @@ class AutoCheck:
         self._trace = trace
         self._trace_path = trace_path
         self._module = module
+        self._static: Optional[StaticModuleAnalysis] = None
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -166,6 +174,30 @@ class AutoCheck:
             return None
         induction = find_induction_variable(function, loop)
         return induction.name if induction is not None else None
+
+    def _static_analysis(self) -> StaticModuleAnalysis:
+        """The memoized spec-bearing static analysis (prefilter path).
+
+        Raises:
+            AnalysisError: when no module was supplied, or the main-loop
+                function does not exist in it — the static prefilter has
+                nothing sound to derive its skip tables from.
+        """
+        if self._static is None:
+            spec = self.config.main_loop
+            if self._module is None:
+                raise AnalysisError(
+                    "static_prefilter needs the compiled IR module: pass "
+                    "module=... to AutoCheck (or --source on the CLI)")
+            if spec.function not in self._module.functions:
+                raise AnalysisError(
+                    f"static_prefilter: main-loop function "
+                    f"{spec.function!r} does not exist in the module")
+            self._static = analyze_module(
+                self._module, spec=spec,
+                include_global_accesses_in_calls=(
+                    self.config.include_global_accesses_in_calls))
+        return self._static
 
     @staticmethod
     def _latest_main_loop_variable(varmap: VariableMap, spec: MainLoopSpec,
@@ -235,8 +267,15 @@ class AutoCheck:
         static_induction = None
         if self.config.induction_variable is None:
             static_induction = self._static_induction_name()
+        # A prefiltered run keys on the static analysis too: should the
+        # skip tables ever be wrong, the bad entry stays quarantined from
+        # unfiltered runs instead of poisoning them.
+        static_fingerprint = None
+        if self.config.static_prefilter:
+            static_fingerprint = self._static_analysis().fingerprint()
         fingerprint = config_fingerprint(self.config,
-                                         static_induction=static_induction)
+                                         static_induction=static_induction,
+                                         static_fingerprint=static_fingerprint)
         key = artifact_key(trace_digest, fingerprint)
         store = ArtifactStore(self.config.cache_dir)
         cached = store.load(key)
@@ -301,15 +340,26 @@ class AutoCheck:
             probe = InductionProbePass(varmap, spec)
             passes.append(probe)
 
-        engine = AnalysisEngine(spec, passes, variable_map=varmap)
+        prefilter: Optional[StaticPrefilter] = None
+        if config.static_prefilter:
+            prefilter = build_prefilter(self._static_analysis())
+
+        engine = AnalysisEngine(spec, passes, variable_map=varmap,
+                                prefilter=prefilter)
         engine.add_globals(globals_)
         with timings.stage("fused_analysis"):
             walk = engine.run(records)
         timings.add_count("fused_analysis", walk.record_count)
 
-        return self._assemble_fused_report(
+        report = self._assemble_fused_report(
             timings, spec, varmap, walk, len(globals_), mli_pass, dep_pass,
             rw_pass, probe, induction_name)
+        if prefilter is not None:
+            report.prefilter_info = PrefilterInfo(
+                skipped_records=engine.skipped_records,
+                candidate_count=len(self._static_analysis().candidate_ids),
+                static_fingerprint=prefilter.fingerprint)
+        return report
 
     def _assemble_fused_report(self, timings: TimingBreakdown,
                                spec: MainLoopSpec, varmap: VariableMap,

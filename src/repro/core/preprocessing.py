@@ -235,9 +235,9 @@ def _accessed_variable(record: TraceRecord, spec: MainLoopSpec,
     info = varmap.resolve(operand.address)
     if info is None:
         return None
-    if record.function != spec.function:
-        if not (include_global_accesses_in_calls and info.is_global):
-            return None
+    if (record.function != spec.function
+            and not (include_global_accesses_in_calls and info.is_global)):
+        return None
     return info
 
 
@@ -347,9 +347,10 @@ class MLICollectionPass(AnalysisPass):
         if not (info.is_global or info.function == self.spec.function):
             # Owner outside the restricted map's population (Challenge 2).
             return
-        if record.function != self.spec.function:
-            if not (self.include_global_accesses_in_calls and info.is_global):
-                return
+        if (record.function != self.spec.function
+                and not (self.include_global_accesses_in_calls
+                         and info.is_global)):
+            return
         sink = self.inside_vars if region else self.before_vars
         if info.key not in sink:
             sink[info.key] = info

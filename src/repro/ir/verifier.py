@@ -4,30 +4,53 @@ The verifier is run on every module the code generator produces (it is cheap)
 and is also exercised directly by the test suite.  It catches the classes of
 mistakes that would otherwise surface as confusing interpreter failures:
 missing terminators, uses of undefined registers, branches to foreign blocks,
-stores through non-pointer operands, and calls to unknown functions.
+stores through non-pointer operands, calls to unknown functions, blocks the
+entry can never reach, and register uses their definition does not dominate.
+
+Errors carry **structured context** — :attr:`VerificationError.function`,
+:attr:`~VerificationError.block` and
+:attr:`~VerificationError.instruction_index` — alongside the formatted
+message, so tooling (and tests) can pinpoint the offending site without
+parsing strings.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.ir.instructions import (
     AllocaInst,
     BranchInst,
     CallInst,
     GEPInst,
+    Instruction,
     LoadInst,
     PrintInst,
     StoreInst,
 )
-from repro.ir.module import Function, Module
+from repro.ir.module import BasicBlock, Function, Module
 from repro.ir.types import PointerType
 from repro.ir.values import Argument, Constant, GlobalVariable, Register, Value
 from repro.minicc.sema import BUILTIN_FUNCTIONS
 
 
 class VerificationError(Exception):
-    """Raised when a module violates a structural invariant."""
+    """Raised when a module violates a structural invariant.
+
+    Attributes:
+        function: name of the offending function, when known.
+        block: name of the offending basic block, when known.
+        instruction_index: position of the offending instruction inside
+            its block, when the violation is instruction-level.
+    """
+
+    def __init__(self, message: str, *, function: Optional[str] = None,
+                 block: Optional[str] = None,
+                 instruction_index: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.function = function
+        self.block = block
+        self.instruction_index = instruction_index
 
 
 def verify_module(module: Module) -> None:
@@ -45,85 +68,156 @@ def verify_module(module: Module) -> None:
 
 def _verify_function(module: Module, function: Function) -> None:
     if not function.blocks:
-        raise VerificationError(f"function {function.name!r} has no blocks")
+        raise VerificationError(f"function {function.name!r} has no blocks",
+                                function=function.name)
 
     block_set = set(function.blocks)
     defined: Set[int] = set()
+    def_sites: Dict[int, Tuple[BasicBlock, int]] = {}
 
     # First pass: collect register definitions (registers are assigned once
     # by construction; codegen allocates a fresh id per instruction).
-    for inst in function.instructions():
-        if inst.result is not None:
-            if inst.result.rid in defined:
-                raise VerificationError(
-                    f"{function.name}: register %{inst.result.rid} defined twice")
-            defined.add(inst.result.rid)
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            if inst.result is not None:
+                if inst.result.rid in defined:
+                    raise VerificationError(
+                        f"{function.name}: register %{inst.result.rid} "
+                        f"defined twice",
+                        function=function.name, block=block.name,
+                        instruction_index=index)
+                defined.add(inst.result.rid)
+                def_sites[inst.result.rid] = (block, index)
 
     for block in function.blocks:
         if not block.instructions:
             raise VerificationError(
-                f"{function.name}/{block.name}: empty basic block")
+                f"{function.name}/{block.name}: empty basic block",
+                function=function.name, block=block.name)
         terminator = block.instructions[-1]
         if not terminator.is_terminator:
             raise VerificationError(
-                f"{function.name}/{block.name}: block does not end in a terminator")
+                f"{function.name}/{block.name}: block does not end in a "
+                f"terminator",
+                function=function.name, block=block.name)
         for idx, inst in enumerate(block.instructions):
             if inst.is_terminator and idx != len(block.instructions) - 1:
                 raise VerificationError(
-                    f"{function.name}/{block.name}: terminator in the middle of a block")
-            _verify_instruction(module, function, block.name, inst, defined, block_set)
+                    f"{function.name}/{block.name}: terminator in the middle "
+                    f"of a block",
+                    function=function.name, block=block.name,
+                    instruction_index=idx)
+            _verify_instruction(module, function, block, idx, inst,
+                                defined, block_set)
+
+    # Flow-sensitive checks run only once the structure is sound: they need
+    # every block non-empty and every branch target in-function.
+    _verify_reachability_and_dominance(function, def_sites)
 
 
-def _verify_instruction(module: Module, function: Function, block_name: str,
-                        inst, defined: Set[int], block_set) -> None:
-    where = f"{function.name}/{block_name}"
+def _verify_reachability_and_dominance(
+        function: Function,
+        def_sites: Dict[int, Tuple[BasicBlock, int]]) -> None:
+    """Reject unreachable blocks and register uses not dominated by
+    their definition.
+
+    Codegen never emits either, so both indicate a broken transformation
+    (or a hand-built module): an unreachable block is dead weight the
+    interpreter can never validate, and a use the definition does not
+    dominate can read an undefined value along some path.
+    """
+    # Deferred import: repro.analysis depends on repro.ir at module load.
+    from repro.analysis.cfg import build_cfg
+    from repro.analysis.dominators import compute_dominators
+
+    cfg = build_cfg(function)
+    reachable = cfg.reachable_blocks()
+    for block in function.blocks:
+        if block not in reachable:
+            raise VerificationError(
+                f"{function.name}/{block.name}: unreachable block "
+                f"(no path from entry)",
+                function=function.name, block=block.name)
+
+    dom = compute_dominators(cfg)
+    for block in function.blocks:
+        for idx, inst in enumerate(block.instructions):
+            for operand in inst.operands:
+                if not isinstance(operand, Register):
+                    continue
+                def_block, def_index = def_sites[operand.rid]
+                if def_block is block:
+                    dominated = def_index < idx
+                else:
+                    dominated = dom.strictly_dominates(def_block, block)
+                if not dominated:
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: use of register "
+                        f"%{operand.rid} at instruction {idx} is not "
+                        f"dominated by its definition "
+                        f"({def_block.name}[{def_index}])",
+                        function=function.name, block=block.name,
+                        instruction_index=idx)
+
+
+def _verify_instruction(module: Module, function: Function, block: BasicBlock,
+                        index: int, inst: Instruction, defined: Set[int],
+                        block_set: Set[BasicBlock]) -> None:
+    where = f"{function.name}/{block.name}"
+
+    def fail(message: str) -> VerificationError:
+        return VerificationError(message, function=function.name,
+                                 block=block.name, instruction_index=index)
 
     for operand in inst.operands:
-        _verify_operand(where, operand, defined)
+        _verify_operand(where, operand, defined, fail)
 
     if isinstance(inst, BranchInst):
         for target in inst.targets:
             if target not in block_set:
-                raise VerificationError(
+                raise fail(
                     f"{where}: branch target {target.name!r} not in function")
         if inst.is_conditional and len(inst.targets) != 2:
-            raise VerificationError(f"{where}: conditional branch needs two targets")
+            raise fail(f"{where}: conditional branch needs two targets")
         if not inst.is_conditional and len(inst.targets) != 1:
-            raise VerificationError(f"{where}: unconditional branch needs one target")
+            raise fail(f"{where}: unconditional branch needs one target")
     elif isinstance(inst, LoadInst):
-        _require_pointer(where, inst.pointer)
+        _require_pointer(where, inst.pointer, fail)
     elif isinstance(inst, StoreInst):
         if len(inst.operands) != 2:
-            raise VerificationError(f"{where}: store needs exactly two operands")
-        _require_pointer(where, inst.pointer)
+            raise fail(f"{where}: store needs exactly two operands")
+        _require_pointer(where, inst.pointer, fail)
     elif isinstance(inst, GEPInst):
-        _require_pointer(where, inst.base)
+        _require_pointer(where, inst.base, fail)
     elif isinstance(inst, AllocaInst):
         if not inst.var_name:
-            raise VerificationError(f"{where}: alloca without a variable name")
+            raise fail(f"{where}: alloca without a variable name")
     elif isinstance(inst, PrintInst):
         pass
     elif isinstance(inst, CallInst):
         if inst.is_builtin:
             if inst.callee not in BUILTIN_FUNCTIONS:
-                raise VerificationError(f"{where}: unknown builtin {inst.callee!r}")
+                raise fail(f"{where}: unknown builtin {inst.callee!r}")
         elif inst.callee not in module.functions:
-            raise VerificationError(f"{where}: call to undefined function {inst.callee!r}")
+            raise fail(f"{where}: call to undefined function {inst.callee!r}")
 
 
-def _verify_operand(where: str, operand: Value, defined: Set[int]) -> None:
+def _verify_operand(where: str, operand: Value, defined: Set[int],
+                    fail: Callable[[str], VerificationError]) -> None:
     if isinstance(operand, Register):
         if operand.rid not in defined:
-            raise VerificationError(f"{where}: use of undefined register %{operand.rid}")
+            raise fail(f"{where}: use of undefined register %{operand.rid}")
     elif isinstance(operand, (Constant, GlobalVariable, Argument)):
         return
     else:
-        raise VerificationError(f"{where}: unsupported operand kind {type(operand).__name__}")
+        raise fail(
+            f"{where}: unsupported operand kind {type(operand).__name__}")
 
 
-def _require_pointer(where: str, operand: Value) -> None:
+def _require_pointer(where: str, operand: Value,
+                     fail: Callable[[str], VerificationError]) -> None:
     ptype = operand.type
     if isinstance(operand, GlobalVariable):
         return
     if not isinstance(ptype, PointerType):
-        raise VerificationError(f"{where}: expected a pointer operand, got {ptype}")
+        raise fail(f"{where}: expected a pointer operand, got {ptype}")

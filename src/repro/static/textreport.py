@@ -1,0 +1,109 @@
+"""Plain-text rendering of the static analysis (the ``static-report``
+CLI verb).
+
+One self-contained formatter so the CLI stays thin: per function it
+prints the CFG edges, the dominator tree, the natural-loop forest and
+the per-block variable liveness; with a spec at hand it adds the static
+main loop, the MLI-candidate set and the static DDG size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.induction import find_induction_variable
+from repro.core.config import MainLoopSpec
+from repro.ir.module import Module
+from repro.static.dataflow import VarId, format_var_id
+from repro.static.summary import (
+    FunctionSummary,
+    StaticModuleAnalysis,
+    analyze_module,
+)
+
+
+def _format_ids(ids: Iterable[VarId]) -> str:
+    names = sorted(format_var_id(var_id) for var_id in ids)
+    return ", ".join(names) if names else "-"
+
+
+def _render_function(summary: FunctionSummary) -> List[str]:
+    function = summary.function
+    cfg = summary.cfg
+    reachable = cfg.reachable_blocks()
+    lines = [f"function {function.name} "
+             f"({len(function.blocks)} blocks, {len(reachable)} reachable)"]
+
+    edges = []
+    for block in function.blocks:
+        succs = cfg.successors.get(block, [])
+        if succs:
+            edges.append(f"{block.name} -> "
+                         + ", ".join(s.name for s in succs))
+    lines.append("  cfg: " + ("; ".join(edges) if edges else "(no edges)"))
+
+    idoms = []
+    for block in function.blocks:
+        idom = summary.dom.idom.get(block)
+        if idom is not None:
+            idoms.append(f"{block.name} <- {idom.name}")
+    lines.append("  idom: " + ("; ".join(idoms) if idoms else "(entry only)"))
+
+    loops = summary.loop_info.loops
+    if loops:
+        for loop in sorted(loops, key=lambda lp: (lp.depth, lp.header_line)):
+            latches = ", ".join(latch.name for latch in loop.latches)
+            lines.append(
+                f"  loop: header {loop.header.name} "
+                f"(line {loop.header_line}, depth {loop.depth}, "
+                f"{len(loop.blocks)} blocks, latches {latches})")
+    else:
+        lines.append("  loops: none")
+
+    for block in function.blocks:
+        live_in = summary.liveness.live_in.get(block, frozenset())
+        live_out = summary.liveness.live_out.get(block, frozenset())
+        lines.append(f"  live {block.name}: "
+                     f"in=[{_format_ids(live_in)}] "
+                     f"out=[{_format_ids(live_out)}]")
+    return lines
+
+
+def render_static_report(module: Module,
+                         spec: Optional[MainLoopSpec] = None,
+                         analysis: Optional[StaticModuleAnalysis] = None,
+                         ) -> str:
+    """The full static report text for ``module`` (optionally spec-aware)."""
+    if analysis is None:
+        analysis = analyze_module(module, spec=spec)
+    lines = [f"static analysis of module {module.name!r} "
+             f"({len(module.globals)} globals, "
+             f"{len(module.functions)} functions)"]
+    for name in module.functions:
+        lines.extend(_render_function(analysis.functions[name]))
+
+    if spec is not None:
+        lines.append(f"main loop spec: {spec.function} lines {spec.mclr}")
+        loop = analysis.main_loop
+        if loop is None:
+            lines.append("  static main loop: NOT FOUND")
+        else:
+            lines.append(
+                f"  static main loop: header {loop.header.name} at line "
+                f"{loop.header_line} (depth {loop.depth}, "
+                f"{len(loop.blocks)} blocks)")
+            induction = find_induction_variable(
+                analysis.functions[spec.function].function, loop)
+            lines.append(
+                "  static induction variable: "
+                + (induction.name if induction is not None else "(none)"))
+        candidates = analysis.candidate_ids
+        top_note = " (widened to the full universe: an access resolved " \
+                   "to top)" if analysis.saw_top else ""
+        lines.append(f"  static MLI candidates ({len(candidates)}){top_note}: "
+                     f"{_format_ids(candidates)}")
+        lines.append("  statically inside: functions "
+                     + ", ".join(sorted(analysis.inside_functions)))
+        lines.append(f"  static DDG: {len(analysis.static_ddg.nodes())} "
+                     f"nodes, {analysis.static_ddg.edge_count} edges")
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ analyse an existing file of either encoding.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import time
@@ -166,7 +167,7 @@ def load_manifest(path: str) -> Tuple[List[BatchEntry], Optional[str]]:
             the message names the offending manifest path.
     """
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
     except OSError as exc:
         raise ManifestError(f"cannot read manifest {path!r}: {exc}") from exc
@@ -294,10 +295,8 @@ def _run_app_entry(entry: BatchEntry, use_cache: bool,
                           seed=entry.seed, fmt="binary")
             os.replace(tmp_path, trace_path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(tmp_path)
-            except OSError:
-                pass
             raise
 
     options: Dict[str, Any] = dict(app.autocheck_options)

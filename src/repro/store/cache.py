@@ -32,6 +32,7 @@ naming the offending file and key, for callers that need the diagnosis.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -66,7 +67,8 @@ def default_cache_dir() -> str:
 
 
 def config_fingerprint(config: AutoCheckConfig,
-                       static_induction: Optional[str] = None) -> str:
+                       static_induction: Optional[str] = None,
+                       static_fingerprint: Optional[str] = None) -> str:
     """Hex SHA-256 over the config fields that determine the report.
 
     Strategy knobs (engine, workers, streaming/parallel preprocessing) are
@@ -79,6 +81,15 @@ def config_fingerprint(config: AutoCheckConfig,
     because it is an analysis *input* that lives outside the config: a run
     with the module at hand and one without it may detect the induction
     variable differently, and the two must never share a store entry.
+
+    ``static_fingerprint`` is the digest of the static analysis driving
+    the engine prefilter
+    (:meth:`repro.static.summary.StaticModuleAnalysis.fingerprint`).  It
+    joins the fingerprint **only when prefiltering is on** (``None``
+    otherwise, which leaves the hash identical to pre-prefilter builds):
+    the prefiltered report is proven equal to the unfiltered one, but
+    keying it separately quarantines any future skip-table bug to
+    prefiltered entries instead of poisoning unfiltered runs.
     """
     spec = config.main_loop
     semantic = {
@@ -90,7 +101,9 @@ def config_fingerprint(config: AutoCheckConfig,
         "induction_variable": config.induction_variable,
         "static_induction": static_induction,
     }
-    encoded = json.dumps(semantic, sort_keys=True).encode("utf-8")
+    if static_fingerprint is not None:
+        semantic["static_prefilter"] = static_fingerprint
+    encoded = json.dumps(semantic, sort_keys=True).encode()
     return hashlib.sha256(encoded).hexdigest()
 
 
@@ -149,7 +162,7 @@ class ArtifactStore:
                 batch run is attributable immediately.
         """
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
             report = report_from_dict(payload.get("report"))
         except OSError as exc:
@@ -177,15 +190,11 @@ class ArtifactStore:
         try:
             report = self.load_entry(path, key)
         except StoreError:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(path)
-            except OSError:
-                pass
             return None
-        try:
+        with contextlib.suppress(OSError):
             os.utime(path)
-        except OSError:
-            pass
         return report
 
     def store(self, key: str, report: AutoCheckReport,
@@ -215,10 +224,8 @@ class ArtifactStore:
                 json.dump(payload, handle)
             os.replace(handle.name, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.remove(handle.name)
-            except OSError:
-                pass
             raise
         return path
 
@@ -299,15 +306,13 @@ class ArtifactStore:
                 result.evicted_paths.append(path)
 
         evicted_set = set(result.evicted_paths)
-        for mtime, size, path in entries:
+        for _mtime, size, path in entries:
             if path in evicted_set:
                 result.evicted += 1
                 result.evicted_bytes += size
                 if not dry_run:
-                    try:
+                    with contextlib.suppress(OSError):
                         os.remove(path)
-                    except OSError:
-                        pass
             else:
                 result.kept += 1
                 result.kept_bytes += size

@@ -135,7 +135,7 @@ class TraceBinaryWriter:
         self._owns_handle = fileobj is None
         self._fh: Optional[IO[bytes]] = (open(path, "wb") if fileobj is None
                                          else fileobj)
-        name_bytes = module_name.encode("utf-8")
+        name_bytes = module_name.encode()
         self._fh.write(_HEADER.pack(BINARY_MAGIC, BINARY_VERSION, 0,
                                     len(name_bytes)))
         self._fh.write(name_bytes)
@@ -233,7 +233,7 @@ class TraceBinaryWriter:
         footer_offset = self._offset
         globals_parts: List[bytes] = []
         for symbol in self._globals:
-            name_bytes = symbol.name.encode("utf-8")
+            name_bytes = symbol.name.encode()
             globals_parts.append(_U16.pack(len(name_bytes)))
             globals_parts.append(name_bytes)
             globals_parts.append(
@@ -251,7 +251,7 @@ class TraceBinaryWriter:
                             globals_bytes]
         out.append(_U32.pack(len(self._strings)))
         for text in self._strings:
-            text_bytes = text.encode("utf-8")
+            text_bytes = text.encode()
             out.append(_U16.pack(len(text_bytes)))
             out.append(text_bytes)
         out.append(_U32.pack(INDEX_STRIDE))
@@ -582,7 +582,8 @@ class TraceBinaryReader:
                     # struct.error): pull more bytes and retry.
                     if to_read <= 0:
                         raise BinaryTraceError(
-                            f"truncated record block in {self.path!r}")
+                            f"truncated record block in "
+                            f"{self.path!r}") from None
                     extra = handle.read(min(chunk_bytes, to_read))
                     to_read -= len(extra)
                     buffer = buffer[position:] + extra
@@ -622,9 +623,12 @@ def _skip_operands(buf, position: int, count: int) -> int:
     return position
 
 
+_NO_FULL_OPCODES: frozenset = frozenset()
+
+
 def scan_record_headers(path: str,
                         layout: Optional[BinaryTraceLayout] = None,
-                        full_opcodes: frozenset = frozenset(),
+                        full_opcodes: frozenset = _NO_FULL_OPCODES,
                         chunk_bytes: int = 1 << 20,
                         ) -> Iterator[Tuple[int, int, int, int, int,
                                             Optional[TraceRecord]]]:
@@ -682,7 +686,7 @@ def scan_record_headers(path: str,
                 # (same protocol as TraceBinaryReader.iter_records).
                 if to_read <= 0:
                     raise BinaryTraceError(
-                        f"truncated record block in {path!r}")
+                        f"truncated record block in {path!r}") from None
                 extra = handle.read(min(chunk_bytes, to_read))
                 to_read -= len(extra)
                 buffer = buffer[position:] + extra

@@ -296,7 +296,7 @@ class TraceTextReader:
         module_name = "module"
         globals_: List[GlobalSymbol] = []
         record_lines: List[str] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
+        with open(self.path, encoding="utf-8") as handle:
             for line in handle:
                 stripped = line.rstrip("\n")
                 if not stripped:
@@ -329,7 +329,7 @@ def iter_trace_file_text(path: str,
     (the text format has no index, so there is no way to seek); binary traces
     seek via their block index instead.
     """
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for index, record in enumerate(iter_parsed_records(handle)):
             if index >= start_record:
                 yield record
@@ -380,7 +380,7 @@ def read_preamble(path: str) -> Tuple[str, List[GlobalSymbol]]:
         return read_preamble_binary(path)
     module_name = "module"
     globals_: List[GlobalSymbol] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line in handle:
             stripped = line.rstrip("\n")
             if not stripped:

@@ -116,3 +116,61 @@ class TestCacheCLI:
                      "--cache-dir", str(tmp_path / "cache"),
                      "--trace-dir", str(tmp_path / "traces")]) == 1
         assert "ERROR" in capsys.readouterr().out
+
+
+class TestStaticCLI:
+    def test_static_report_on_app(self, capsys):
+        assert main(["static-report", "bigarray"]) == 0
+        out = capsys.readouterr().out
+        assert "static main loop" in out
+        assert "static MLI candidates" in out
+        assert "idom:" in out
+        assert "live " in out
+
+    def test_static_report_on_source_file(self, capsys, tmp_path,
+                                          example_source):
+        source_path = str(tmp_path / "prog.mc")
+        with open(source_path, "w", encoding="utf-8") as handle:
+            handle.write(example_source)
+        assert main(["static-report", source_path]) == 0
+        out = capsys.readouterr().out
+        assert "static DDG" in out
+
+    def test_static_report_unknown_target(self, capsys):
+        assert main(["static-report", "no-such-thing"]) == 2
+        assert "neither" in capsys.readouterr().err
+
+    def test_app_static_check_passes(self, capsys):
+        assert main(["app", "example", "--static-check"]) == 0
+        out = capsys.readouterr().out
+        assert "Static cross-check" in out and "ok" in out
+
+    def test_analyze_static_check_needs_source(self, capsys, tmp_path,
+                                               example_trace, example_spec):
+        path = str(tmp_path / "example.trace")
+        write_trace_file(example_trace, path)
+        assert main(["analyze", path,
+                     "--function", example_spec.function,
+                     "--start", str(example_spec.start_line),
+                     "--end", str(example_spec.end_line),
+                     "--static-check"]) == 2
+        assert "--source" in capsys.readouterr().err
+
+    def test_analyze_static_check_and_prefilter(self, capsys, tmp_path,
+                                                example_source, example_trace,
+                                                example_spec):
+        trace_path = str(tmp_path / "example.trace")
+        write_trace_file(example_trace, trace_path)
+        source_path = str(tmp_path / "example.mc")
+        with open(source_path, "w", encoding="utf-8") as handle:
+            handle.write(example_source)
+        assert main(["analyze", trace_path,
+                     "--function", example_spec.function,
+                     "--start", str(example_spec.start_line),
+                     "--end", str(example_spec.end_line),
+                     "--source", source_path,
+                     "--static-check", "--static-prefilter"]) == 0
+        out = capsys.readouterr().out
+        assert "Static cross-check" in out
+        assert "Static prefilter" in out
+        assert "skipped" in out

@@ -195,7 +195,7 @@ class TestLoweringSemantics:
     ])
     def test_integer_expression_value(self, expr, expected):
         result = compile_and_run(
-            "int main() { int v = %s; print(v); return 0; }" % expr)
+            f"int main() {{ int v = {expr}; print(v); return 0; }}")
         assert result.output == [str(expected)]
 
     def test_double_expression_value(self):

@@ -130,3 +130,104 @@ class TestVerifier:
         with pytest.raises(ValueError):
             CmpInst(opcode=Opcode.ICMP, operands=[], result=None,
                     predicate="bogus")
+
+
+class TestFlowSensitiveChecks:
+    def test_unreachable_block_rejected(self):
+        module, function, builder = make_module_with_main()
+        builder.ret(builder.const_int(0))
+        orphan = builder.new_block("orphan")
+        builder.set_block(orphan)
+        builder.ret(builder.const_int(1))
+        with pytest.raises(VerificationError, match="unreachable block"):
+            verify_module(module)
+
+    def test_unreachable_block_error_names_function_and_block(self):
+        module, function, builder = make_module_with_main()
+        builder.ret(builder.const_int(0))
+        orphan = builder.new_block("orphan")
+        builder.set_block(orphan)
+        builder.ret(builder.const_int(1))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_module(module)
+        assert excinfo.value.function == "main"
+        assert excinfo.value.block == "orphan"
+        assert "main/orphan" in str(excinfo.value)
+
+    def test_use_not_dominated_by_definition_rejected(self):
+        module, function, builder = make_module_with_main()
+        slot = builder.alloca(I32, "c")
+        cond = builder.load(slot, I32)
+        then_block = builder.new_block("then")
+        else_block = builder.new_block("else")
+        join_block = builder.new_block("join")
+        builder.cond_br(cond, then_block, else_block)
+        builder.set_block(then_block)
+        partial = builder.binary(Opcode.ADD, builder.const_int(1),
+                                 builder.const_int(2), I32)
+        builder.br(join_block)
+        builder.set_block(else_block)
+        builder.br(join_block)
+        builder.set_block(join_block)
+        builder.binary(Opcode.ADD, partial, builder.const_int(3), I32)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="not.*dominated"):
+            verify_module(module)
+
+    def test_same_block_use_before_def_rejected(self):
+        module, function, builder = make_module_with_main()
+        slot = builder.alloca(I32, "x")
+        ghost_load = LoadInst(opcode=Opcode.LOAD, operands=[slot],
+                              result=Register(type=I32, rid=777))
+        use = builder.binary(Opcode.ADD, ghost_load.result,
+                             builder.const_int(1), I32)
+        # Define %777 *after* its use in the same block.
+        index = function.entry.instructions.index(
+            next(i for i in function.entry.instructions
+                 if i.result is use))
+        function.entry.instructions.insert(index + 1, ghost_load)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError, match="not.*dominated"):
+            verify_module(module)
+
+    def test_dominance_error_carries_instruction_index(self):
+        module, function, builder = make_module_with_main()
+        slot = builder.alloca(I32, "c")
+        cond = builder.load(slot, I32)
+        then_block = builder.new_block("then")
+        join_block = builder.new_block("join")
+        builder.cond_br(cond, then_block, join_block)
+        builder.set_block(then_block)
+        partial = builder.binary(Opcode.ADD, builder.const_int(1),
+                                 builder.const_int(2), I32)
+        builder.br(join_block)
+        builder.set_block(join_block)
+        builder.binary(Opcode.ADD, partial, builder.const_int(3), I32)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_module(module)
+        error = excinfo.value
+        assert error.function == "main"
+        assert error.block == "join"
+        assert error.instruction_index == 0
+
+    def test_structural_errors_fire_before_reachability(self):
+        """A dangling *empty* block must still report "empty", not
+        "unreachable" — the structural pass runs first."""
+        module, function, builder = make_module_with_main()
+        builder.ret(builder.const_int(0))
+        function.add_block("dangling")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_module(module)
+
+    def test_undefined_register_error_context(self):
+        module, function, builder = make_module_with_main()
+        ghost = Register(type=I32, rid=999)
+        builder.binary(Opcode.ADD, ghost, builder.const_int(1), I32)
+        builder.ret(builder.const_int(0))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_module(module)
+        error = excinfo.value
+        assert error.function == "main"
+        assert error.block == "entry"
+        assert error.instruction_index is not None

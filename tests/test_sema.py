@@ -3,7 +3,7 @@
 import pytest
 
 from repro.minicc import ast_nodes as ast
-from repro.minicc.errors import SemanticError
+from repro.minicc.errors import ParseError, SemanticError
 from repro.minicc.parser import parse_program
 from repro.minicc.sema import BUILTIN_FUNCTIONS, analyze
 
@@ -83,7 +83,7 @@ class TestDeclarationsAndScopes:
         analyze_source("double offset = -2.5;\nint main() { return 0; }")
 
     def test_void_variable_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ParseError):
             analyze_source("void x;\nint main() { return 0; }")
 
 

@@ -1,0 +1,211 @@
+"""Unit tests for the static dataflow primitives (def-use, points-to,
+value sources, liveness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.lowering import compile_source
+from repro.ir.instructions import (
+    AllocaInst,
+    GEPInst,
+    LoadInst,
+    StoreInst,
+)
+from repro.static.dataflow import (
+    TOP,
+    PointerAnalysis,
+    build_def_use,
+    compute_liveness,
+    compute_read_summaries,
+    format_var_id,
+    global_id,
+    local_id,
+    value_sources,
+    var_id_name,
+)
+from repro.static.summary import _return_summaries, analyze_module
+
+POINTER_SOURCE = """\
+int total;
+
+void sweep(double *src, double *dst) {
+    for (int k = 0; k < 4; ++k) {
+        dst[k] = src[k] * 2.0;
+    }
+}
+
+int main() {
+    double a[8];
+    double b[8];
+    double x = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        a[i] = i * 1.0;
+    }
+    sweep(a, b);
+    x = a[0] + b[0];
+    total = 1;
+    print("x", x);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pointer_module():
+    return compile_source(POINTER_SOURCE, module_name="pointer_source")
+
+
+@pytest.fixture(scope="module")
+def pointers(pointer_module):
+    return PointerAnalysis(pointer_module)
+
+
+class TestVarIds:
+    def test_formatting(self):
+        assert format_var_id(global_id("total")) == "@total"
+        assert format_var_id(local_id("main", "x")) == "main:x"
+        assert format_var_id(TOP) == "<top>"
+
+    def test_names(self):
+        assert var_id_name(global_id("total")) == "total"
+        assert var_id_name(local_id("main", "x")) == "x"
+        assert var_id_name(TOP) is None
+
+
+class TestDefUse:
+    def test_every_register_def_is_recorded(self, pointer_module):
+        function = pointer_module.functions["main"]
+        chains = build_def_use(function)
+        for inst in function.instructions():
+            if inst.result is not None:
+                site = chains.defs[inst.result.rid]
+                assert site.inst is inst
+                assert site.block.instructions[site.index] is inst
+
+    def test_uses_point_back_to_operand_positions(self, pointer_module):
+        function = pointer_module.functions["main"]
+        chains = build_def_use(function)
+        for rid, uses in chains.uses.items():
+            for use in uses:
+                operand = use.inst.operands[use.operand_index]
+                assert operand.rid == rid
+
+
+class TestPointsTo:
+    def test_call_site_binds_array_actuals_to_formals(self, pointers):
+        bindings = pointers.param_pointees["sweep"]
+        assert bindings["src"] == {local_id("main", "a")}
+        assert bindings["dst"] == {local_id("main", "b")}
+
+    def test_spilled_parameter_reload_resolves(self, pointers, pointer_module):
+        """The frontend spills `src`/`dst` to allocas and reloads them;
+        the cell sets must carry the pointee through the round trip, so
+        no pointer operand inside `sweep` resolves to TOP."""
+        sweep = pointer_module.functions["sweep"]
+        resolved = set()
+        for inst in sweep.instructions():
+            if isinstance(inst, (LoadInst, GEPInst)):
+                resolved |= pointers.resolve(inst.operands[0], sweep)
+            elif isinstance(inst, StoreInst):
+                resolved |= pointers.resolve(inst.operands[1], sweep)
+        assert TOP not in resolved
+        assert local_id("main", "a") in resolved
+        assert local_id("main", "b") in resolved
+
+    def test_cell_sets_record_the_spill(self, pointers):
+        cells = pointers.state.cell_pointees
+        assert local_id("main", "a") in cells.get(local_id("sweep", "src"),
+                                                  set())
+        assert local_id("main", "b") in cells.get(local_id("sweep", "dst"),
+                                                  set())
+
+    def test_global_resolves_to_itself(self, pointers, pointer_module):
+        main = pointer_module.functions["main"]
+        for inst in main.instructions():
+            if isinstance(inst, StoreInst):
+                targets = pointers.resolve(inst.operands[1], main)
+                if global_id("total") in targets:
+                    assert targets == {global_id("total")}
+                    return
+        pytest.fail("no store targeting the global was found")
+
+    def test_unbound_parameter_resolves_empty(self):
+        module = compile_source(
+            """\
+void helper(int *p) {
+    p[0] = 1;
+}
+
+int main() {
+    print("ok", 1);
+    return 0;
+}
+""", module_name="unbound")
+        pointers = PointerAnalysis(module)
+        helper = module.functions["helper"]
+        for inst in helper.instructions():
+            if isinstance(inst, StoreInst):
+                targets = pointers.resolve(inst.operands[1], helper)
+                # Never-called code has no call-site pointees: empty, not TOP.
+                assert TOP not in targets
+
+
+class TestValueSources:
+    def test_gep_carries_index_sources_not_base(self, pointers,
+                                                pointer_module):
+        """The dynamic dependency pass draws index -> GEP-result edges,
+        never base -> result; the static mirror must match."""
+        main = pointer_module.functions["main"]
+        ret_summaries = _return_summaries(pointer_module, pointers)
+        for inst in main.instructions():
+            if isinstance(inst, GEPInst) and inst.result is not None:
+                sources = value_sources(inst.result, main, pointers,
+                                        ret_summaries)
+                assert local_id("main", "a") not in sources
+                assert local_id("main", "b") not in sources
+
+    def test_load_contributes_the_loaded_variable(self, pointers,
+                                                  pointer_module):
+        main = pointer_module.functions["main"]
+        ret_summaries = _return_summaries(pointer_module, pointers)
+        seen = set()
+        for inst in main.instructions():
+            if isinstance(inst, LoadInst) and inst.result is not None:
+                seen |= value_sources(inst.result, main, pointers,
+                                      ret_summaries)
+        assert local_id("main", "a") in seen
+        assert TOP not in seen
+
+
+class TestLiveness:
+    def test_scalar_store_kills_array_store_does_not(self, pointer_module,
+                                                     pointers):
+        main = pointer_module.functions["main"]
+        analysis = analyze_module(pointer_module)
+        liveness = analysis.functions["main"].liveness
+        kills = set()
+        for flow in liveness.flow.values():
+            kills |= flow.kill
+        assert local_id("main", "x") in kills
+        # Element writes never kill the whole array.
+        assert local_id("main", "a") not in kills
+        assert local_id("main", "b") not in kills
+
+    def test_loop_carried_variable_is_live_into_its_loop(self,
+                                                         pointer_module):
+        analysis = analyze_module(pointer_module)
+        summary = analysis.functions["main"]
+        loops = summary.loop_info.loops
+        assert loops, "main must contain at least one natural loop"
+        live_at_headers = set()
+        for loop in loops:
+            live_at_headers |= summary.liveness.live_in[loop.header]
+        assert local_id("main", "i") in live_at_headers
+
+    def test_read_summaries_cover_callee_reads(self, pointer_module,
+                                               pointers):
+        reads = compute_read_summaries(pointer_module, pointers)
+        assert local_id("main", "a") in reads["sweep"]
+        # main transitively reads what sweep reads.
+        assert reads["sweep"] <= reads["main"]
