@@ -90,7 +90,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                              workers=args.workers,
                              use_cache=args.cache,
                              cache_dir=args.cache_dir,
-                             static_prefilter=args.static_prefilter)
+                             static_prefilter=args.static_prefilter,
+                             decode=args.decode)
     report = AutoCheck(config, trace_path=args.trace, module=module).run()
     print(report.summary())
     if args.static_check:
@@ -251,6 +252,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--workers", type=int, default=4,
                            help="worker count for --parallel preprocessing "
                                 "and for --engine parallel")
+    p_analyze.add_argument("--decode",
+                           choices=("columnar", "records"),
+                           default="columnar",
+                           help="how the fused/parallel engines consume a "
+                                "binary trace: 'columnar' (default) decodes "
+                                "whole record blocks into column arrays and "
+                                "sweeps them in bulk, materializing records "
+                                "only for the rare scope-changing opcodes; "
+                                "'records' is the classic one-object-per-"
+                                "record walk (identical report, lower "
+                                "throughput); non-binary inputs fall back "
+                                "to 'records' automatically")
     p_analyze.add_argument("--source", default=None,
                            help="the traced mini-C program; supplies the IR "
                                 "module the static analyses need (required "

@@ -20,6 +20,9 @@ from typing import Optional
 #: Valid values of :attr:`AutoCheckConfig.analysis_engine`.
 ANALYSIS_ENGINES = ("fused", "parallel", "multipass")
 
+#: Valid values of :attr:`AutoCheckConfig.decode`.
+DECODE_MODES = ("columnar", "records")
+
 
 @dataclass(frozen=True)
 class MainLoopSpec:
@@ -118,6 +121,18 @@ class AutoCheckConfig:
     #: by ``tests/test_static_prefilter.py``.  When on, the static
     #: analysis' fingerprint joins the artifact-store cache key.
     static_prefilter: bool = False
+    #: How the fused and parallel engines consume a *block-indexed binary*
+    #: trace file.  ``"columnar"`` (default) decodes whole record blocks
+    #: into parallel arrays (:mod:`repro.trace.columnar`) and lets the
+    #: passes sweep column slices, materializing per-record objects only
+    #: for the rare scope-changing opcodes; ``"records"`` is the classic
+    #: one-``TraceRecord``-per-record walk.  The reports are byte-identical
+    #: (``tests/test_columnar.py`` proves it fleet-wide) — this knob only
+    #: trades decode strategy for speed, so it does not join the artifact
+    #: store's semantic fingerprint.  Inputs the columnar reader cannot
+    #: serve (in-memory traces, text traces, v1 binary files without a
+    #: block index) silently fall back to the record walk.
+    decode: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.parallel_preprocessing and self.streaming_preprocessing:
@@ -134,6 +149,10 @@ class AutoCheckConfig:
             raise ValueError(
                 f"analysis_engine='parallel' needs workers >= 1, "
                 f"got {self.workers}")
+        if self.decode not in DECODE_MODES:
+            raise ValueError(
+                f"unknown decode {self.decode!r}; "
+                f"expected one of {DECODE_MODES}")
         if self.static_prefilter and self.analysis_engine != "fused":
             raise ValueError(
                 "static_prefilter is only implemented for the fused "

@@ -53,11 +53,27 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.ddg import DDG, NodeKind
-from repro.core.engine import REGION_INSIDE, AnalysisEngine, AnalysisPass
+from repro.core.engine import (
+    KIND_ARITHMETIC,
+    KIND_BY_OPCODE,
+    KIND_FORWARDING,
+    KIND_GEP,
+    KIND_LOAD,
+    KIND_OTHER,
+    KIND_STORE,
+    REGION_INSIDE,
+    AnalysisEngine,
+    AnalysisPass,
+)
 from repro.core.preprocessing import MLIVariable, PreprocessingResult, TraceRegions
 from repro.core.regmaps import RegRegMap, RegVarMap
 from repro.core.varmap import VariableInfo, VariableMap
 from repro.trace.records import TraceOperand, TraceRecord
+
+try:  # numpy accelerates the columnar row preselection; loops otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the range fallback
+    _np = None
 
 
 # --------------------------------------------------------------------------- #
@@ -108,6 +124,74 @@ _EV_RETURN = 8
 #: profile — while a frontier event must carry the ``(key, name)`` tuple
 #: resolved eagerly in the worker, because by replay time the map no longer
 #: reflects the record's execution state.
+
+
+#: raw opcode -> engine record kind, as a dense positional LUT for the
+#: columnar fast paths (segments only carry known non-scope opcodes, so
+#: indexing is safe without a range check).
+_COLUMN_KIND = [KIND_OTHER] * (max(KIND_BY_OPCODE) + 1)
+for _op, _kind in KIND_BY_OPCODE.items():
+    _COLUMN_KIND[_op] = _kind
+del _op, _kind
+_COLUMN_KIND = tuple(_COLUMN_KIND)
+
+#: the same LUT as a numpy gather table, for the segment preselection
+_KIND_NP = None if _np is None else _np.array(_COLUMN_KIND, dtype=_np.int8)
+
+
+def _segment_tuples(block, start: int, stop: int):
+    """Pre-gathered dispatch tuples for segment ``[start, stop)``.
+
+    Yields ``(row, kind, lo_slot, hi_slot, has_result, function_id,
+    packed)`` for every row the dependency walk dispatches on
+    (``KIND_OTHER`` rows are dropped up front), where ``packed`` is the
+    ``function_id << 32 | result_name_id`` register-cache key.  The
+    header fields of a whole segment gather in a handful of vector ops
+    instead of five list indexings per row.  ``packed`` is garbage when
+    the row has no result slot — every consumer checks ``has_result``
+    before using it.
+    """
+    np_opcode = block.np_opcode
+    op_name_np = block.np_op_name_id
+    if (_KIND_NP is None or np_opcode is None or op_name_np is None
+            or block.np_op_start is None or not op_name_np.size):
+        return _row_tuples(block, range(start, stop))
+    kinds_all = _KIND_NP[np_opcode[start:stop]]
+    rows = _np.flatnonzero(kinds_all != KIND_OTHER)
+    kinds = kinds_all[rows]
+    if start:
+        rows += start
+    op_start = block.np_op_start
+    lo = op_start[rows]
+    hi = op_start[rows + 1]
+    res = block.np_has_result[rows]
+    fid = block.np_function_id[rows]
+    packed = (fid << 32) | op_name_np[hi - 1]
+    return zip(rows.tolist(), kinds.tolist(), lo.tolist(), hi.tolist(),
+               res.tolist(), fid.tolist(), packed.tolist())
+
+
+def _row_tuples(block, rows):
+    """Scalar sibling of :func:`_segment_tuples`: explicit row lists
+    (engine prefilter survivors) and blocks without the numpy mirrors."""
+    kind_of = _COLUMN_KIND
+    opcode = block.opcode
+    op_start = block.op_start
+    has_result = block.has_result
+    function_id = block.function_id
+    op_name_id = block.op_name_id
+    for row in rows:
+        kind = kind_of[opcode[row]]
+        if kind == KIND_OTHER:
+            continue
+        lo = op_start[row]
+        hi = op_start[row + 1]
+        fid = function_id[row]
+        packed = (fid << 32 | op_name_id[hi - 1]) if hi > lo else fid << 32
+        yield row, kind, lo, hi, has_result[row], fid, packed
+
+#: memo-miss sentinel (``None`` is a valid resolution outcome)
+_MISS = object()
 
 
 def _memref_of(varmap: VariableMap, operand: TraceOperand):
@@ -245,6 +329,26 @@ class DependencyPass(AnalysisPass):
         #: :meth:`on_activation` when the engine proves a traced body follows.
         self._pending_frame: Optional[Tuple[str, Dict[str, Optional[str]]]] = None
         self._inspected = 0
+        #: columnar caches — ``function id << 32 | name id`` -> register
+        #: node key, guarded by the owning string table's identity, plus
+        #: the variable node keys already created through the columnar path
+        self._col_strings_key: Optional[int] = None
+        self._col_reg_keys: Dict[int, str] = {}
+        self._col_var_seen: Set[str] = set()
+        #: edges already inserted through the columnar path — ``add_edge``
+        #: is idempotent set insertion and nothing removes edges during the
+        #: walk, so eliding the repeat call is exact
+        self._col_edge_seen: Set[Tuple[str, str]] = set()
+        #: reg-reg links already inserted the same way (packed result key
+        #: followed by the operand name ids; :meth:`RegRegMap.link` is
+        #: likewise add-only set insertion) — id-based, so it resets with
+        #: the string table alongside ``_col_reg_keys``
+        self._col_link_seen: Set[Tuple[int, ...]] = set()
+        #: address -> resolution memo, valid while the live map's revision
+        #: is unchanged (scope records between segments may mutate it; the
+        #: revision check at segment entry catches exactly those)
+        self._col_memo: Dict = {}
+        self._col_memo_rev = -1
 
     # ------------------------------------------------------------------ #
     # Node helpers
@@ -373,6 +477,270 @@ class DependencyPass(AnalysisPass):
         if region != REGION_INSIDE:
             return
         self._apply_return(record.function)
+
+    # ------------------------------------------------------------------ #
+    # Columnar fast path
+    # ------------------------------------------------------------------ #
+    def consume_columns(self, block, start: int, stop: int, region: int,
+                        rows: Optional[List[int]] = None) -> None:
+        """Inline extract+apply straight off the columns.
+
+        Semantically the per-record callbacks verbatim — same gate order,
+        same state mutations — with three costs lifted out of the row loop:
+
+        * register node keys cache per ``(function id, name id)`` pair
+          (key strings and ``add_node`` probes are paid once per register,
+          not once per record; node creation is first-wins, so skipping the
+          re-add is exact);
+        * variable nodes already created through this path skip the re-add
+          the same way (``finalize`` settles MLI kinds regardless);
+        * address resolutions memoize for the duration of the segment —
+          scope records break segments, so the live map cannot change under
+          the memo.
+        """
+        if region != REGION_INSIDE:
+            return
+        strings = block.strings
+        op_flags = block.op_flags
+        op_name_id = block.op_name_id
+        op_address = block.op_address
+        resolve = self.varmap.resolve
+        add_node = self.ddg.add_node
+        add_edge = self.ddg.add_edge
+        reg_entries = self.reg_var.entries
+        reg_lookup = self.reg_var.lookup
+        reg_link = self.reg_reg.link
+        variable_node = self._variable_node
+        resolve_memref = self._resolve_memref
+        if self._col_strings_key != id(strings):
+            self._col_strings_key = id(strings)
+            self._col_reg_keys = {}
+            self._col_link_seen = set()
+        reg_keys = self._col_reg_keys
+        reg_keys_get = reg_keys.get
+        var_seen = self._col_var_seen
+        var_seen_add = var_seen.add
+        edge_seen = self._col_edge_seen
+        edge_seen_add = edge_seen.add
+        link_seen = self._col_link_seen
+        link_seen_add = link_seen.add
+        register_kind = NodeKind.REGISTER
+        memo = self._col_memo
+        if self._col_memo_rev != self.varmap.revision:
+            self._col_memo_rev = self.varmap.revision
+            memo.clear()
+        memo_get = memo.get
+        miss = _MISS
+        inspected = 0
+        if rows is None:
+            # Whole-segment pre-gather: header fields and the packed
+            # register key arrive as ready tuples (KIND_OTHER rows already
+            # dropped), built in a few vector ops.
+            tuples = _segment_tuples(block, start, stop)
+        else:
+            tuples = _row_tuples(block, rows)
+        for row, kind, lo_slot, hi_slot, result, fid, packed in tuples:
+            inspected += 1
+            n_ops = hi_slot - lo_slot - result
+            if kind == KIND_LOAD:
+                if not n_ops or not result:
+                    continue
+                function = strings[fid]
+                address = op_address[lo_slot]
+                info = memo_get(address, miss)
+                if info is miss:
+                    info = resolve(address)
+                    memo[address] = info
+                if info is not None:
+                    var_key = info.key
+                    if var_key not in var_seen:
+                        variable_node(var_key, info.name)
+                        var_seen_add(var_key)
+                else:
+                    var_key = resolve_memref(
+                        function, strings[op_name_id[lo_slot]])
+                    if var_key is None:
+                        continue
+                result_id = packed & 0xFFFFFFFF
+                result_name = strings[result_id]
+                result_key = reg_keys_get(packed)
+                if result_key is None:
+                    result_key = f"{function}%{result_name}"
+                    add_node(result_key, register_kind,
+                             f"{function}:%{result_name}")
+                    reg_keys[packed] = result_key
+                edge = (var_key, result_key)
+                if edge not in edge_seen:
+                    add_edge(var_key, result_key)
+                    edge_seen_add(edge)
+                reg_entries[(function, result_name)] = var_key
+            elif kind == KIND_ARITHMETIC:
+                if not result:
+                    continue
+                function = strings[fid]
+                result_id = packed & 0xFFFFFFFF
+                result_key = reg_keys_get(packed)
+                if result_key is None:
+                    result_name = strings[result_id]
+                    result_key = f"{function}%{result_name}"
+                    add_node(result_key, register_kind,
+                             f"{function}:%{result_name}")
+                    reg_keys[packed] = result_key
+                input_ids = []
+                for slot in range(lo_slot, lo_slot + n_ops):
+                    if op_flags[slot] & 1:
+                        name_id = op_name_id[slot]
+                        packed_in = fid << 32 | name_id
+                        reg_key = reg_keys_get(packed_in)
+                        if reg_key is None:
+                            name = strings[name_id]
+                            reg_key = f"{function}%{name}"
+                            add_node(reg_key, register_kind,
+                                     f"{function}:%{name}")
+                            reg_keys[packed_in] = reg_key
+                        edge = (reg_key, result_key)
+                        if edge not in edge_seen:
+                            add_edge(reg_key, result_key)
+                            edge_seen_add(edge)
+                        input_ids.append(name_id)
+                link_key = (packed, *input_ids)
+                if link_key not in link_seen:
+                    reg_link(function, strings[result_id],
+                             [strings[i] for i in input_ids])
+                    link_seen_add(link_key)
+            elif kind == KIND_STORE:
+                if n_ops < 2:
+                    continue
+                function = strings[fid]
+                address = op_address[lo_slot + 1]
+                info = memo_get(address, miss)
+                if info is miss:
+                    info = resolve(address)
+                    memo[address] = info
+                if info is not None:
+                    var_key = info.key
+                    if var_key not in var_seen:
+                        variable_node(var_key, info.name)
+                        var_seen_add(var_key)
+                else:
+                    var_key = resolve_memref(
+                        function, strings[op_name_id[lo_slot + 1]])
+                    if var_key is None:
+                        continue
+                if op_flags[lo_slot] & 1:
+                    value_id = op_name_id[lo_slot]
+                    value_name = strings[value_id]
+                    packed = fid << 32 | value_id
+                    reg_key = reg_keys_get(packed)
+                    if reg_key is None:
+                        reg_key = f"{function}%{value_name}"
+                        add_node(reg_key, register_kind,
+                                 f"{function}:%{value_name}")
+                        reg_keys[packed] = reg_key
+                    edge = (reg_key, var_key)
+                    if edge not in edge_seen:
+                        add_edge(reg_key, var_key)
+                        edge_seen_add(edge)
+                    reg_entries[(function, value_name)] = var_key
+                else:
+                    value_name = strings[op_name_id[lo_slot]]
+                    if value_name:
+                        binding = self._lookup_binding(function, value_name)
+                        if binding is not None:
+                            edge = (binding, var_key)
+                            if edge not in edge_seen:
+                                add_edge(binding, var_key)
+                                edge_seen_add(edge)
+            elif kind == KIND_GEP:
+                if not result:
+                    continue
+                function = strings[fid]
+                result_id = packed & 0xFFFFFFFF
+                result_name = strings[result_id]
+                result_key = reg_keys_get(packed)
+                if result_key is None:
+                    result_key = f"{function}%{result_name}"
+                    add_node(result_key, register_kind,
+                             f"{function}:%{result_name}")
+                    reg_keys[packed] = result_key
+                if n_ops:
+                    address = op_address[lo_slot]
+                    info = memo_get(address, miss)
+                    if info is miss:
+                        info = resolve(address)
+                        memo[address] = info
+                    if info is not None:
+                        var_key = info.key
+                        if var_key not in var_seen:
+                            variable_node(var_key, info.name)
+                            var_seen_add(var_key)
+                    else:
+                        var_key = resolve_memref(
+                            function, strings[op_name_id[lo_slot]])
+                    if var_key is not None:
+                        reg_entries[(function, result_name)] = var_key
+                for slot in range(lo_slot + 1, lo_slot + n_ops):
+                    if op_flags[slot] & 1:
+                        name_id = op_name_id[slot]
+                        packed_in = fid << 32 | name_id
+                        reg_key = reg_keys_get(packed_in)
+                        if reg_key is None:
+                            name = strings[name_id]
+                            reg_key = f"{function}%{name}"
+                            add_node(reg_key, register_kind,
+                                     f"{function}:%{name}")
+                            reg_keys[packed_in] = reg_key
+                        edge = (reg_key, result_key)
+                        if edge not in edge_seen:
+                            add_edge(reg_key, result_key)
+                            edge_seen_add(edge)
+            elif kind == KIND_FORWARDING:
+                if not result:
+                    continue
+                function = strings[fid]
+                result_id = packed & 0xFFFFFFFF
+                result_name = strings[result_id]
+                result_key = reg_keys_get(packed)
+                if result_key is None:
+                    result_key = f"{function}%{result_name}"
+                    add_node(result_key, register_kind,
+                             f"{function}:%{result_name}")
+                    reg_keys[packed] = result_key
+                for slot in range(lo_slot, lo_slot + n_ops):
+                    if op_flags[slot] & 1:
+                        name_id = op_name_id[slot]
+                        name = strings[name_id]
+                        packed_in = fid << 32 | name_id
+                        reg_key = reg_keys_get(packed_in)
+                        if reg_key is None:
+                            reg_key = f"{function}%{name}"
+                            add_node(reg_key, register_kind,
+                                     f"{function}:%{name}")
+                            reg_keys[packed_in] = reg_key
+                        edge = (reg_key, result_key)
+                        if edge not in edge_seen:
+                            add_edge(reg_key, result_key)
+                            edge_seen_add(edge)
+                        source = reg_lookup(function, name)
+                        if source is None:
+                            fallback = op_address[slot]
+                            if fallback is not None:
+                                info = memo_get(fallback, miss)
+                                if info is miss:
+                                    info = resolve(fallback)
+                                    memo[fallback] = info
+                                if info is not None:
+                                    source = info.key
+                                    if source not in var_seen:
+                                        variable_node(source, info.name)
+                                        var_seen_add(source)
+                        if source is not None:
+                            reg_entries[(function, result_name)] = source
+                        link_key = (packed, name_id)
+                        if link_key not in link_seen:
+                            reg_link(function, result_name, [name])
+                            link_seen_add(link_key)
+        self._inspected += inspected
 
     # ------------------------------------------------------------------ #
     # Apply: the sequential half (reg maps, binding stacks, the DDG)
@@ -633,6 +1001,93 @@ class DependencyFrontierPass(AnalysisPass):
                 for param_name, arg_info in entries]
             parts = (function, callee, entries)
         self.events.append((tag,) + parts)
+
+    def consume_columns(self, block, start: int, stop: int, region: int,
+                        rows: Optional[List[int]] = None) -> None:
+        """Columnar extract for workers: same events, straight off columns.
+
+        Mirrors :meth:`DependencyPass.consume_columns`, except the outcome
+        is appended as frontier events — with register fallbacks resolved
+        eagerly, as every frontier event requires.
+        """
+        if region != REGION_INSIDE:
+            return
+        strings = block.strings
+        opcode = block.opcode
+        function_id = block.function_id
+        op_start = block.op_start
+        has_result = block.has_result
+        op_flags = block.op_flags
+        op_name_id = block.op_name_id
+        op_address = block.op_address
+        varmap = self.varmap
+        resolve = varmap.resolve
+        kind_of = _COLUMN_KIND
+        append = self.events.append
+        inspected = 0
+        for row in (range(start, stop) if rows is None else rows):
+            kind = kind_of[opcode[row]]
+            if kind == KIND_OTHER:
+                continue
+            lo_slot = op_start[row]
+            hi_slot = op_start[row + 1]
+            result = has_result[row]
+            n_ops = hi_slot - lo_slot - result
+            inspected += 1
+            if kind == KIND_ARITHMETIC:
+                if not result:
+                    continue
+                append((_EV_ARITHMETIC,
+                        strings[function_id[row]],
+                        strings[op_name_id[hi_slot - 1]],
+                        [strings[op_name_id[slot]]
+                         for slot in range(lo_slot, lo_slot + n_ops)
+                         if op_flags[slot] & 1]))
+            elif kind == KIND_LOAD:
+                if not n_ops or not result:
+                    continue
+                info = resolve(op_address[lo_slot])
+                append((_EV_LOAD,
+                        strings[function_id[row]],
+                        strings[op_name_id[hi_slot - 1]],
+                        (info.key, info.name) if info is not None
+                        else strings[op_name_id[lo_slot]]))
+            elif kind == KIND_STORE:
+                if n_ops < 2:
+                    continue
+                info = resolve(op_address[lo_slot + 1])
+                append((_EV_STORE,
+                        strings[function_id[row]],
+                        op_flags[lo_slot] & 1,
+                        strings[op_name_id[lo_slot]],
+                        (info.key, info.name) if info is not None
+                        else strings[op_name_id[lo_slot + 1]]))
+            elif kind == KIND_GEP:
+                if not result:
+                    continue
+                memref = None
+                if n_ops:
+                    info = resolve(op_address[lo_slot])
+                    memref = ((info.key, info.name) if info is not None
+                              else strings[op_name_id[lo_slot]])
+                append((_EV_GEP,
+                        strings[function_id[row]],
+                        strings[op_name_id[hi_slot - 1]],
+                        memref,
+                        [strings[op_name_id[slot]]
+                         for slot in range(lo_slot + 1, lo_slot + n_ops)
+                         if op_flags[slot] & 1]))
+            elif kind == KIND_FORWARDING:
+                if not result:
+                    continue
+                append((_EV_FORWARDING,
+                        strings[function_id[row]],
+                        strings[op_name_id[hi_slot - 1]],
+                        [(strings[op_name_id[slot]],
+                          _resolve_address(varmap, op_address[slot]))
+                         for slot in range(lo_slot, lo_slot + n_ops)
+                         if op_flags[slot] & 1]))
+        self.inspected += inspected
 
     def on_activation(self, callee: str, region: int) -> None:
         if region != REGION_INSIDE:

@@ -54,6 +54,11 @@ from repro.ir.opcodes import (
 )
 from repro.trace.records import GlobalSymbol, TraceRecord
 
+try:  # numpy accelerates the columnar walk's masks; plain loops otherwise
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the list fallbacks
+    _np = None
+
 # --------------------------------------------------------------------------- #
 # Regions and record kinds (plain ints: compared millions of times)
 # --------------------------------------------------------------------------- #
@@ -111,6 +116,31 @@ def _kind_of(opcode: int) -> int:
 #: raw opcode value -> record kind, for every known opcode
 KIND_BY_OPCODE: Dict[int, int] = {int(op): _kind_of(int(op)) for op in Opcode}
 
+_MAX_OPCODE = max(KIND_BY_OPCODE)
+
+#: Opcodes the columnar walk materializes individually (engine actions
+#: mutate the shared map / scope structure mid-stream, so these break the
+#: vectorizable segments); every *other* known opcode stays columnar.
+_SCOPE_KINDS = (KIND_RET, KIND_ALLOCA, KIND_CALL)
+_NONBREAK_OPCODES = frozenset(
+    op for op, kind in KIND_BY_OPCODE.items() if kind not in _SCOPE_KINDS)
+
+#: Mirrors ``repro.static.prefilter._POINTER_OPERAND`` (the static layer
+#: imports this module, so the engine cannot import it back): opcode ->
+#: index of the pointer operand a structured prefilter's tables decide on.
+_COLUMNAR_POINTER_OPERAND = {
+    int(Opcode.LOAD): 0, int(Opcode.STORE): 1, int(Opcode.GETELEMENTPTR): 0}
+_GEP_OPCODE = int(Opcode.GETELEMENTPTR)
+
+if _np is not None:
+    # True where the columnar walk must leave vectorized dispatch: scope
+    # opcodes and every in-range value that is not a known opcode (the
+    # walk clips out-of-range values onto index 0, which is unknown too).
+    _NP_BREAK_LUT = _np.ones(_MAX_OPCODE + 1, dtype=bool)
+    for _op in _NONBREAK_OPCODES:
+        _NP_BREAK_LUT[_op] = False
+    del _op
+
 
 class AnalysisPass:
     """Base class for engine passes; override only the callbacks you need.
@@ -151,6 +181,26 @@ class AnalysisPass:
 
     def on_other(self, record: TraceRecord, region: int) -> None:
         """Any record kind without a dedicated callback (Br, ICmp, ...)."""
+
+    # -- columnar fast path -------------------------------------------- #
+    def consume_columns(self, block, start: int, stop: int, region: int,
+                        rows: Optional[List[int]] = None) -> None:
+        """Optional columnar fast path over one decoded block segment.
+
+        When overridden, the engine's columnar walk calls this **instead
+        of** the per-record kind callbacks for segment rows: consume rows
+        ``[start, stop)`` of ``block`` (a
+        :class:`~repro.trace.columnar.ColumnarBlock`) — or exactly ``rows``
+        (ascending, within that range) when the static prefilter narrowed
+        the segment — with semantics identical to receiving the per-record
+        callbacks for the same records in row order.  Segments never
+        contain ``Alloca`` / ``Call`` / ``Ret`` records (those carry engine
+        actions and always arrive through the per-record callbacks), all
+        rows of a segment share ``region``, and the shared variable map is
+        constant across the segment.  A pass that does not override this
+        keeps its exact per-record behavior via lazily materialized
+        records.
+        """
 
     # -- structural callbacks ------------------------------------------ #
     def on_region_change(self, region: int) -> None:
@@ -269,6 +319,7 @@ class AnalysisEngine:
         # exposing ``make_skip_plan()`` split the decision into a
         # membership-testable always-skip opcode set plus a closure for the
         # rest — the per-record Python call is what the split avoids.
+        self._prefilter_obj = prefilter
         if prefilter is None:
             self._prefilter_skip = None
             self._prefilter_always: frozenset = frozenset()
@@ -280,6 +331,9 @@ class AnalysisEngine:
                 self._prefilter_always = frozenset()
                 self._prefilter_skip = prefilter.should_skip
         self.skipped_records = 0
+        #: per-trace columnar state; built on the first block walked
+        self._col_tables_key: Optional[int] = None
+        self._col_id_of: Dict[str, int] = {}
         self._pending_activation: Optional[str] = None
         self._activation_callbacks = tuple(
             p.on_activation for p in self.passes
@@ -305,6 +359,24 @@ class AnalysisEngine:
         # per-record Opcode(...) construction failed loudly on them and the
         # dispatch table must too (only such records pay this branch).
         self._default_plan: Tuple[int, Tuple[Callable, ...]] = (_ACT_UNKNOWN, ())
+        # Columnar dispatch plan: per pass, its consume_columns override (or
+        # None) plus a per-opcode map of its own record callbacks for the
+        # materializing fallback.
+        self._col_passes: List[Tuple[Optional[Callable],
+                                     Optional[Callable]]] = []
+        for p in self.passes:
+            consume = (p.consume_columns
+                       if type(p).consume_columns
+                       is not AnalysisPass.consume_columns else None)
+            fallback: Dict[int, Callable] = {}
+            if consume is None:
+                for raw, kind in KIND_BY_OPCODE.items():
+                    method_name = _KIND_CALLBACKS[kind]
+                    if (getattr(type(p), method_name)
+                            is not getattr(AnalysisPass, method_name)):
+                        fallback[raw] = getattr(p, method_name)
+            self._col_passes.append(
+                (consume, fallback.get if fallback else None))
 
     # ------------------------------------------------------------------ #
     # Setup
@@ -477,6 +549,318 @@ class AnalysisEngine:
             process(record, record_region)
             index += 1
         return index - base_index
+
+    # ------------------------------------------------------------------ #
+    # Columnar driving
+    # ------------------------------------------------------------------ #
+    def run_columnar(self, blocks) -> EngineWalk:
+        """Walk :class:`~repro.trace.columnar.ColumnarBlock`s once.
+
+        The columnar counterpart of :meth:`run`, with identical observable
+        semantics (regions, scope tracking, prefilter skip counts, error
+        messages): loop-extent detection becomes one vectorized line/
+        function mask per block, region-unresolved spans are buffered as
+        ``(block, lo, hi)`` triples instead of record lists, and segment
+        rows between scope records dispatch through each pass's
+        :meth:`AnalysisPass.consume_columns` fast path (or lazily
+        materialized records for passes without one).
+
+        Args:
+            blocks: the trace's blocks in stream order, e.g. from
+                :meth:`~repro.trace.columnar.TraceColumnarReader.iter_blocks`.
+
+        Returns:
+            The :class:`EngineWalk` shape; passes are finalized.
+
+        Raises:
+            AnalysisError: when no record falls inside the main computation
+                loop range, or a record carries an unknown opcode.
+        """
+        spec = self.spec
+        first_index: Optional[int] = None
+        last_index = -1
+        first_dyn = last_dyn = 0
+        total = 0
+        #: (block, lo, hi) spans whose region a later loop hit must prove
+        pending_spans: List[Tuple] = []
+        self._emit_region(REGION_BEFORE)
+        for block in blocks:
+            self._prepare_columnar(block)
+            spec_fid = block.id_of.get(spec.function, -1)
+            hits = block.loop_rows(spec_fid, spec.start_line, spec.end_line)
+            if not hits:
+                if first_index is None:
+                    self._walk_span(block, 0, block.count, REGION_BEFORE)
+                else:
+                    pending_spans.append((block, 0, block.count))
+            else:
+                first_hit, last_hit = hits[0], hits[-1]
+                if first_index is None:
+                    self._walk_span(block, 0, first_hit, REGION_BEFORE)
+                    first_index = block.base_index + first_hit
+                    first_dyn = int(block.dyn_id_col()[first_hit])
+                    self._emit_region(REGION_INSIDE)
+                    inside_from = first_hit
+                else:
+                    # Everything buffered since the previous loop hit is now
+                    # proven inside the loop's dynamic extent.
+                    for span_block, lo, hi in pending_spans:
+                        self._walk_span(span_block, lo, hi, REGION_INSIDE)
+                    pending_spans.clear()
+                    inside_from = 0
+                self._walk_span(block, inside_from, last_hit + 1,
+                                REGION_INSIDE)
+                last_index = block.base_index + last_hit
+                last_dyn = int(block.dyn_id_col()[last_hit])
+                if last_hit + 1 < block.count:
+                    pending_spans.append((block, last_hit + 1, block.count))
+            total += block.count
+        if first_index is None:
+            raise AnalysisError(
+                f"no trace record falls inside the main computation loop "
+                f"range {spec.mclr} of function {spec.function!r}")
+        # The still-buffered tail is the after region.
+        self._emit_region(REGION_AFTER)
+        for span_block, lo, hi in pending_spans:
+            self._walk_span(span_block, lo, hi, REGION_AFTER)
+        pending_spans.clear()
+        for pass_ in self.passes:
+            pass_.finalize()
+        return EngineWalk(
+            record_count=total,
+            first_index=first_index,
+            last_index=last_index,
+            first_loop_dyn_id=first_dyn,
+            last_loop_dyn_id=last_dyn,
+        )
+
+    def run_indexed_columnar(self, blocks, *, first_index: int,
+                             last_index: int,
+                             pending_activation: Optional[str] = None) -> int:
+        """Columnar counterpart of :meth:`run_indexed` (parallel workers).
+
+        ``blocks`` must carry their global position in ``base_index`` (the
+        columnar reader sets it); each row's region follows from its global
+        index against ``[first_index, last_index]``.  Region-change
+        callbacks fire partition-locally and passes are not finalized,
+        exactly like :meth:`run_indexed`.
+
+        Returns:
+            The number of records processed.
+        """
+        self._pending_activation = pending_activation
+        region: Optional[int] = None
+        processed = 0
+        for block in blocks:
+            self._prepare_columnar(block)
+            base = block.base_index
+            count = block.count
+            spans = (
+                (0, min(count, first_index - base), REGION_BEFORE),
+                (max(0, first_index - base),
+                 min(count, last_index + 1 - base), REGION_INSIDE),
+                (max(0, last_index + 1 - base), count, REGION_AFTER),
+            )
+            for lo, hi, span_region in spans:
+                if lo >= hi:
+                    continue
+                if span_region != region:
+                    region = span_region
+                    self._emit_region(region)
+                self._walk_span(block, lo, hi, span_region)
+            processed += count
+        return processed
+
+    def _prepare_columnar(self, block) -> None:
+        """Build the per-trace columnar tables (id-keyed prefilter sets).
+
+        Keyed on the block's string-table identity: one build per trace,
+        re-entered for free on every subsequent block.
+        """
+        key = id(block.strings)
+        if self._col_tables_key == key:
+            return
+        self._col_tables_key = key
+        self._col_id_of = block.id_of
+        if self._prefilter_skip is None:
+            return
+        always = self._prefilter_always
+        #: opcodes record mode counts as skipped with one membership test
+        count_set = frozenset(
+            op for op, (act, cbs) in self._plan.items()
+            if cbs and op in always)
+        #: opcodes needing the per-record memory decision
+        mem_set = frozenset(
+            op for op, (act, cbs) in self._plan.items()
+            if cbs and op not in always)
+        self._col_count_set = count_set
+        self._col_mem_set = mem_set
+        if _np is not None:
+            count_lut = _np.zeros(_MAX_OPCODE + 1, dtype=_np.int64)
+            mem_lut = _np.zeros(_MAX_OPCODE + 1, dtype=bool)
+            for op in count_set:
+                count_lut[op] = 1
+            for op in mem_set:
+                mem_lut[op] = True
+            self._col_count_lut = count_lut
+            self._col_mem_lut = mem_lut
+        # Structured filters (repro.static.prefilter.StaticPrefilter shape)
+        # expose their raw tables; translating them to string-table ids
+        # turns the per-record decision into two list loads and a frozenset
+        # probe.  Anything else falls back to materializing the candidate
+        # records for its should_skip closure.
+        prefilter = self._prefilter_obj
+        registers = getattr(prefilter, "skip_registers", None)
+        names = getattr(prefilter, "skip_names", None)
+        spec_function = getattr(prefilter, "spec_function", None)
+        include = getattr(prefilter, "include_global_accesses_in_calls", None)
+        self._col_structured = (
+            registers is not None and names is not None
+            and spec_function is not None and include is not None
+            and mem_set <= _COLUMNAR_POINTER_OPERAND.keys())
+        if self._col_structured:
+            id_of = block.id_of
+            self._col_spec_fid = id_of.get(spec_function, -1)
+            self._col_include = include
+            self._col_reg_ids = {
+                id_of[fn]: frozenset(
+                    id_of[n] for n in table if n in id_of)
+                for fn, table in registers.items() if fn in id_of}
+            self._col_name_ids = {
+                id_of[fn]: frozenset(
+                    id_of[n] for n in table if n in id_of)
+                for fn, table in names.items() if fn in id_of}
+
+    def _break_rows(self, block, lo: int, hi: int) -> List[int]:
+        """Rows in ``[lo, hi)`` the walk must materialize individually:
+        scope opcodes (engine actions) and unknown opcodes (loud failure
+        through :meth:`_process`, identical to record mode)."""
+        if _np is not None and block.np_opcode is not None:
+            ops = block.np_opcode[lo:hi]
+            clipped = _np.clip(ops, 0, _MAX_OPCODE)
+            mask = _NP_BREAK_LUT[clipped] | (clipped != ops)
+            return (_np.flatnonzero(mask) + lo).tolist()
+        opcode = block.opcode
+        nonbreak = _NONBREAK_OPCODES
+        return [row for row in range(lo, hi) if opcode[row] not in nonbreak]
+
+    def _walk_span(self, block, lo: int, hi: int, region: int) -> None:
+        """Walk rows ``[lo, hi)`` of one block in a single known region."""
+        if lo >= hi:
+            return
+        record_of = block.record
+        segment_lo = lo
+        for row in self._break_rows(block, lo, hi):
+            if segment_lo < row:
+                self._dispatch_segment(block, segment_lo, row, region)
+            self._process(record_of(row), region)
+            segment_lo = row + 1
+        if segment_lo < hi:
+            self._dispatch_segment(block, segment_lo, hi, region)
+
+    def _dispatch_segment(self, block, lo: int, hi: int,
+                          region: int) -> None:
+        """Dispatch one scope-free segment to every pass, in pass order."""
+        # The record after a Call resolves the activation lookahead; inside
+        # a segment that can only be the first row (Calls break segments).
+        pending = self._pending_activation
+        if pending is not None:
+            self._pending_activation = None
+            if block.function_id[lo] == self._col_id_of.get(pending, -1):
+                self.varmap.enter_scope(pending)
+                for callback in self._activation_callbacks:
+                    callback(pending, region)
+        rows: Optional[List[int]] = None
+        if self._prefilter_skip is not None and region != REGION_INSIDE:
+            rows, skipped = self._columnar_survivors(block, lo, hi, region)
+            self.skipped_records += skipped
+            if not rows:
+                return
+        for consume, fallback_get in self._col_passes:
+            if consume is not None:
+                consume(block, lo, hi, region, rows)
+            elif fallback_get is not None:
+                record_of = block.record
+                opcode = block.opcode
+                for row in (range(lo, hi) if rows is None else rows):
+                    callback = fallback_get(opcode[row])
+                    if callback is not None:
+                        callback(record_of(row), region)
+
+    def _columnar_survivors(self, block, lo: int, hi: int,
+                            region: int) -> Tuple[List[int], int]:
+        """Prefilter one outside-loop segment: (surviving rows, skipped).
+
+        Column translation of record mode's decision: rows whose opcode is
+        always-skippable *and* subscribed count as skipped in bulk; memory
+        rows go through the structured id-table decision (or the filter's
+        own closure over materialized records for non-structured filters);
+        rows without any subscribed callback contribute nothing.
+        """
+        skipped = 0
+        if _np is not None and block.np_opcode is not None:
+            ops = block.np_opcode[lo:hi]
+            skipped = int(self._col_count_lut[ops].sum())
+            memory_rows = (_np.flatnonzero(self._col_mem_lut[ops])
+                           + lo).tolist()
+        else:
+            count_set = self._col_count_set
+            mem_set = self._col_mem_set
+            opcode = block.opcode
+            memory_rows = []
+            for row in range(lo, hi):
+                op = opcode[row]
+                if op in count_set:
+                    skipped += 1
+                elif op in mem_set:
+                    memory_rows.append(row)
+        if not memory_rows:
+            return memory_rows, skipped
+        survivors: List[int] = []
+        keep = survivors.append
+        if not self._col_structured:
+            skip = self._prefilter_skip
+            record_of = block.record
+            for row in memory_rows:
+                if skip(record_of(row), region):
+                    skipped += 1
+                else:
+                    keep(row)
+            return survivors, skipped
+        opcode = block.opcode
+        function_id = block.function_id
+        op_start = block.op_start
+        has_result = block.has_result
+        op_flags = block.op_flags
+        op_name_id = block.op_name_id
+        pointer_operand = _COLUMNAR_POINTER_OPERAND
+        spec_fid = self._col_spec_fid
+        include = self._col_include
+        registers_get = self._col_reg_ids.get
+        names_get = self._col_name_ids.get
+        before = region == REGION_BEFORE
+        gep = _GEP_OPCODE
+        for row in memory_rows:
+            op = opcode[row]
+            fid = function_id[row]
+            if before:
+                if fid != spec_fid and not include:
+                    skipped += 1
+                    continue
+            elif op == gep:
+                skipped += 1
+                continue
+            operand_index = pointer_operand[op]
+            start = op_start[row]
+            if op_start[row + 1] - start - has_result[row] > operand_index:
+                slot = start + operand_index
+                table = (registers_get(fid) if op_flags[slot] & 1
+                         else names_get(fid))
+                if table is not None and op_name_id[slot] in table:
+                    skipped += 1
+                    continue
+            keep(row)
+        return survivors, skipped
 
     def run_region(self, records: Iterable[TraceRecord],
                    region: int = REGION_INSIDE) -> int:

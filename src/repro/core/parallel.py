@@ -60,6 +60,7 @@ from repro.trace.binio import (
     read_layout,
     scan_record_headers,
 )
+from repro.trace.columnar import TraceColumnarReader
 from repro.trace.partition import RecordRange, partition_records
 from repro.util.timing import TimingBreakdown
 
@@ -224,7 +225,8 @@ def _mli_owner_candidate(spec_function: str, info: VariableInfo) -> bool:
 def analyze_partition(path: str, spec: MainLoopSpec, seed: PartitionSeed,
                       first_index: int, last_index: int,
                       include_global_accesses_in_calls: bool,
-                      need_probe: bool) -> PartitionOutcome:
+                      need_probe: bool,
+                      decode: str = "columnar") -> PartitionOutcome:
     """Phase 2 worker: run the full fused pass walk over one partition.
 
     Runs in a worker process (or inline for single-partition runs): seeds
@@ -232,6 +234,11 @@ def analyze_partition(path: str, spec: MainLoopSpec, seed: PartitionSeed,
     via the block index, and returns the partition's pass states — with the
     (potentially large) seeded variable map detached, since the coordinator
     merges against the phase-1 map instead.
+
+    ``decode`` picks the partition's consumption strategy: ``"columnar"``
+    (default) decodes the record range as column blocks and drives
+    :meth:`~repro.core.engine.AnalysisEngine.run_indexed_columnar`;
+    ``"records"`` streams per-record objects through ``run_indexed``.
     """
     from repro.core.pipeline import InductionProbePass
 
@@ -248,12 +255,20 @@ def analyze_partition(path: str, spec: MainLoopSpec, seed: PartitionSeed,
         probe = InductionProbePass(varmap, spec)
         passes.append(probe)
     engine = AnalysisEngine(spec, passes, variable_map=varmap)
-    reader = TraceBinaryReader(path)
-    records = islice(reader.iter_records(start_record=seed.start),
-                     seed.end - seed.start)
-    processed = engine.run_indexed(
-        records, base_index=seed.start, first_index=first_index,
-        last_index=last_index, pending_activation=seed.pending_activation)
+    if decode == "columnar":
+        with TraceColumnarReader(path) as reader:
+            processed = engine.run_indexed_columnar(
+                reader.iter_blocks(start_record=seed.start,
+                                   end_record=seed.end),
+                first_index=first_index, last_index=last_index,
+                pending_activation=seed.pending_activation)
+    else:
+        reader = TraceBinaryReader(path)
+        records = islice(reader.iter_records(start_record=seed.start),
+                         seed.end - seed.start)
+        processed = engine.run_indexed(
+            records, base_index=seed.start, first_index=first_index,
+            last_index=last_index, pending_activation=seed.pending_activation)
     for pass_ in passes:
         pass_.varmap = None  # don't ship the seeded map back
     return PartitionOutcome(index=seed.index, processed=processed, mli=mli,
@@ -282,6 +297,7 @@ def run_parallel_fused(path: str, spec: MainLoopSpec, *,
                        need_probe: bool = False,
                        boundaries: Optional[Sequence[int]] = None,
                        timings: Optional[TimingBreakdown] = None,
+                       decode: str = "columnar",
                        ) -> ParallelWalkResult:
     """Run the fused analysis sharded over partitions of a binary trace.
 
@@ -300,6 +316,9 @@ def run_parallel_fused(path: str, spec: MainLoopSpec, *,
             boundaries).
         timings: breakdown to record the ``scope_scan`` / ``parallel_walk``
             / ``merge`` stages into.
+        decode: per-worker consumption strategy (``"columnar"`` decodes the
+            partition as column blocks, ``"records"`` streams per-record
+            objects); the merged report is identical either way.
 
     Returns:
         The merged pass states plus the walk shape — everything the report
@@ -342,7 +361,8 @@ def run_parallel_fused(path: str, spec: MainLoopSpec, *,
             outcomes = [
                 analyze_partition(path, spec, seed, walk.first_index,
                                   walk.last_index,
-                                  include_global_accesses_in_calls, need_probe)
+                                  include_global_accesses_in_calls, need_probe,
+                                  decode)
                 for seed in seeds]
         else:
             with ProcessPoolExecutor(
@@ -351,7 +371,7 @@ def run_parallel_fused(path: str, spec: MainLoopSpec, *,
                     executor.submit(analyze_partition, path, spec, seed,
                                     walk.first_index, walk.last_index,
                                     include_global_accesses_in_calls,
-                                    need_probe)
+                                    need_probe, decode)
                     for seed in seeds]
                 outcomes = [future.result() for future in futures]
     timings.add_count("parallel_walk", walk.record_count)

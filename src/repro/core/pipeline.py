@@ -55,12 +55,19 @@ from repro.core.report import (
 from repro.core.rwdeps import RWExtractionPass, extract_rw_dependencies
 from repro.core.varmap import VariableInfo, VariableMap
 from repro.ir.module import Module
+from repro.ir.opcodes import Opcode
 from repro.static.prefilter import StaticPrefilter, build_prefilter
 from repro.static.summary import StaticModuleAnalysis, analyze_module
+from repro.trace.binio import is_binary_trace_file
+from repro.trace.columnar import TraceColumnarReader
 from repro.trace.partition import read_trace_file_parallel
 from repro.trace.records import TraceRecord, Trace
 from repro.trace.textio import iter_trace_records, read_preamble, read_trace_file
 from repro.util.timing import TimingBreakdown
+
+
+_PROBE_LOAD = int(Opcode.LOAD)
+_PROBE_STORE = int(Opcode.STORE)
 
 
 class InductionProbePass(AnalysisPass):
@@ -104,6 +111,49 @@ class InductionProbePass(AnalysisPass):
 
     def on_store(self, record: TraceRecord, region: int) -> None:
         self._probe(record, region, 1, self.written)
+
+    def consume_columns(self, block, start: int, stop: int, region: int,
+                        rows=None) -> None:
+        """Columnar :meth:`_probe`: same gates, straight off the columns."""
+        if region != REGION_INSIDE:
+            return
+        spec = self.spec
+        spec_fid = block.id_of.get(spec.function, -1)
+        spec_line = spec.start_line
+        line = block.line
+        opcode = block.opcode
+        function_id = block.function_id
+        op_start = block.op_start
+        has_result = block.has_result
+        op_address = block.op_address
+        resolve = self.varmap.resolve
+        if rows is None:
+            # Vectorized preselection: only the spec function's load/store
+            # rows on the loop's start line can probe.
+            rows = block.span_rows_matching(
+                start, stop, _PROBE_LOAD, _PROBE_STORE,
+                function_id=spec_fid, line=spec_line)
+        for row in rows:
+            if line[row] != spec_line or function_id[row] != spec_fid:
+                continue
+            op = opcode[row]
+            if op == _PROBE_LOAD:
+                operand_index = 0
+                sink = self.read
+            elif op == _PROBE_STORE:
+                operand_index = 1
+                sink = self.written
+            else:
+                continue
+            lo_slot = op_start[row]
+            if op_start[row + 1] - lo_slot - has_result[row] <= operand_index:
+                continue
+            info = resolve(op_address[lo_slot + operand_index])
+            if info is None:
+                continue
+            if not (info.is_global or info.function == spec.function):
+                continue
+            sink[info.name] = info
 
     def pick(self) -> Tuple[Optional[str], Optional[VariableInfo]]:
         """The detected induction variable: both read and written at the
@@ -159,6 +209,20 @@ class AutoCheck:
         return (self.config.streaming_preprocessing
                 and self._trace is None
                 and self._trace_path is not None)
+
+    def _use_columnar(self) -> bool:
+        """True when the fused engine should consume columnar blocks.
+
+        The columnar decoder serves block-indexed binary trace *files*
+        only; in-memory traces, text traces and an explicitly requested
+        parallel pre-processing read keep the classic record walk (the
+        ``decode`` knob documents the silent fallback).
+        """
+        return (self.config.decode == "columnar"
+                and self._trace is None
+                and self._trace_path is not None
+                and not self.config.parallel_preprocessing
+                and is_binary_trace_file(self._trace_path))
 
     def _static_induction_name(self) -> Optional[str]:
         """The induction variable from the static loop analysis over the IR
@@ -308,8 +372,16 @@ class AutoCheck:
             induction_name = self._static_induction_name()
 
         trace: Optional[Trace] = None
+        records = None
+        reader: Optional[TraceColumnarReader] = None
         with timings.stage("preprocessing"):
-            if use_streaming:
+            if self._use_columnar():
+                # Columnar decode: the stage costs one footer parse; the
+                # record blocks stream through the walk itself.
+                assert self._trace_path is not None
+                reader = TraceColumnarReader(self._trace_path)
+                globals_ = reader.layout.globals
+            elif use_streaming:
                 assert self._trace_path is not None
                 _, globals_ = read_preamble(self._trace_path)
                 records = iter_trace_records(self._trace_path)
@@ -348,7 +420,13 @@ class AutoCheck:
                                 prefilter=prefilter)
         engine.add_globals(globals_)
         with timings.stage("fused_analysis"):
-            walk = engine.run(records)
+            if reader is not None:
+                try:
+                    walk = engine.run_columnar(reader.iter_blocks())
+                finally:
+                    reader.close()
+            else:
+                walk = engine.run(records)
         timings.add_count("fused_analysis", walk.record_count)
 
         report = self._assemble_fused_report(
@@ -448,7 +526,8 @@ class AutoCheck:
             include_global_accesses_in_calls=(
                 config.include_global_accesses_in_calls),
             need_probe=induction_name is None,
-            timings=timings)
+            timings=timings,
+            decode=config.decode)
 
         return self._assemble_fused_report(
             timings, spec, result.varmap, result.walk, result.global_count,

@@ -31,11 +31,22 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.core.config import MainLoopSpec
-from repro.core.engine import REGION_AFTER, AnalysisPass
+from repro.core.engine import (
+    _COLUMNAR_POINTER_OPERAND,
+    REGION_AFTER,
+    AnalysisPass,
+)
 from repro.core.errors import AnalysisError
 from repro.core.varmap import VariableInfo, VariableMap, build_variable_map
 from repro.trace.records import Trace, TraceRecord
 from repro.trace.textio import iter_trace_records, read_preamble
+
+#: memo-miss sentinel (``None`` is a valid resolution outcome)
+_MISS = object()
+
+#: the opcodes that carry a pointer operand — what the columnar MLI sweep
+#: preselects on
+_POINTER_OPCODES = tuple(_COLUMNAR_POINTER_OPERAND)
 
 
 @dataclass
@@ -329,6 +340,9 @@ class MLICollectionPass(AnalysisPass):
         self.before_vars: Dict[str, VariableInfo] = {}
         self.inside_vars: Dict[str, VariableInfo] = {}
         self.mli_variables: List[MLIVariable] = []
+        #: columnar resolution memo + the map revision it is valid for
+        self._col_memo: Dict = {}
+        self._col_memo_rev = -1
 
     def _collect(self, record: TraceRecord, region: int,
                  operand_index: int) -> None:
@@ -363,6 +377,68 @@ class MLICollectionPass(AnalysisPass):
 
     def on_store(self, record: TraceRecord, region: int) -> None:
         self._collect(record, region, 1)
+
+    def consume_columns(self, block, start: int, stop: int, region: int,
+                        rows: Optional[List[int]] = None) -> None:
+        """Columnar :meth:`_collect`: same gates, straight off the columns."""
+        if region == REGION_AFTER:
+            return
+        opcode = block.opcode
+        function_id = block.function_id
+        op_start = block.op_start
+        has_result = block.has_result
+        op_address = block.op_address
+        resolve = self.varmap.resolve
+        pointer_operand = _COLUMNAR_POINTER_OPERAND.get
+        spec_function = self.spec.function
+        spec_fid = block.id_of.get(spec_function, -1)
+        include = self.include_global_accesses_in_calls
+        sink = self.inside_vars if region else self.before_vars
+        # Per-address resolutions memoize while the live map's revision is
+        # unchanged (only scope records between segments can mutate it;
+        # the revision check at segment entry catches exactly those).
+        memo = self._col_memo
+        if self._col_memo_rev != self.varmap.revision:
+            self._col_memo_rev = self.varmap.revision
+            memo.clear()
+        memo_get = memo.get
+        miss = _MISS
+        if rows is None:
+            # Vectorized preselection: only load/gep/store rows can
+            # collect, and without the global-access switch only the spec
+            # function's — the same pure filters the loop body applies.
+            rows = block.span_rows_matching(
+                start, stop, *_POINTER_OPCODES,
+                function_id=None if include else spec_fid)
+        for row in rows:
+            operand_index = pointer_operand(opcode[row])
+            if operand_index is None:
+                continue
+            fid = function_id[row]
+            if fid != spec_fid and not include:
+                # Gates reordered from _collect (pure filters — the sink
+                # outcome is identical): a foreign-function record can only
+                # survive through the global-access switch, so the common
+                # case resolves nothing at all.
+                continue
+            lo_slot = op_start[row]
+            if op_start[row + 1] - lo_slot - has_result[row] <= operand_index:
+                continue
+            address = op_address[lo_slot + operand_index]
+            if address is None:
+                continue
+            info = memo_get(address, miss)
+            if info is miss:
+                info = resolve(address)
+                memo[address] = info
+            if info is None:
+                continue
+            if not (info.is_global or info.function == spec_function):
+                continue
+            if fid != spec_fid and not (include and info.is_global):
+                continue
+            if info.key not in sink:
+                sink[info.key] = info
 
     def finalize(self) -> None:
         self.mli_variables = _match_mli(self.before_vars, self.inside_vars)

@@ -36,7 +36,14 @@ from typing import Callable, Container, Dict, List, Optional, Set
 from repro.core.engine import REGION_AFTER, REGION_INSIDE, AnalysisPass
 from repro.core.preprocessing import PreprocessingResult
 from repro.core.varmap import VariableMap
+from repro.ir.opcodes import Opcode
 from repro.trace.records import TraceRecord
+
+_LOAD = int(Opcode.LOAD)
+_STORE = int(Opcode.STORE)
+
+#: memo-miss sentinel (``None`` is a valid resolution outcome)
+_MISS = object()
 
 
 class AccessKind(enum.Enum):
@@ -108,6 +115,10 @@ class RWExtractionPass(AnalysisPass):
         self._owner_filter = owner_filter
         self._loop: List[AccessEvent] = []
         self._post: List[AccessEvent] = []
+        #: columnar per-address decision memo + the map revision it is
+        #: valid for
+        self._col_memo: Dict = {}
+        self._col_memo_rev = -1
 
     def _record(self, record: TraceRecord, region: int,
                 kind: "AccessKind", operand_index: int) -> None:
@@ -145,6 +156,85 @@ class RWExtractionPass(AnalysisPass):
 
     def on_store(self, record: TraceRecord, region: int) -> None:
         self._record(record, region, AccessKind.WRITE, 1)
+
+    def consume_columns(self, block, start: int, stop: int, region: int,
+                        rows: Optional[List[int]] = None) -> None:
+        """Columnar :meth:`_record`: same gates, straight off the columns."""
+        if region == REGION_INSIDE:
+            sink = self._loop
+        elif region == REGION_AFTER:
+            sink = self._post
+        else:
+            return
+        strings = block.strings
+        # numpy-backed when the list was never materialized; every emitted
+        # event wraps its element in int() either way (a no-op for ints).
+        dyn_id = block.dyn_id_col()
+        opcode = block.opcode
+        line = block.line
+        function_id = block.function_id
+        op_start = block.op_start
+        has_result = block.has_result
+        op_address = block.op_address
+        resolve_access = self.varmap.resolve_access
+        candidates = self._candidates
+        owner_filter = self._owner_filter
+        append = sink.append
+        load = _LOAD
+        store = _STORE
+        # The *whole* per-address decision memoizes: the candidate set is
+        # complete before the first inside record and the owner filter is
+        # a pure predicate of the resolved info, so skip-or-emit is a
+        # function of the address alone — valid while the live map's
+        # revision is unchanged (only scope records between segments can
+        # mutate it; the revision check catches exactly those).
+        memo = self._col_memo
+        if self._col_memo_rev != self.varmap.revision:
+            self._col_memo_rev = self.varmap.revision
+            memo.clear()
+        memo_get = memo.get
+        miss = _MISS
+        if rows is None:
+            # Vectorized preselection: only load/store rows matter here,
+            # so sweep just those instead of testing every record.
+            rows = block.span_rows_matching(start, stop, load, store)
+        for row in rows:
+            op = opcode[row]
+            if op == load:
+                kind = AccessKind.READ
+                operand_index = 0
+            elif op == store:
+                kind = AccessKind.WRITE
+                operand_index = 1
+            else:
+                continue
+            lo_slot = op_start[row]
+            if op_start[row + 1] - lo_slot - has_result[row] <= operand_index:
+                continue
+            address = op_address[lo_slot + operand_index]
+            hit = memo_get(address, miss)
+            if hit is miss:
+                resolved = resolve_access(address)
+                hit = None
+                if resolved is not None:
+                    info, element_offset = resolved
+                    if ((candidates is None or info.key in candidates)
+                            and (owner_filter is None
+                                 or owner_filter(info))):
+                        hit = (info.key, info.name, element_offset)
+                memo[address] = hit
+            if hit is None:
+                continue
+            variable, name, element_offset = hit
+            append(AccessEvent(
+                dyn_id=int(dyn_id[row]),
+                variable=variable,
+                name=name,
+                kind=kind,
+                line=line[row],
+                function=strings[function_id[row]],
+                element_offset=element_offset,
+            ))
 
     def merge(self, other: "RWExtractionPass") -> None:
         """Append a partition's tentative events (parallel fused engine).

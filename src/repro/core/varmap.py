@@ -134,6 +134,9 @@ class VariableMap:
         # registration is kept alive in ``_intervals``).
         self._shadow_undo: Dict[int, List[Tuple[int, int, VariableInfo]]] = {}
         self._retired_ids: set = set()
+        #: bumped on every change that can alter address resolution — the
+        #: columnar passes key their cross-segment resolution memos on it
+        self.revision = 0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -231,6 +234,7 @@ class VariableMap:
         resolves over its full extent again once the shadower's scope
         closes.
         """
+        self.revision += 1
         self._retired_ids.add(id(info))
         index = bisect_left(self._seg_starts, info.base_address)
         while (index < len(self._seg_starts)
@@ -275,6 +279,7 @@ class VariableMap:
         clone._shadow_undo = {owner_id: list(pieces)
                               for owner_id, pieces in self._shadow_undo.items()}
         clone._retired_ids = set(self._retired_ids)
+        clone.revision = self.revision
         return clone
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -326,11 +331,13 @@ class VariableMap:
                 for start, end, piece_index in pieces]
             for owner_index, pieces in state["shadow_undo"].items()}
         self._retired_ids = {id(infos[index]) for index in state["retired"]}
+        self.revision = 0
 
     # ------------------------------------------------------------------ #
     # Segment store
     # ------------------------------------------------------------------ #
     def _insert_segment(self, start: int, end: int, owner: VariableInfo) -> None:
+        self.revision += 1
         starts, ends, owners = self._seg_starts, self._seg_ends, self._seg_owners
         shadowed: List[Tuple[int, int, VariableInfo]] = []
         index = bisect_left(starts, start)

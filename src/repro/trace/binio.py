@@ -334,6 +334,84 @@ def _read_exact(handle: IO[bytes], count: int,
     return data
 
 
+# Footers of same-shaped traces share one compiled Struct for the block
+# index; an f-string format would recompile it on every read_layout call.
+_BLOCK_OFFSETS_STRUCTS: dict = {}
+
+
+def _block_offsets_struct(entry_count: int) -> struct.Struct:
+    layout = _BLOCK_OFFSETS_STRUCTS.get(entry_count)
+    if layout is None:
+        layout = struct.Struct(f"<{entry_count}Q")
+        _BLOCK_OFFSETS_STRUCTS[entry_count] = layout
+    return layout
+
+
+def _parse_footer(footer: bytes, version: int, module_name: str,
+                  records_start: int, footer_offset: int,
+                  name: str) -> BinaryTraceLayout:
+    """Decode the footer bytes into a :class:`BinaryTraceLayout`.
+
+    The working ``memoryview`` is released deterministically on every exit
+    path so callers handing in a slice of an ``mmap`` can close the mapping
+    immediately afterwards.
+    """
+    view = memoryview(footer)
+    try:
+        if view[:4].tobytes() != FOOTER_MAGIC:
+            raise BinaryTraceError(f"{name!r}: corrupt binary trace footer")
+        position = 4
+        (global_count,) = _U32.unpack_from(view, position)
+        position += 4
+        globals_: List[GlobalSymbol] = []
+        for _ in range(global_count):
+            (name_len,) = _U16.unpack_from(view, position)
+            position += 2
+            symbol_name = (view[position:position + name_len].tobytes()
+                           .decode("utf-8"))
+            position += name_len
+            (address, size_bytes, element_bits,
+             is_array) = _GLOBAL_FIXED.unpack_from(view, position)
+            position += _GLOBAL_FIXED.size
+            globals_.append(GlobalSymbol(name=symbol_name, address=address,
+                                         size_bytes=size_bytes,
+                                         element_bits=element_bits,
+                                         is_array=bool(is_array)))
+        (string_count,) = _U32.unpack_from(view, position)
+        position += 4
+        strings: List[str] = []
+        for _ in range(string_count):
+            (text_len,) = _U16.unpack_from(view, position)
+            position += 2
+            strings.append(view[position:position + text_len].tobytes()
+                           .decode("utf-8"))
+            position += text_len
+        (index_stride,) = _U32.unpack_from(view, position)
+        position += 4
+        (record_count,) = _U64.unpack_from(view, position)
+        position += 8
+        (entry_count,) = _U32.unpack_from(view, position)
+        position += 4
+        block_offsets = list(
+            _block_offsets_struct(entry_count).unpack_from(view, position))
+        position += 8 * entry_count
+        content_digest: Optional[str] = None
+        if version >= 2:
+            (digest_len,) = _U8.unpack_from(view, position)
+            position += 1
+            content_digest = (view[position:position + digest_len]
+                              .tobytes().hex())
+    finally:
+        view.release()
+    return BinaryTraceLayout(module_name=module_name, globals=globals_,
+                             strings=strings, index_stride=index_stride,
+                             record_count=record_count,
+                             block_offsets=block_offsets,
+                             records_start=records_start,
+                             records_end=footer_offset,
+                             content_digest=content_digest)
+
+
 def read_layout(path: str) -> BinaryTraceLayout:
     """Read the header and footer (globals + string table + index).
 
@@ -364,55 +442,48 @@ def read_layout(path: str) -> BinaryTraceLayout:
                 f"(file truncated or still being written)")
         handle.seek(footer_offset)
         footer = handle.read(file_size - _TRAILER.size - footer_offset)
+    return _parse_footer(footer, version, module_name, records_start,
+                         footer_offset, path)
 
-    view = memoryview(footer)
-    if view[:4].tobytes() != FOOTER_MAGIC:
-        raise BinaryTraceError(f"{path!r}: corrupt binary trace footer")
-    position = 4
-    (global_count,) = _U32.unpack_from(view, position)
-    position += 4
-    globals_: List[GlobalSymbol] = []
-    for _ in range(global_count):
-        (name_len,) = _U16.unpack_from(view, position)
-        position += 2
-        name = view[position:position + name_len].tobytes().decode("utf-8")
-        position += name_len
-        address, size_bytes, element_bits, is_array = _GLOBAL_FIXED.unpack_from(
-            view, position)
-        position += _GLOBAL_FIXED.size
-        globals_.append(GlobalSymbol(name=name, address=address,
-                                     size_bytes=size_bytes,
-                                     element_bits=element_bits,
-                                     is_array=bool(is_array)))
-    (string_count,) = _U32.unpack_from(view, position)
-    position += 4
-    strings: List[str] = []
-    for _ in range(string_count):
-        (text_len,) = _U16.unpack_from(view, position)
-        position += 2
-        strings.append(view[position:position + text_len].tobytes()
+
+def layout_from_buffer(buffer, name: Optional[str] = None,
+                       ) -> BinaryTraceLayout:
+    """Parse the layout from an already-open whole-file buffer / ``mmap``.
+
+    The warm-path counterpart of :func:`read_layout`: callers that just
+    wrote a trace (or hold it mapped) hand the bytes straight back to a
+    reader without reopening the file or re-reading the footer from disk.
+    ``name`` labels error messages (defaults to ``"<buffer>"``).
+    """
+    name = name or "<buffer>"
+    view = memoryview(buffer)
+    try:
+        file_size = len(view)
+        if file_size < _HEADER.size:
+            raise BinaryTraceError(f"truncated binary trace file {name!r}")
+        magic, version, _, name_len = _HEADER.unpack_from(view, 0)
+        if magic != BINARY_MAGIC:
+            raise BinaryTraceError(f"{name!r} is not a binary trace file")
+        if version not in SUPPORTED_VERSIONS:
+            raise BinaryTraceError(
+                f"{name!r}: unsupported binary trace version {version} "
+                f"(supported: {SUPPORTED_VERSIONS})")
+        records_start = _HEADER.size + name_len
+        if file_size < records_start + _TRAILER.size:
+            raise BinaryTraceError(f"truncated binary trace file {name!r}")
+        module_name = (view[_HEADER.size:records_start].tobytes()
                        .decode("utf-8"))
-        position += text_len
-    (index_stride,) = _U32.unpack_from(view, position)
-    position += 4
-    (record_count,) = _U64.unpack_from(view, position)
-    position += 8
-    (entry_count,) = _U32.unpack_from(view, position)
-    position += 4
-    block_offsets = list(struct.unpack_from(f"<{entry_count}Q", view, position))
-    position += 8 * entry_count
-    content_digest: Optional[str] = None
-    if version >= 2:
-        (digest_len,) = _U8.unpack_from(view, position)
-        position += 1
-        content_digest = view[position:position + digest_len].tobytes().hex()
-    return BinaryTraceLayout(module_name=module_name, globals=globals_,
-                             strings=strings, index_stride=index_stride,
-                             record_count=record_count,
-                             block_offsets=block_offsets,
-                             records_start=records_start,
-                             records_end=footer_offset,
-                             content_digest=content_digest)
+        footer_offset, trailer = _TRAILER.unpack_from(
+            view, file_size - _TRAILER.size)
+        if trailer != TRAILER_MAGIC:
+            raise BinaryTraceError(
+                f"{name!r}: missing binary trace trailer "
+                f"(file truncated or still being written)")
+        footer = view[footer_offset:file_size - _TRAILER.size].tobytes()
+    finally:
+        view.release()
+    return _parse_footer(footer, version, module_name, records_start,
+                         footer_offset, name)
 
 
 def read_preamble_binary(path: str) -> Tuple[str, List[GlobalSymbol]]:
@@ -528,12 +599,25 @@ def decode_record_range(buf, start: int, end: int,
 # Readers
 # --------------------------------------------------------------------------- #
 class TraceBinaryReader:
-    """Read a binary trace back into memory, serially or record by record."""
+    """Read a binary trace back into memory, serially or record by record.
 
-    def __init__(self, path: str,
-                 layout: Optional[BinaryTraceLayout] = None) -> None:
+    Accepts either a ``path`` or an already-open whole-file ``buffer`` /
+    ``mmap`` (optionally with a pre-read ``layout``), so warm re-reads
+    within one process — e.g. ``analyze-batch`` generating a trace and
+    immediately analyzing it — skip the reopen and the footer re-parse.
+    """
+
+    def __init__(self, path: Optional[str] = None,
+                 layout: Optional[BinaryTraceLayout] = None,
+                 buffer=None) -> None:
+        if (path is None) and (buffer is None):
+            raise ValueError("pass a path or an already-open buffer")
         self.path = path
-        self.layout = layout or read_layout(path)
+        self._buffer = buffer
+        if layout is None:
+            layout = (layout_from_buffer(buffer, name=path)
+                      if buffer is not None else read_layout(path))
+        self.layout = layout
 
     def read(self) -> Trace:
         """Decode the whole file into an in-memory :class:`Trace`.
@@ -543,11 +627,15 @@ class TraceBinaryReader:
             order.
         """
         layout = self.layout
-        with open(self.path, "rb") as handle:
-            handle.seek(layout.records_start)
-            buf = _read_exact(handle,
-                              layout.records_end - layout.records_start)
-        records = decode_record_range(buf, 0, len(buf), layout.strings)
+        if self._buffer is not None:
+            records = decode_record_range(self._buffer, layout.records_start,
+                                          layout.records_end, layout.strings)
+        else:
+            with open(self.path, "rb") as handle:
+                handle.seek(layout.records_start)
+                buf = _read_exact(handle,
+                                  layout.records_end - layout.records_start)
+            records = decode_record_range(buf, 0, len(buf), layout.strings)
         return Trace(module_name=layout.module_name,
                      globals=list(layout.globals), records=records)
 
@@ -555,12 +643,25 @@ class TraceBinaryReader:
                      chunk_bytes: int = 1 << 20) -> Iterator[TraceRecord]:
         """Yield records starting at ``start_record`` with bounded memory.
 
-        The block index makes the initial seek O(1); the file is then
+        The block index makes the initial seek O(1); a file source is then
         decoded in ``chunk_bytes`` slices so multi-hundred-MB traces never
-        have to be resident at once.
+        have to be resident at once (an in-memory ``buffer`` source is
+        decoded in place).
         """
         layout = self.layout
         offset, skip = layout.seek_position(start_record)
+        if self._buffer is not None:
+            buf = self._buffer
+            position = offset
+            end = layout.records_end
+            strings = layout.strings
+            while position < end:
+                record, position = _decode_record(buf, position, strings)
+                if skip > 0:
+                    skip -= 1
+                    continue
+                yield record
+            return
         with open(self.path, "rb") as handle:
             handle.seek(offset)
             to_read = layout.records_end - offset

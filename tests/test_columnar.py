@@ -1,0 +1,257 @@
+"""The columnar block decoder and the engines' columnar walk.
+
+Three layers of evidence pin the columnar fast path down:
+
+1. **Decode equivalence** — the columns (and lazily materialized records)
+   of :class:`repro.trace.columnar.TraceColumnarReader` match the
+   per-record :class:`repro.trace.binio.TraceBinaryReader` walk exactly:
+   property-tested on randomized round-tripped traces (hypothesis, reusing
+   the binary-roundtrip strategies), and deterministically on traces large
+   enough to exercise the numpy lockstep scan, the big-integer fallback
+   and arbitrary ``start_record`` / ``end_record`` windows.
+2. **Report equivalence, fleet-wide** — ``decode="columnar"`` produces the
+   same full report as ``decode="records"`` on every registered benchmark
+   (plus the synthetic ``bigarray`` stress app), under the fused *and* the
+   parallel engine, with the static prefilter off *and* on (including
+   identical skip counts).
+3. **Fallback contract** — inputs the columnar reader cannot serve
+   (in-memory traces, text traces) silently keep the record walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from test_engine_fused import _assert_reports_equal
+from test_property_based import _binary_record_strategy
+
+from repro.apps import all_apps, get_app
+from repro.codegen.lowering import compile_source
+from repro.core import AutoCheck, AutoCheckConfig
+from repro.trace.binio import TraceBinaryReader, write_trace_file_binary
+from repro.trace.columnar import TraceColumnarReader
+from repro.trace.records import (
+    GlobalSymbol,
+    Trace,
+    TraceOperand,
+    TraceRecord,
+)
+from repro.tracer.driver import trace_to_file
+
+
+# --------------------------------------------------------------------------- #
+# Decode equivalence: columns == per-record reader
+# --------------------------------------------------------------------------- #
+def _assert_block_matches(block, records):
+    """Every column of ``block`` agrees with the corresponding records."""
+    strings = block.strings
+    for row in range(block.count):
+        reference = records[block.base_index + row]
+        assert block.dyn_id[row] == reference.dyn_id
+        assert block.opcode[row] == reference.opcode
+        assert block.line[row] == reference.line
+        assert strings[block.function_id[row]] == reference.function
+        assert strings[block.callee_id[row]] == reference.callee
+        assert bool(block.has_result[row]) == (reference.result is not None)
+        slots = list(reference.operands)
+        if reference.result is not None:
+            slots.append(reference.result)
+        lo = block.op_start[row]
+        assert block.op_start[row + 1] - lo == len(slots)
+        for offset, operand in enumerate(slots):
+            assert bool(block.op_flags[lo + offset] & 1) == operand.is_register
+            assert strings[block.op_name_id[lo + offset]] == operand.name
+            assert block.op_address[lo + offset] == operand.address
+        # lazy materialization returns the full record, field for field
+        assert block.record(row) == reference
+
+
+def _assert_columnar_equals_records(path, start=0, end=None,
+                                    chunk_records=None):
+    reader = TraceBinaryReader(path)
+    records = list(reader.iter_records())
+    stop = len(records) if end is None else min(end, len(records))
+    with TraceColumnarReader(path) as columnar:
+        kwargs = {}
+        if chunk_records is not None:
+            kwargs["chunk_records"] = chunk_records
+        covered = start
+        for block in columnar.iter_blocks(start_record=start, end_record=end,
+                                          **kwargs):
+            assert block.base_index == covered
+            _assert_block_matches(block, records)
+            covered += block.count
+    assert covered == max(start, stop)
+
+
+@given(st.lists(_binary_record_strategy, max_size=30))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_columnar_decode_equals_records_property(tmp_path_factory, records):
+    """Columnar decode ≡ per-record decode on arbitrary round-tripped
+    traces (multi-byte names, commas/newlines, >64-bit integers, floats,
+    address-less operands — everything the binary encoding admits)."""
+    trace = Trace(module_name="col,prop",
+                  globals=[GlobalSymbol("g", 0x1000, 16, 64, True)],
+                  records=records)
+    path = str(tmp_path_factory.mktemp("col") / "prop.btrace")
+    write_trace_file_binary(trace, path)
+    _assert_columnar_equals_records(path)
+
+
+def _synthetic_record(index, big_int_rows=()):
+    """A varied record: opcode/operand mix cycles with ``index``."""
+    operands = []
+    for position in range((index % 4)):
+        value = 2 ** 80 + index if index in big_int_rows else index * 3 + position
+        operands.append(TraceOperand(
+            index=str(position + 1), bits=64,
+            value=value if position % 2 == 0 else float(position) / 2,
+            is_register=position % 2 == 0,
+            name=f"op{position}_{index % 7}",
+            address=0x2000 + index * 8 if position == 0 else None))
+    result = None
+    if index % 3 == 0:
+        result = TraceOperand(index="r", bits=64, value=index,
+                              is_register=True, name=f"r{index % 5}")
+    return TraceRecord(
+        dyn_id=index + 1, opcode=26 + (index % 5),
+        opcode_name=f"Op{index % 5}", function=f"fn{index % 3}",
+        line=10 + (index % 20), column=index % 9, bb_label=index % 4,
+        bb_id=f"{index % 4}:0", operands=operands, result=result,
+        callee="callee" if index % 11 == 0 else "")
+
+
+@pytest.fixture(scope="module")
+def lockstep_trace(tmp_path_factory):
+    """600 records: two full index blocks (numpy lockstep) + partial tail."""
+    records = [_synthetic_record(index) for index in range(600)]
+    path = str(tmp_path_factory.mktemp("col") / "lockstep.btrace")
+    write_trace_file_binary(Trace(module_name="lockstep", records=records),
+                            path)
+    return path
+
+
+def test_columnar_lockstep_scan_equals_records(lockstep_trace):
+    _assert_columnar_equals_records(lockstep_trace)
+
+
+def test_columnar_small_chunks_equal_records(lockstep_trace):
+    """Chunking must not change the columns, only the block boundaries."""
+    _assert_columnar_equals_records(lockstep_trace, chunk_records=256)
+
+
+def test_columnar_bigint_fallback_equals_records(tmp_path_factory):
+    """A >64-bit operand value aborts the lockstep chunk to the Python
+    scan; the columns must come out identical anyway."""
+    records = [_synthetic_record(index, big_int_rows={3, 300})
+               for index in range(600)]
+    path = str(tmp_path_factory.mktemp("col") / "bigint.btrace")
+    write_trace_file_binary(Trace(module_name="bigint", records=records),
+                            path)
+    _assert_columnar_equals_records(path)
+
+
+@given(st.integers(min_value=0, max_value=620),
+       st.integers(min_value=0, max_value=620))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_columnar_window_equals_records_property(lockstep_trace, a, b):
+    """Arbitrary [start, end) windows — leading/trailing partial index
+    blocks and empty windows included — decode identically."""
+    start, end = min(a, b), max(a, b)
+    _assert_columnar_equals_records(lockstep_trace, start=start, end=end)
+
+
+# --------------------------------------------------------------------------- #
+# Report equivalence, fleet-wide
+# --------------------------------------------------------------------------- #
+def _equivalence_apps():
+    return all_apps() + [get_app("bigarray")]
+
+
+@pytest.fixture(scope="module", params=_equivalence_apps(),
+                ids=lambda app: app.name)
+def app_setup(request, tmp_path_factory):
+    """Binary trace + record-decode fused reference report, once per app."""
+    app = request.param
+    source = app.source()
+    module = compile_source(source, module_name=app.name)
+    spec = app.main_loop(source)
+    path = str(tmp_path_factory.mktemp("col") / f"{app.name}.btrace")
+    trace_to_file(module, path, fmt="binary")
+    options = dict(app.autocheck_options)
+    reference = AutoCheck(
+        AutoCheckConfig(main_loop=spec, decode="records", **options),
+        trace_path=path, module=module).run()
+    return spec, path, module, options, reference
+
+
+def test_fused_columnar_report_identical_on_all_apps(app_setup):
+    spec, path, module, options, reference = app_setup
+    report = AutoCheck(
+        AutoCheckConfig(main_loop=spec, decode="columnar", **options),
+        trace_path=path, module=module).run()
+    _assert_reports_equal(report, reference)
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_parallel_columnar_report_identical_on_all_apps(app_setup, workers):
+    spec, path, module, options, reference = app_setup
+    columnar = AutoCheck(
+        AutoCheckConfig(main_loop=spec, analysis_engine="parallel",
+                        workers=workers, decode="columnar", **options),
+        trace_path=path, module=module).run()
+    records = AutoCheck(
+        AutoCheckConfig(main_loop=spec, analysis_engine="parallel",
+                        workers=workers, decode="records", **options),
+        trace_path=path, module=module).run()
+    _assert_reports_equal(columnar, reference)
+    _assert_reports_equal(records, reference)
+
+
+def test_prefilter_columnar_report_identical_on_all_apps(app_setup):
+    """With the static prefilter on, the columnar skip mask must agree
+    with the per-record skip decisions — same report, same skip count."""
+    spec, path, module, options, reference = app_setup
+    columnar = AutoCheck(
+        AutoCheckConfig(main_loop=spec, static_prefilter=True,
+                        decode="columnar", **options),
+        trace_path=path, module=module).run()
+    records = AutoCheck(
+        AutoCheckConfig(main_loop=spec, static_prefilter=True,
+                        decode="records", **options),
+        trace_path=path, module=module).run()
+    _assert_reports_equal(columnar, reference)
+    _assert_reports_equal(records, reference)
+    assert columnar.prefilter_info is not None
+    assert records.prefilter_info is not None
+    assert (columnar.prefilter_info.skipped_records
+            == records.prefilter_info.skipped_records)
+
+
+# --------------------------------------------------------------------------- #
+# Fallback contract
+# --------------------------------------------------------------------------- #
+def test_text_trace_falls_back_to_record_walk(tmp_path):
+    """A text trace cannot columnar-decode; decode='columnar' must still
+    analyse it (silently via the record walk), identically."""
+    app = get_app("example")
+    source = app.source()
+    module = compile_source(source, module_name="example")
+    spec = app.main_loop(source)
+    path = str(tmp_path / "example.trace")
+    trace_to_file(module, path, fmt="text")
+    columnar = AutoCheck(AutoCheckConfig(main_loop=spec, decode="columnar"),
+                         trace_path=path).run()
+    records = AutoCheck(AutoCheckConfig(main_loop=spec, decode="records"),
+                        trace_path=path).run()
+    _assert_reports_equal(columnar, records)
+
+
+def test_unknown_decode_rejected():
+    app = get_app("example")
+    spec = app.main_loop(app.source())
+    with pytest.raises(ValueError, match="decode"):
+        AutoCheckConfig(main_loop=spec, decode="vectorized")

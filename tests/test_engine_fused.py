@@ -383,13 +383,16 @@ def stream_counter(monkeypatch):
     counts = {"streams": 0}
 
     import repro.trace.binio as binio_module
+    import repro.trace.columnar as columnar_module
     import repro.trace.textio as textio_module
 
-    # Patch the two low-level record streams every reading path funnels
-    # through (the sniffing front door and the region views both end up
-    # here), so one logical stream counts exactly once.
+    # Patch the low-level streams every reading path funnels through (the
+    # sniffing front door and the region views both end up in one of the
+    # record iterators; the columnar walk opens one block stream), so one
+    # logical stream counts exactly once.
     real_text_iter = textio_module.iter_trace_file_text
     real_reader_iter = binio_module.TraceBinaryReader.iter_records
+    real_iter_blocks = columnar_module.TraceColumnarReader.iter_blocks
 
     def counting_text_iter(path, start_record=0):
         counts["streams"] += 1
@@ -399,10 +402,16 @@ def stream_counter(monkeypatch):
         counts["streams"] += 1
         return real_reader_iter(self, start_record=start_record, **kwargs)
 
+    def counting_iter_blocks(self, *args, **kwargs):
+        counts["streams"] += 1
+        return real_iter_blocks(self, *args, **kwargs)
+
     monkeypatch.setattr(textio_module, "iter_trace_file_text",
                         counting_text_iter)
     monkeypatch.setattr(binio_module.TraceBinaryReader, "iter_records",
                         counting_reader_iter)
+    monkeypatch.setattr(columnar_module.TraceColumnarReader, "iter_blocks",
+                        counting_iter_blocks)
     return counts
 
 
