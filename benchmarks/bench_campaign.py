@@ -1,0 +1,47 @@
+"""Benchmark: a deterministic fault-injection campaign smoke.
+
+A 3-app x critical-content x 2-trial campaign with a pinned seed: every
+trial must be restart-equivalent, and the same seed must reproduce the same
+report byte-for-byte.  This is the CI-facing smoke for the campaign
+subsystem; the full 16-app x 3-content x 3-interval acceptance sweep lives
+behind ``autocheck campaign --apps all``.
+"""
+
+import pytest
+
+from repro.campaign import CampaignConfig, run_campaign
+
+SMOKE_APPS = ["example", "cg", "himeno"]
+SMOKE_SEED = 7
+
+
+def _smoke_config(tmp_path):
+    return CampaignConfig(
+        apps=list(SMOKE_APPS),
+        content_policies=["critical"],
+        interval_policies=["every-k"],
+        trials=2,
+        seed=SMOKE_SEED,
+        cache_dir=str(tmp_path / "cache"),
+    )
+
+
+def test_campaign_smoke(benchmark, once, tmp_path):
+    report = once(benchmark, run_campaign, _smoke_config(tmp_path))
+    print(f"\n{report.summary()}")
+    assert report.all_pass
+    assert [verdict.app for verdict in report.apps] == SMOKE_APPS
+    for verdict in report.apps:
+        assert verdict.saved_bytes_vs_blcr > 0
+
+
+def test_campaign_smoke_is_reproducible(tmp_path):
+    # The second run hits the warm artifact store but must still inject the
+    # identical kill schedule and serialize the identical report.
+    first = run_campaign(_smoke_config(tmp_path))
+    second = run_campaign(_smoke_config(tmp_path))
+    assert first.to_json() == second.to_json()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-v"])

@@ -92,7 +92,9 @@ BIGARRAY_APP = AppDefinition(
         "out": "RAPO",
         "it": "Index",
     },
-    necessity_check=[],
+    # `out` is rewritten by every sweep, so only the cross-iteration
+    # accumulators are output-sensitive under single-variable ablation.
+    necessity_check=["checksum", "scale"],
     notes="Synthetic (no paper counterpart); registered outside the "
           "14-benchmark study like the worked example.",
 )

@@ -66,19 +66,33 @@ _REGISTRY: Dict[str, AppDefinition] = {
 }
 
 
+#: Bundled apps outside the 14-benchmark study tables.
+EXTRA_APPS: List[str] = ["bigarray"]
+
+
 def get_app(name: str) -> AppDefinition:
     """Look up an application by its short name (raises ``KeyError``)."""
     return _REGISTRY[name]
 
 
-def app_names(include_example: bool = False) -> List[str]:
-    """Names of the 14 study benchmarks (optionally plus the example)."""
+def app_names(include_example: bool = False,
+              include_extras: bool = False) -> List[str]:
+    """Names of the 14 study benchmarks.
+
+    ``include_example`` prepends the Fig. 4 example; ``include_extras``
+    appends the non-study apps (``bigarray``).  With both set this is the
+    full 16-app bundled fleet, which is what campaign-scale sweeps run.
+    """
     names = list(APP_ORDER)
     if include_example:
         names.insert(0, "example")
+    if include_extras:
+        names.extend(EXTRA_APPS)
     return names
 
 
-def all_apps(include_example: bool = False) -> List[AppDefinition]:
-    """The 14 study benchmarks in Table II order."""
-    return [_REGISTRY[name] for name in app_names(include_example)]
+def all_apps(include_example: bool = False,
+             include_extras: bool = False) -> List[AppDefinition]:
+    """The 14 study benchmarks in Table II order (plus optional extras)."""
+    return [_REGISTRY[name]
+            for name in app_names(include_example, include_extras)]

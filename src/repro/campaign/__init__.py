@@ -1,0 +1,71 @@
+"""``repro.campaign`` — fleet-scale fault-injection checkpoint campaigns.
+
+The paper's headline claim is that the AutoCheck-selected critical-variable
+set is *sufficient and necessary* to restart a crashed run (Sec. VI-B), and
+that checkpointing it costs orders of magnitude less storage than a
+whole-process BLCR dump (Table IV).  This package turns that claim into an
+executable scenario matrix:
+
+* :mod:`repro.campaign.plan` — deterministic trial planning: per-cell RNG
+  forks draw the kill points (including the kill-before-first-checkpoint and
+  kill-during-checkpoint-write edges) so a campaign is a pure function of
+  its seed;
+* :mod:`repro.campaign.runner` — the :class:`CampaignRunner`: store-warm
+  analysis + instrumented baseline per app, process-pool fan-out of trial
+  batches, Young/Daly cadence resolution under a synthetic time model;
+* :mod:`repro.campaign.report` — per-trial restart-equivalence records,
+  per-app verdicts (equivalence, necessity false positives, storage saved vs
+  BLCR, measured vs predicted waste) and the canonical-JSON fleet report.
+
+CLI: the ``campaign`` verb (see ``docs/cli.md``).
+"""
+
+from repro.campaign.plan import (
+    CONTENT_POLICIES,
+    INTERVAL_POLICIES,
+    KILL_BEFORE_FIRST,
+    KILL_DURING_WRITE,
+    KILL_RANDOM,
+    PolicyError,
+    TrialSpec,
+    cell_rng,
+    parse_policies,
+    plan_cell,
+    writes_per_run,
+)
+from repro.campaign.report import (
+    AppVerdict,
+    CampaignReport,
+    NecessityVerdict,
+    TrialResult,
+    outputs_equivalent,
+)
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignRunner,
+    resolve_app_names,
+    run_campaign,
+)
+
+__all__ = [
+    "AppVerdict",
+    "CONTENT_POLICIES",
+    "CampaignConfig",
+    "CampaignReport",
+    "CampaignRunner",
+    "INTERVAL_POLICIES",
+    "KILL_BEFORE_FIRST",
+    "KILL_DURING_WRITE",
+    "KILL_RANDOM",
+    "NecessityVerdict",
+    "PolicyError",
+    "TrialResult",
+    "TrialSpec",
+    "cell_rng",
+    "outputs_equivalent",
+    "parse_policies",
+    "plan_cell",
+    "resolve_app_names",
+    "run_campaign",
+    "writes_per_run",
+]

@@ -1,0 +1,137 @@
+"""Deterministic trial planning for fault-injection campaigns.
+
+A campaign sweeps the matrix
+
+    apps x checkpoint content x interval policy x N kill points
+
+and every cell's kill points are drawn from a per-cell fork of a single
+seeded RNG, so the complete trial plan is a pure function of
+``(apps, policies, trials, seed)`` — independent of iteration order, worker
+count, or which cells ran before.  Two campaigns with the same seed produce
+byte-identical plans (and, because the interpreter itself is deterministic,
+byte-identical verdicts).
+
+Each cell's first trial pins the *kill-before-first-checkpoint* edge
+(failure in iteration 1, before any within-loop state has been saved) and
+its second pins *kill-during-checkpoint-write* (the process dies inside the
+storage ``write()``/``os.replace()`` window, leaving a torn tmp file);
+remaining trials kill at RNG-chosen iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+from zlib import crc32
+
+from repro.util.rng import DeterministicRNG
+
+#: What goes into a checkpoint: the AutoCheck critical set, every variable
+#: live at the main loop, or a BLCR-style whole-process image.
+CONTENT_POLICIES = ("critical", "full", "blcr")
+
+#: When checkpoints are written: a fixed every-k-iterations cadence, or the
+#: Young / Daly optimal-interval models quantized to whole iterations.
+INTERVAL_POLICIES = ("every-k", "young", "daly")
+
+#: Kill-point kinds a trial can carry.
+KILL_BEFORE_FIRST = "before-first-checkpoint"
+KILL_DURING_WRITE = "during-checkpoint-write"
+KILL_RANDOM = "random-iteration"
+
+
+class PolicyError(ValueError):
+    """Raised for an unknown app, content policy, or interval policy."""
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One planned fault-injection trial."""
+
+    app: str
+    content: str
+    interval_policy: str
+    #: Checkpoint cadence in loop iterations for this cell (>= 1).
+    interval_iterations: int
+    trial_index: int
+    kill_kind: str
+    #: Body-entry count at which the fail-stop failure fires (``None`` for
+    #: during-write kills, which fire inside a storage write instead).
+    kill_iteration: Optional[int]
+    #: 1-based index of the checkpoint write that crashes mid-window
+    #: (``None`` for plain iteration kills).
+    fail_at_checkpoint_write: Optional[int]
+
+
+def parse_policies(csv: str, known: Sequence[str], kind: str) -> List[str]:
+    """Parse a comma-separated policy list, preserving ``known`` order.
+
+    Raises :class:`PolicyError` (CLI exit code 2) on unknown names.
+    """
+    requested = [item.strip() for item in csv.split(",") if item.strip()]
+    if not requested:
+        raise PolicyError(f"no {kind} policies requested in {csv!r}")
+    unknown = sorted(set(requested) - set(known))
+    if unknown:
+        raise PolicyError(
+            f"unknown {kind} polic{'ies' if len(unknown) > 1 else 'y'} "
+            f"{', '.join(unknown)} (known: {', '.join(known)})")
+    return [name for name in known if name in requested]
+
+
+def cell_rng(seed: int, app: str, content: str, interval_policy: str
+             ) -> DeterministicRNG:
+    """The RNG fork owning one (app, content, interval) cell's draws."""
+    salt = crc32(f"{app}|{content}|{interval_policy}".encode("utf-8"))
+    return DeterministicRNG(seed).fork(salt)
+
+
+def plan_cell(app: str, content: str, interval_policy: str,
+              interval_iterations: int, trials: int, seed: int,
+              iterations: int, writes_per_run: int) -> List[TrialSpec]:
+    """Plan one cell's trials.
+
+    Args:
+        interval_iterations: the cell's checkpoint cadence (already resolved
+            from the interval policy).
+        trials: how many kill points to draw (>= 1).
+        iterations: loop iterations the app runs failure-free.
+        writes_per_run: checkpoint writes a failure-free run performs at
+            this cadence (0 disables the during-write edge for the cell).
+    """
+    if trials < 1:
+        raise PolicyError(f"trials must be >= 1, got {trials}")
+    if iterations < 1:
+        raise PolicyError(f"{app}: main loop runs {iterations} iterations; "
+                          f"campaigns need at least 1")
+    rng = cell_rng(seed, app, content, interval_policy)
+    specs: List[TrialSpec] = []
+    for index in range(trials):
+        if index == 0:
+            kind, kill, write = KILL_BEFORE_FIRST, 1, None
+        elif index == 1 and writes_per_run > 0:
+            kind, kill = KILL_DURING_WRITE, None
+            write = 1 + rng.next_int(writes_per_run)
+        else:
+            kind, write = KILL_RANDOM, None
+            kill = 1 + rng.next_int(iterations)
+        specs.append(TrialSpec(
+            app=app, content=content, interval_policy=interval_policy,
+            interval_iterations=interval_iterations, trial_index=index,
+            kill_kind=kind, kill_iteration=kill,
+            fail_at_checkpoint_write=write,
+        ))
+    return specs
+
+
+def writes_per_run(iterations: int, interval_iterations: int) -> int:
+    """Checkpoint writes a failure-free run performs.
+
+    The instrumentation checkpoints on header entries ``1..iterations + 1``
+    (entry N saves the state *before* iteration N; the final entry is the one
+    that exits the loop), at every entry divisible by the cadence.
+    """
+    if interval_iterations < 1:
+        raise PolicyError(
+            f"interval must be >= 1 iteration, got {interval_iterations}")
+    return (iterations + 1) // interval_iterations

@@ -1,0 +1,207 @@
+"""Campaign results: per-trial records, per-app verdicts, fleet report.
+
+The report is the executable form of the paper's Sec. VI-B validation and
+Table IV storage study: every trial asserts *restart equivalence* against an
+uninterrupted run, every app aggregates equivalence / necessity / storage /
+waste numbers, and the whole campaign renders as a table or as canonical
+JSON.  The JSON deliberately carries no wall-clock timing and is serialized
+with sorted keys, so identical seeds reproduce identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.formatting import format_bytes, render_table
+
+
+def outputs_equivalent(reference: Sequence[str], failed_output: Sequence[str],
+                       restart_output: Sequence[str]) -> bool:
+    """Restart-equivalence criterion for one failure + restart cycle.
+
+    What an operator keeps after a crash is the failed run's output followed
+    by the restarted run's output.  With a checkpoint cadence > 1 the restart
+    resumes from a checkpoint *before* the kill point and legitimately
+    re-prints the replayed iterations' output (and a cold restart re-prints
+    everything), so plain concatenation equality is too strict.  The correct
+    invariant is:
+
+    * the failed output is a prefix of the failure-free reference,
+    * the restart output is a suffix of it,
+    * together they cover it (no gap — nothing was silently skipped).
+    """
+    reference = list(reference)
+    failed_output = list(failed_output)
+    restart_output = list(restart_output)
+    if failed_output != reference[:len(failed_output)]:
+        return False
+    if len(restart_output) > len(reference):
+        return False
+    if restart_output != reference[len(reference) - len(restart_output):]:
+        return False
+    return len(failed_output) + len(restart_output) >= len(reference)
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one fault-injection trial."""
+
+    app: str
+    content: str
+    interval_policy: str
+    interval_iterations: int
+    trial_index: int
+    kill_kind: str
+    kill_iteration: Optional[int]
+    fail_at_checkpoint_write: Optional[int]
+    equivalent: bool
+    #: Iteration of the checkpoint the restart restored (``None`` = cold
+    #: restart, no checkpoint existed yet).
+    restored_iteration: Optional[int]
+    #: Checkpoints the failed run committed before dying.
+    checkpoints_written: int
+    #: Application bytes per committed checkpoint snapshot.
+    snapshot_bytes: int
+    #: Total checkpoint bytes the failed run wrote (snapshots x size).
+    bytes_written: int
+    #: Completed iterations the restart had to re-execute.
+    lost_iterations: int
+    #: Simulated fraction of this trial's machine time lost to checkpoint
+    #: writes plus re-executed work (compare against the model prediction).
+    measured_waste_fraction: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.equivalent
+
+
+@dataclass
+class NecessityVerdict:
+    """Drop-one ablation outcome for one app's critical set."""
+
+    checked_variables: List[str]
+    false_positives: List[str]
+
+    @property
+    def all_necessary(self) -> bool:
+        return not self.false_positives
+
+
+@dataclass
+class AppVerdict:
+    """Aggregated campaign verdict for one app."""
+
+    app: str
+    iterations: int
+    trials: int
+    equivalent_trials: int
+    errors: List[str] = field(default_factory=list)
+    critical_variables: List[str] = field(default_factory=list)
+    #: Per-snapshot checkpoint bytes by content policy.
+    snapshot_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Bytes a BLCR-style whole-process checkpoint would write.
+    blcr_bytes: int = 0
+    #: Storage saved per snapshot by the critical set vs BLCR.
+    saved_bytes_vs_blcr: int = 0
+    #: BLCR bytes / critical bytes (the Table IV ratio).
+    storage_ratio: float = 0.0
+    #: Interval-model predicted waste fraction for the critical set.
+    predicted_waste_fraction: float = 0.0
+    #: Mean measured waste fraction across this app's trials.
+    measured_waste_fraction: float = 0.0
+    necessity: Optional[NecessityVerdict] = None
+
+    @property
+    def restart_equivalence_pass(self) -> bool:
+        return (not self.errors and self.trials > 0
+                and self.equivalent_trials == self.trials)
+
+    @property
+    def necessity_pass(self) -> bool:
+        return self.necessity is None or self.necessity.all_necessary
+
+    @property
+    def ok(self) -> bool:
+        return self.restart_equivalence_pass and self.necessity_pass
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced."""
+
+    seed: int
+    trials_per_cell: int
+    content_policies: List[str]
+    interval_policies: List[str]
+    apps: List[AppVerdict]
+    trials: List[TrialResult]
+
+    @property
+    def all_pass(self) -> bool:
+        return bool(self.apps) and all(verdict.ok for verdict in self.apps)
+
+    @property
+    def total_trials(self) -> int:
+        return len(self.trials)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (canonical: no timing, sorted keys, stable floats)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "seed": self.seed,
+            "trials_per_cell": self.trials_per_cell,
+            "content_policies": list(self.content_policies),
+            "interval_policies": list(self.interval_policies),
+            "all_pass": self.all_pass,
+            "apps": [self._verdict_dict(verdict) for verdict in self.apps],
+            "trials": [asdict(trial) for trial in self.trials],
+        }
+
+    @staticmethod
+    def _verdict_dict(verdict: AppVerdict) -> Dict[str, object]:
+        payload = asdict(verdict)
+        payload["restart_equivalence_pass"] = verdict.restart_equivalence_pass
+        payload["necessity_pass"] = verdict.necessity_pass
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        rows = []
+        for verdict in self.apps:
+            necessity = "-"
+            if verdict.necessity is not None:
+                necessity = ("OK" if verdict.necessity.all_necessary else
+                             "FP: " + ", ".join(verdict.necessity.false_positives))
+            rows.append((
+                verdict.app,
+                f"{verdict.equivalent_trials}/{verdict.trials}",
+                "PASS" if verdict.restart_equivalence_pass else "FAIL",
+                necessity,
+                format_bytes(verdict.snapshot_bytes.get("critical", 0)),
+                format_bytes(verdict.blcr_bytes),
+                format_bytes(verdict.saved_bytes_vs_blcr),
+                f"{verdict.storage_ratio:.0f}x",
+                f"{verdict.predicted_waste_fraction * 100:.1f}%",
+                f"{verdict.measured_waste_fraction * 100:.1f}%",
+            ))
+        table = render_table(
+            ("app", "equiv", "restart", "necessity", "critical",
+             "blcr", "saved", "ratio", "waste*", "waste"),
+            rows)
+        status = "PASS" if self.all_pass else "FAIL"
+        totals = (f"{len(self.apps)} apps x "
+                  f"{'/'.join(self.content_policies)} x "
+                  f"{'/'.join(self.interval_policies)}: "
+                  f"{self.total_trials} trials, seed {self.seed} -> {status}  "
+                  f"(waste* = interval-model prediction)")
+        return f"{table}\n{totals}"

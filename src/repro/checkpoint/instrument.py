@@ -18,15 +18,17 @@ process dies mid-iteration, which is the harshest point for consistency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.induction import find_main_loop
 from repro.analysis.loops import find_loops
 from repro.checkpoint.fti import FTI, FTIConfig
+from repro.checkpoint.storage import CheckpointData
 from repro.core.config import MainLoopSpec
 from repro.ir.module import Module
-from repro.tracer.faults import FaultInjector
+from repro.tracer.faults import FaultInjector, SimulatedFailure
 from repro.tracer.interpreter import ExecutionResult, HookContext, Interpreter
 
 
@@ -42,6 +44,13 @@ class InstrumentedRun:
     fti: FTI
     checkpoints_written: int = 0
     restored_iteration: Optional[int] = None
+    #: Protected names that had no live allocation at the main loop and were
+    #: skipped (only populated with ``on_missing="skip"``).
+    skipped_variables: List[str] = field(default_factory=list)
+    #: name -> size_bytes of every variable live at the first header entry
+    #: (globals plus the main-loop frame's stack allocations).  This is the
+    #: "full application state" a naive checkpointer would have to save.
+    loop_variables: Dict[str, int] = field(default_factory=dict)
 
     @property
     def output(self) -> List[str]:
@@ -57,12 +66,16 @@ class CheckpointInstrumenter:
 
     def __init__(self, module: Module, main_loop: MainLoopSpec,
                  protected_variables: Sequence[str], fti_config: FTIConfig,
-                 seed: int = 314159) -> None:
+                 seed: int = 314159, on_missing: str = "error") -> None:
+        if on_missing not in ("error", "skip"):
+            raise ValueError(
+                f"on_missing must be 'error' or 'skip', got {on_missing!r}")
         self.module = module
         self.main_loop = main_loop
         self.protected_variables = list(protected_variables)
         self.fti_config = fti_config
         self.seed = seed
+        self.on_missing = on_missing
 
         function = module.function(main_loop.function)
         loops = find_loops(function)
@@ -84,13 +97,22 @@ class CheckpointInstrumenter:
     # Variable plumbing
     # ------------------------------------------------------------------ #
     def _register_protected(self, fti: FTI, interpreter: Interpreter,
-                            context: HookContext) -> None:
-        """Bind each protected variable name to interpreter memory accessors."""
+                            context: HookContext) -> List[str]:
+        """Bind each protected variable name to interpreter memory accessors.
+
+        Returns the names that could not be resolved (only possible with
+        ``on_missing="skip"``; with the default ``"error"`` an unresolvable
+        name raises :class:`InstrumentationError`).
+        """
+        skipped: List[str] = []
         for vid, name in enumerate(self.protected_variables):
             if name in fti.protected_names():
                 continue
             allocation = interpreter.resolve_variable(name, frame=context.frame)
             if allocation is None:
+                if self.on_missing == "skip":
+                    skipped.append(name)
+                    continue
                 raise InstrumentationError(
                     f"protected variable {name!r} has no allocation at the "
                     f"main loop (is it declared in {self.main_loop.function!r}?)")
@@ -103,12 +125,27 @@ class CheckpointInstrumenter:
                 memory.write_block(alloc, values)
 
             fti.protect(vid, name, allocation.size_bytes, reader, writer)
+        return skipped
+
+    @staticmethod
+    def _snapshot_loop_variables(interpreter: Interpreter,
+                                 context: HookContext) -> Dict[str, int]:
+        """Name -> size_bytes of every allocation live at the main loop."""
+        live: Dict[str, int] = {
+            name: alloc.size_bytes
+            for name, alloc in interpreter.global_allocations.items()
+        }
+        if context.frame is not None:
+            for name, alloc in context.frame.allocations.items():
+                live[name] = alloc.size_bytes
+        return live
 
     # ------------------------------------------------------------------ #
     # Runs
     # ------------------------------------------------------------------ #
     def run(self, restart: bool = False, fail_at_iteration: Optional[int] = None,
             recover_names: Optional[Sequence[str]] = None,
+            fail_at_checkpoint_write: Optional[int] = None,
             max_steps: int = 50_000_000) -> InstrumentedRun:
         """Execute the module with checkpoint instrumentation.
 
@@ -116,9 +153,14 @@ class CheckpointInstrumenter:
         checkpoint when the main loop is first entered.  ``fail_at_iteration``
         injects a fail-stop failure on entry to that iteration's body.
         ``recover_names`` optionally restricts which variables are restored
-        (the necessity/false-positive study).
+        (the necessity/false-positive study).  ``fail_at_checkpoint_write=w``
+        kills the run during its ``w``-th (1-based) checkpoint write: a torn
+        tmp file is left on disk and the write never commits, modelling a
+        crash inside the write()/os.replace() window.
         """
         fti = FTI(self.fti_config)
+        if fail_at_checkpoint_write is not None:
+            self._arm_torn_write(fti, fail_at_checkpoint_write)
         interpreter = Interpreter(self.module, trace_sink=None, seed=self.seed,
                                   max_steps=max_steps)
         run_info = InstrumentedRun(result=None, fti=fti)  # type: ignore[arg-type]
@@ -126,7 +168,10 @@ class CheckpointInstrumenter:
 
         def header_hook(context: HookContext) -> None:
             if not state["registered"]:
-                self._register_protected(fti, interpreter, context)
+                run_info.skipped_variables = self._register_protected(
+                    fti, interpreter, context)
+                run_info.loop_variables = self._snapshot_loop_variables(
+                    interpreter, context)
                 state["registered"] = True
             if restart and not state["restored"]:
                 state["restored"] = True
@@ -151,3 +196,35 @@ class CheckpointInstrumenter:
         run_info.result = result
         run_info.checkpoints_written = fti.checkpoints_written
         return run_info
+
+    @staticmethod
+    def _arm_torn_write(fti: FTI, fail_at_write: int) -> None:
+        """Make the ``fail_at_write``-th storage write crash mid-window.
+
+        The doomed write leaves a truncated ``*.json.tmp*`` file behind (as a
+        real crash between ``open`` and ``os.replace`` would) and raises
+        :class:`SimulatedFailure` before the rename, so the previous complete
+        checkpoint must remain the recovery point.
+        """
+        if fail_at_write < 1:
+            raise ValueError("fail_at_checkpoint_write must be >= 1")
+        storage = fti.storage
+        original_write = storage.write
+        attempts = {"count": 0}
+
+        def failing_write(checkpoint: CheckpointData) -> str:
+            attempts["count"] += 1
+            if attempts["count"] == fail_at_write:
+                torn_path = (storage._path_for(checkpoint.iteration)
+                             + ".tmp.torn")
+                payload = json.dumps({"iteration": checkpoint.iteration,
+                                      "variables": checkpoint.variables})
+                with open(torn_path, "w", encoding="utf-8") as handle:
+                    handle.write(payload[:max(1, len(payload) // 2)])
+                raise SimulatedFailure(
+                    f"simulated crash during checkpoint write "
+                    f"(iteration {checkpoint.iteration})",
+                    iteration=checkpoint.iteration)
+            return original_write(checkpoint)
+
+        storage.write = failing_write  # type: ignore[method-assign]

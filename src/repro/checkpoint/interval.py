@@ -73,10 +73,36 @@ def expected_waste_fraction(interval: float, checkpoint_cost: float,
 
 
 def _validate(checkpoint_cost: float, mtbf_seconds: float) -> None:
-    if checkpoint_cost < 0:
-        raise ValueError("checkpoint cost cannot be negative")
-    if mtbf_seconds <= 0:
-        raise ValueError("MTBF must be positive")
+    """Reject non-positive model inputs, naming the offending value.
+
+    A zero checkpoint cost would recommend a zero interval (checkpoint
+    continuously) and a zero/negative MTBF has no physical meaning, so both
+    models require strictly positive inputs.
+    """
+    if not checkpoint_cost > 0:
+        raise ValueError(
+            f"checkpoint_cost must be positive, got {checkpoint_cost!r}")
+    if not mtbf_seconds > 0:
+        raise ValueError(
+            f"mtbf_seconds must be positive, got {mtbf_seconds!r}")
+
+
+def interval_in_iterations(interval_seconds: float,
+                           seconds_per_iteration: float) -> int:
+    """Convert a model-recommended interval to a whole number of iterations.
+
+    The instrumented interpreter can only checkpoint on loop-header entries,
+    so campaign trials quantize Young/Daly recommendations to iterations
+    (always at least 1 — a recommendation shorter than one iteration means
+    "checkpoint every iteration").
+    """
+    if not interval_seconds > 0:
+        raise ValueError(
+            f"interval_seconds must be positive, got {interval_seconds!r}")
+    if not seconds_per_iteration > 0:
+        raise ValueError(
+            f"seconds_per_iteration must be positive, got {seconds_per_iteration!r}")
+    return max(1, round(interval_seconds / seconds_per_iteration))
 
 
 @dataclass(frozen=True)

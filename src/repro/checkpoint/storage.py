@@ -41,6 +41,25 @@ class CheckpointStorage:
         self.directory = directory
         self.keep_history = keep_history
         os.makedirs(directory, exist_ok=True)
+        self.remove_stale_tmp_files()
+
+    def remove_stale_tmp_files(self) -> int:
+        """Delete tmp files a crashed writer left behind; return the count.
+
+        A writer killed between opening ``*.tmp*`` and ``os.replace`` leaves a
+        torn file that must never shadow (or survive next to) a complete
+        checkpoint.  ``list_paths`` already ignores them, but a restarted
+        process has to reclaim the space and make the directory listing clean.
+        """
+        removed = 0
+        for name in os.listdir(self.directory):
+            if name.startswith(self.FILENAME_PREFIX) and ".json.tmp" in name:
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                    removed += 1
+                except FileNotFoundError:
+                    pass
+        return removed
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -55,7 +74,7 @@ class CheckpointStorage:
             "variables": checkpoint.variables,
             "sizes_bytes": checkpoint.sizes_bytes,
         }
-        tmp_path = path + ".tmp"
+        tmp_path = f"{path}.tmp.{os.getpid()}"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp_path, path)

@@ -13,6 +13,9 @@ Subcommands:
 * ``autocheck static-report <app-or-source>`` — print the static CFG /
   loop / liveness picture of a bundled app or a mini-C file;
 * ``autocheck gc`` — inspect and evict entries of the artifact store;
+* ``autocheck campaign`` — run a fault-injection checkpoint campaign over
+  the bundled fleet (apps x checkpoint content x interval policy x seeded
+  kill points) and verdict restart equivalence per app;
 * ``autocheck table2|table3|table4|validate|figure5|run-all`` — regenerate
   the paper's evaluation artefacts;
 * ``autocheck list`` — list the bundled benchmarks.
@@ -20,6 +23,10 @@ Subcommands:
 The parser is built by :func:`build_parser` (separate from :func:`main`) so
 the docs flag-drift check in ``tests/test_docs.py`` can compare the live
 option surface against ``docs/cli.md``.
+
+Exit codes follow one convention across the experiment verbs and
+``campaign``: 0 = success, 1 = a verdict failed (restart mismatch, Table II
+mismatch, batch entry error), 2 = bad invocation (unknown app or policy).
 """
 
 from __future__ import annotations
@@ -135,8 +142,18 @@ def _cmd_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _unknown_app(exc: KeyError) -> int:
+    name = exc.args[0] if exc.args else exc
+    print(f"error: unknown app {name!r} (see 'autocheck list')",
+          file=sys.stderr)
+    return 2
+
+
 def _cmd_app(args: argparse.Namespace) -> int:
-    app = get_app(args.name)
+    try:
+        app = get_app(args.name)
+    except KeyError as exc:
+        return _unknown_app(exc)
     analysis = analyze_app(app)
     print(f"# {app.title} — {app.description}")
     print(analysis.report.summary())
@@ -198,6 +215,75 @@ def _cmd_list(_: argparse.Namespace) -> int:
         expected = ", ".join(f"{k} ({v})" for k, v in app.expected_critical.items())
         print(f"{app.name:10s} {app.title:15s} expected: {expected}")
     return 0
+
+
+def _cmd_experiment(args: argparse.Namespace, runner, formatter,
+                    verdict=None) -> int:
+    """Shared driver for the table/validate verbs (one exit-code convention:
+    2 = unknown app, 1 = failed verdict, 0 = success)."""
+    try:
+        result = runner(apps=args.apps)
+    except KeyError as exc:
+        return _unknown_app(exc)
+    print(formatter(result))
+    if verdict is not None and not verdict(result):
+        return 1
+    return 0
+
+
+def _validation_verdict(rows) -> bool:
+    return all(row.restart_successful and not row.false_positives
+               for row in rows)
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    try:
+        print(run_all(apps=args.apps, output_path=args.output,
+                      include_validation=not args.skip_validation))
+    except KeyError as exc:
+        return _unknown_app(exc)
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CONTENT_POLICIES,
+        INTERVAL_POLICIES,
+        CampaignConfig,
+        PolicyError,
+        parse_policies,
+        resolve_app_names,
+        run_campaign,
+    )
+
+    try:
+        config = CampaignConfig(
+            apps=resolve_app_names(args.apps),
+            content_policies=parse_policies(args.policies, CONTENT_POLICIES,
+                                            "content"),
+            interval_policies=parse_policies(args.intervals,
+                                             INTERVAL_POLICIES, "interval"),
+            trials=args.trials,
+            seed=args.seed,
+            every_k=args.every_k,
+            workers=args.workers,
+            run_necessity=args.necessity,
+            use_cache=args.cache,
+            cache_dir=args.cache_dir,
+            trace_dir=args.trace_dir,
+        )
+        report = run_campaign(config)
+    except PolicyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+    if args.json:
+        print(report.to_json(), end="")
+    else:
+        print(report.summary())
+    return 0 if report.all_pass else 1
 
 
 def _add_cache_flags(parser: argparse.ArgumentParser, default: bool) -> None:
@@ -352,15 +438,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list bundled benchmarks")
     p_list.set_defaults(func=_cmd_list)
 
-    for name, runner, formatter in (
-            ("table2", run_table2, format_table2),
-            ("table3", run_table3, format_table3),
-            ("table4", run_table4, format_table4),
-            ("validate", run_validation, format_validation)):
+    p_campaign = sub.add_parser(
+        "campaign",
+        help="run a fault-injection checkpoint campaign: apps x checkpoint "
+             "content x interval policy x seeded kill points, verdicting "
+             "restart equivalence against uninterrupted runs")
+    p_campaign.add_argument("--apps", default="all",
+                            help="comma-separated app names, or 'all' for "
+                                 "the full 16-app bundled fleet "
+                                 "(default: all)")
+    p_campaign.add_argument("--policies", default="critical,full,blcr",
+                            help="checkpoint-content policies to sweep: "
+                                 "'critical' (the AutoCheck set), 'full' "
+                                 "(every variable live at the main loop), "
+                                 "'blcr' (whole-process baseline) "
+                                 "(default: critical,full,blcr)")
+    p_campaign.add_argument("--intervals", default="every-k",
+                            help="interval policies to sweep: 'every-k' "
+                                 "(fixed cadence, see --every-k), 'young', "
+                                 "'daly' (model-recommended cadences under "
+                                 "the synthetic time model) "
+                                 "(default: every-k)")
+    p_campaign.add_argument("--trials", type=int, default=3,
+                            help="kill points per matrix cell; the first "
+                                 "pins the kill-before-first-checkpoint "
+                                 "edge, the second the kill-during-"
+                                 "checkpoint-write edge (default: 3)")
+    p_campaign.add_argument("--seed", type=int, default=7,
+                            help="campaign seed; the full trial plan and "
+                                 "all verdicts are a pure function of it "
+                                 "(default: 7)")
+    p_campaign.add_argument("--every-k", type=int, default=2,
+                            help="cadence (in iterations) of the every-k "
+                                 "interval policy (default: 2)")
+    p_campaign.add_argument("--workers", type=int, default=1,
+                            help="process-pool width for per-app prep and "
+                                 "trial batches; 1 runs inline")
+    p_campaign.add_argument("--necessity", action="store_true",
+                            help="also run the drop-one ablation per app "
+                                 "and verdict false positives")
+    p_campaign.add_argument("--out", default=None,
+                            help="write the canonical JSON report here "
+                                 "(byte-identical across same-seed re-runs)")
+    p_campaign.add_argument("--json", action="store_true",
+                            help="print the JSON report to stdout instead "
+                                 "of the summary table")
+    p_campaign.add_argument("--trace-dir", default=None,
+                            help="where per-app binary traces are kept "
+                                 "(reused across runs; default: "
+                                 "<store root>/traces)")
+    _add_cache_flags(p_campaign, default=True)
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    for name, runner, formatter, verdict in (
+            ("table2", run_table2, format_table2, None),
+            ("table3", run_table3, format_table3, None),
+            ("table4", run_table4, format_table4, None),
+            ("validate", run_validation, format_validation,
+             _validation_verdict)):
         p_cmd = sub.add_parser(name, help=f"regenerate {name}")
         p_cmd.add_argument("--apps", nargs="*", default=None)
-        p_cmd.set_defaults(func=lambda a, r=runner, f=formatter:
-                           (print(f(r(apps=a.apps))) or 0))
+        p_cmd.set_defaults(func=lambda a, r=runner, f=formatter, v=verdict:
+                           _cmd_experiment(a, r, f, v))
 
     p_fig = sub.add_parser("figure5", help="regenerate the Fig. 4/5 worked example")
     p_fig.set_defaults(func=lambda a: (print(run_figure5().summary()) or 0))
@@ -369,9 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--apps", nargs="*", default=None)
     p_all.add_argument("--output", default=None)
     p_all.add_argument("--skip-validation", action="store_true")
-    p_all.set_defaults(func=lambda a: (print(run_all(
-        apps=a.apps, output_path=a.output,
-        include_validation=not a.skip_validation)) or 0))
+    p_all.set_defaults(func=_cmd_run_all)
 
     return parser
 

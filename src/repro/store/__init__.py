@@ -29,8 +29,11 @@ from repro.store.batch import (
     BatchItemResult,
     BatchResult,
     ManifestError,
+    analyze_app_cached,
     app_trace_path,
+    ensure_app_trace,
     load_manifest,
+    map_over_pool,
     run_batch,
 )
 from repro.store.cache import (
@@ -67,8 +70,11 @@ __all__ = [
     "SerializationError",
     "StoreError",
     "StoreStats",
+    "analyze_app_cached",
     "app_trace_path",
     "artifact_key",
+    "ensure_app_trace",
+    "map_over_pool",
     "compute_trace_digest",
     "config_fingerprint",
     "default_cache_dir",

@@ -32,12 +32,13 @@ analyse an existing file of either encoding.
 from __future__ import annotations
 
 import contextlib
+import functools
 import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import AutoCheckConfig, MainLoopSpec
 from repro.core.pipeline import AutoCheck
@@ -266,19 +267,18 @@ def _is_reusable_trace(path: str) -> bool:
     return True
 
 
-def _run_app_entry(entry: BatchEntry, use_cache: bool,
-                   cache_dir: Optional[str], trace_dir: str):
-    from repro.apps.registry import get_app
-    from repro.codegen.lowering import compile_source
+def ensure_app_trace(module, app_name: str, params: Dict[str, int],
+                     trace_dir: str, seed: int = 314159) -> str:
+    """Generate (or reuse) the deterministic binary trace for one app.
+
+    Returns the trace path.  A pre-existing well-formed file is reused as-is
+    (tracing is deterministic under a fixed seed); a corrupt leftover is
+    healed by regeneration; publication is atomic so a crash never leaves a
+    truncated file under the reuse name.
+    """
     from repro.tracer.driver import trace_to_file
 
-    app = get_app(entry.app)
-    source = app.source(**entry.params)
-    module = compile_source(source, module_name=app.name)
-    spec = app.main_loop(source)
-
-    trace_path = app_trace_path(trace_dir, app.name, entry.params,
-                                entry.seed)
+    trace_path = app_trace_path(trace_dir, app_name, params, seed)
     if os.path.exists(trace_path) and not _is_reusable_trace(trace_path):
         # A truncated/corrupt leftover (e.g. an interrupted earlier run)
         # would fail every future batch; heal the slot by regenerating.
@@ -291,13 +291,28 @@ def _run_app_entry(entry: BatchEntry, use_cache: bool,
         # file under the reuse name.
         tmp_path = f"{trace_path}.tmp-{os.getpid()}"
         try:
-            trace_to_file(module, tmp_path, module_name=app.name,
-                          seed=entry.seed, fmt="binary")
+            trace_to_file(module, tmp_path, module_name=app_name,
+                          seed=seed, fmt="binary")
             os.replace(tmp_path, trace_path)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.remove(tmp_path)
             raise
+    return trace_path
+
+
+def _run_app_entry(entry: BatchEntry, use_cache: bool,
+                   cache_dir: Optional[str], trace_dir: str):
+    from repro.apps.registry import get_app
+    from repro.codegen.lowering import compile_source
+
+    app = get_app(entry.app)
+    source = app.source(**entry.params)
+    module = compile_source(source, module_name=app.name)
+    spec = app.main_loop(source)
+
+    trace_path = ensure_app_trace(module, app.name, entry.params, trace_dir,
+                                  entry.seed)
 
     options: Dict[str, Any] = dict(app.autocheck_options)
     if entry.induction is not None:
@@ -308,6 +323,27 @@ def _run_app_entry(entry: BatchEntry, use_cache: bool,
     # The module rides along for the static induction analysis, exactly as
     # the single-app harness (experiments.common.analyze_app) passes it.
     return AutoCheck(config, trace_path=trace_path, module=module).run()
+
+
+def analyze_app_cached(app_name: str,
+                       params: Optional[Dict[str, int]] = None,
+                       use_cache: bool = True,
+                       cache_dir: Optional[str] = None,
+                       trace_dir: Optional[str] = None,
+                       seed: int = 314159):
+    """Analyse one bundled app through the artifact store.
+
+    The single-app equivalent of an ``{"app": ...}`` batch entry: the binary
+    trace is generated into ``trace_dir`` once and reused forever, and a warm
+    store turns the analysis into a digest lookup.  Returns the
+    :class:`~repro.core.report.AutoCheckReport`.  The campaign runner uses
+    this for its per-app prep step.
+    """
+    if trace_dir is None:
+        trace_dir = os.path.join(cache_dir or default_cache_dir(), "traces")
+    entry = BatchEntry(app=app_name, params=dict(params or {}), seed=seed)
+    entry.validate()
+    return _run_app_entry(entry, use_cache, cache_dir, trace_dir)
 
 
 def run_batch(entries: Union[str, Sequence[BatchEntry]],
@@ -344,13 +380,25 @@ def run_batch(entries: Union[str, Sequence[BatchEntry]],
         trace_dir = os.path.join(cache_dir or default_cache_dir(), "traces")
 
     start_time = time.perf_counter()
-    if workers <= 1 or len(entry_list) <= 1:
-        items = [_run_entry(entry, use_cache, cache_dir, trace_dir)
-                 for entry in entry_list]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_entry, entry, use_cache, cache_dir,
-                                   trace_dir)
-                       for entry in entry_list]
-            items = [future.result() for future in futures]
+    items = map_over_pool(
+        functools.partial(_run_entry, use_cache=use_cache,
+                          cache_dir=cache_dir, trace_dir=trace_dir),
+        entry_list, workers)
     return BatchResult(items=items, seconds=time.perf_counter() - start_time)
+
+
+def map_over_pool(fn: Callable[[Any], Any], items: Sequence[Any],
+                  workers: int) -> List[Any]:
+    """Apply ``fn`` to every item, inline or across a process pool.
+
+    Order-preserving.  ``fn`` must be picklable (a module-level function or a
+    :func:`functools.partial` of one) when ``workers > 1``.  This is the
+    fan-out shared by ``analyze-batch`` and the fault-injection campaign
+    runner.
+    """
+    work = list(items)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, item) for item in work]
+        return [future.result() for future in futures]

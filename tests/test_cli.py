@@ -174,3 +174,85 @@ class TestStaticCLI:
         assert "Static cross-check" in out
         assert "Static prefilter" in out
         assert "skipped" in out
+
+
+class TestExitCodeConvention:
+    """campaign and the experiment verbs agree on exit codes:
+    0 = success, 1 = failed verdict, 2 = unknown app/policy."""
+
+    def _campaign_args(self, tmp_path, *extra):
+        return ["campaign", "--apps", "example", "--policies", "critical",
+                "--intervals", "every-k", "--trials", "1",
+                "--cache-dir", str(tmp_path / "cache"), *extra]
+
+    def test_campaign_success_writes_out_file(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "campaign.json"
+        args = self._campaign_args(tmp_path, "--trials", "2",
+                                   "--out", str(out_path))
+        assert main(args) == 0
+        assert "PASS" in capsys.readouterr().out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == 1
+        assert report["all_pass"] is True
+
+    def test_campaign_unknown_app_is_2(self, capsys, tmp_path):
+        assert main(["campaign", "--apps", "nosuchapp",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_campaign_unknown_policy_is_2(self, capsys, tmp_path):
+        assert main(["campaign", "--apps", "example",
+                     "--policies", "everything",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "everything" in capsys.readouterr().err
+
+    def test_campaign_failed_verdict_is_1(self, capsys, tmp_path,
+                                          monkeypatch):
+        # Force every trial to look non-equivalent: the campaign must report
+        # the failure through the exit code, not a traceback.
+        monkeypatch.setattr("repro.campaign.runner.outputs_equivalent",
+                            lambda *args: False)
+        assert main(self._campaign_args(tmp_path)) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_table_verb_unknown_app_is_2(self, capsys):
+        assert main(["table2", "--apps", "nosuchapp"]) == 2
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_validate_unknown_app_is_2(self, capsys):
+        assert main(["validate", "--apps", "nosuchapp"]) == 2
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_app_verb_unknown_app_is_2(self, capsys):
+        assert main(["app", "nosuchapp"]) == 2
+        assert "nosuchapp" in capsys.readouterr().err
+
+    def test_validate_failed_verdict_is_1(self, capsys, monkeypatch):
+        class _FailedOutcome:
+            restart_successful = False
+
+        class _EmptyNecessity:
+            necessary = {}
+
+        class _FakeValidator:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def validate(self, *args, **kwargs):
+                return _FailedOutcome()
+
+            def necessity_study(self, *args, **kwargs):
+                return _EmptyNecessity()
+
+        monkeypatch.setattr("repro.experiments.validation.RestartValidator",
+                            _FakeValidator)
+        assert main(["validate", "--apps", "example"]) == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Property-based tests for the Young/Daly interval models.
+
+Hypothesis sweeps the (checkpoint cost, MTBF) space the campaign runner
+feeds these models from, pinning the structural guarantees the checkpoint
+scheduling relies on: monotonicity in MTBF, the recommended interval
+(approximately) minimizing the expected waste, waste staying a proper
+fraction in the regime the models are valid for, and loud rejection of
+non-positive inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checkpoint.interval import (
+    checkpoint_cost_seconds,
+    daly_interval,
+    expected_waste_fraction,
+    interval_in_iterations,
+    young_interval,
+)
+
+# Costs and MTBFs the models are meaningful for: C strictly positive and
+# small relative to the MTBF (Daly's own validity regime).  The ratio cap
+# keeps waste a proper fraction and the optimum interior.
+costs = st.floats(min_value=1e-3, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+mtbfs = st.floats(min_value=1.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+
+
+def _in_regime(cost, mtbf):
+    return cost <= mtbf / 8.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(cost=costs, mtbf=mtbfs, factor=st.floats(min_value=1.1, max_value=10.0))
+def test_intervals_monotone_in_mtbf(cost, mtbf, factor):
+    if not _in_regime(cost, mtbf * 1.0):
+        return
+    longer = mtbf * factor
+    assert young_interval(cost, longer) >= young_interval(cost, mtbf)
+    assert daly_interval(cost, longer) >= daly_interval(cost, mtbf)
+
+
+@settings(max_examples=200, deadline=None)
+@given(cost=costs, mtbf=mtbfs)
+def test_intervals_positive_and_ordered(cost, mtbf):
+    if not _in_regime(cost, mtbf):
+        return
+    young = young_interval(cost, mtbf)
+    daly = daly_interval(cost, mtbf)
+    assert young > 0 and daly > 0
+    # In the small-cost regime Daly's correction shifts the optimum by less
+    # than the checkpoint cost itself.
+    assert abs(daly - young) <= max(cost, 0.25 * young)
+
+
+@settings(max_examples=200, deadline=None)
+@given(cost=costs, mtbf=mtbfs)
+def test_waste_fraction_in_unit_interval_at_recommendation(cost, mtbf):
+    if not _in_regime(cost, mtbf):
+        return
+    for interval in (young_interval(cost, mtbf), daly_interval(cost, mtbf)):
+        waste = expected_waste_fraction(interval, cost, mtbf)
+        assert 0.0 < waste <= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(cost=costs, mtbf=mtbfs)
+def test_recommended_interval_minimizes_waste(cost, mtbf):
+    if not _in_regime(cost, mtbf):
+        return
+    recommended = young_interval(cost, mtbf)
+    at_rec = expected_waste_fraction(recommended, cost, mtbf)
+    # Young's interval is the exact minimizer of the first-order waste model
+    # C/T + T/(2*MTBF): moving away in either direction cannot help.
+    assert at_rec <= expected_waste_fraction(recommended * 0.5, cost, mtbf) + 1e-12
+    assert at_rec <= expected_waste_fraction(recommended * 2.0, cost, mtbf) + 1e-12
+    assert at_rec <= expected_waste_fraction(recommended * 0.9, cost, mtbf) + 1e-12
+    assert at_rec <= expected_waste_fraction(recommended * 1.1, cost, mtbf) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(cost=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+       mtbf=st.floats(min_value=0.01, max_value=10.0, allow_nan=False))
+def test_daly_saturates_at_mtbf_when_cost_dominates(cost, mtbf):
+    if cost < 2.0 * mtbf:
+        return
+    assert daly_interval(cost, mtbf) == mtbf
+
+
+@settings(max_examples=100, deadline=None)
+@given(seconds=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+       per_iteration=st.floats(min_value=1e-3, max_value=1e3,
+                               allow_nan=False))
+def test_interval_quantization_bounds(seconds, per_iteration):
+    iterations = interval_in_iterations(seconds, per_iteration)
+    assert iterations >= 1
+    assert isinstance(iterations, int)
+    # Never off by more than one iteration from the real-valued optimum
+    # (and never below one).
+    assert abs(iterations - seconds / per_iteration) <= max(
+        1.0, seconds / per_iteration)
+
+
+class TestValidationErrors:
+    """``_validate`` (via the public entry points) names the bad value."""
+
+    @pytest.mark.parametrize("bad_cost", [0.0, -1.0, -1e-9])
+    def test_non_positive_cost_named(self, bad_cost):
+        with pytest.raises(ValueError, match="checkpoint_cost"):
+            young_interval(bad_cost, 100.0)
+        with pytest.raises(ValueError, match="checkpoint_cost"):
+            daly_interval(bad_cost, 100.0)
+        with pytest.raises(ValueError, match="checkpoint_cost"):
+            expected_waste_fraction(10.0, bad_cost, 100.0)
+
+    @pytest.mark.parametrize("bad_mtbf", [0.0, -5.0])
+    def test_non_positive_mtbf_named(self, bad_mtbf):
+        with pytest.raises(ValueError, match="mtbf_seconds"):
+            young_interval(1.0, bad_mtbf)
+        with pytest.raises(ValueError, match="mtbf_seconds"):
+            daly_interval(1.0, bad_mtbf)
+        with pytest.raises(ValueError, match="mtbf_seconds"):
+            expected_waste_fraction(10.0, 1.0, bad_mtbf)
+
+    def test_error_message_carries_the_value(self):
+        with pytest.raises(ValueError, match="-3.0"):
+            young_interval(-3.0, 100.0)
+        with pytest.raises(ValueError, match="-7.0"):
+            young_interval(1.0, -7.0)
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            expected_waste_fraction(0.0, 1.0, 100.0)
+        with pytest.raises(ValueError, match="interval_seconds"):
+            interval_in_iterations(0.0, 1.0)
+        with pytest.raises(ValueError, match="seconds_per_iteration"):
+            interval_in_iterations(1.0, 0.0)
+
+    def test_cost_function_still_accepts_zero_bytes(self):
+        # Latency alone is a valid (positive) cost for an empty checkpoint.
+        assert checkpoint_cost_seconds(0, 1e9, latency_seconds=0.5) == 0.5
+        with pytest.raises(ValueError):
+            checkpoint_cost_seconds(-1, 1e9)
+        with pytest.raises(ValueError):
+            checkpoint_cost_seconds(10, 0.0)
