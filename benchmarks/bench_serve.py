@@ -1,0 +1,124 @@
+"""Benchmark: the serve daemon over the full bundled-app fleet.
+
+Two smoke-level acceptance checks for analysis-as-a-service:
+
+* **equality under concurrency** — every response the daemon produces
+  while being hammered from a thread pool is byte-identical to a cold
+  serial ``AutoCheck.run`` of the same app (the canonical wire encoding,
+  ``canonical_report_json``).  This is the subset CI runs (``-k
+  equality``): correctness first, the throughput bar stays local.
+* **warm throughput** — once the fleet's artifacts are stored, the
+  daemon answers warm requests as O(1) store reads; the measured
+  requests/second figure is written to ``BENCH_serve.json`` at the
+  repository root for machine consumption, with a deliberately
+  conservative floor so shared runners don't flake.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.registry import app_names
+from repro.serve import AnalysisServer, ServeClient
+from repro.store.batch import prepare_app_analysis
+from repro.store.serialize import canonical_report_json
+
+#: Every bundled application: the 14 study benchmarks + example + bigarray.
+ALL_APP_NAMES = app_names(include_example=True) + ["bigarray"]
+
+#: warm requests must clear this floor (local machines do far better; the
+#: floor only guards against pathological serialization on the warm path)
+WARM_RPS_BAR = 10.0
+#: machine-readable result file, written at the repository root
+BENCH_SERVE_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json")
+
+SEED = 20240808
+THREADS = 8
+WARM_REQUESTS = 160
+
+
+@pytest.fixture(scope="module")
+def serve_fleet(tmp_path_factory):
+    """A daemon plus cold serial reference bytes for every bundled app."""
+    root = tmp_path_factory.mktemp("bench-serve")
+    trace_dir = str(root / "traces")
+    expected = {}
+    cold_started = time.perf_counter()
+    for name in ALL_APP_NAMES:
+        prepared = prepare_app_analysis(name, use_cache=False,
+                                        trace_dir=trace_dir)
+        expected[name] = canonical_report_json(prepared.autocheck.run()
+                                               ).encode()
+    cold_seconds = time.perf_counter() - cold_started
+
+    server = AnalysisServer(port=0, workers=4, queue_limit=64,
+                            cache_dir=str(root / "cache"),
+                            trace_dir=trace_dir).start()
+    yield SimpleNamespace(server=server,
+                          client=ServeClient(server.host, server.port),
+                          expected=expected, cold_seconds=cold_seconds)
+    server.close(graceful=True, timeout=120.0)
+
+
+def test_serve_fleet_equality(serve_fleet):
+    """Concurrent daemon responses == cold serial runs, byte for byte."""
+    rng = random.Random(SEED)
+    schedule = ALL_APP_NAMES * 2
+    rng.shuffle(schedule)
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        results = list(pool.map(serve_fleet.client.analyze_app, schedule))
+
+    for app_name, (status, _, body) in zip(schedule, results):
+        assert status == 200, (app_name, status, body)
+        assert body == serve_fleet.expected[app_name], app_name
+
+    snap = serve_fleet.server.stats_snapshot()
+    assert snap["jobs"]["failed"] == 0
+    assert snap["store"]["entries"] == len(ALL_APP_NAMES)
+
+
+def test_serve_warm_throughput(serve_fleet):
+    """Measure warm requests/second over the fleet; write BENCH_serve.json."""
+    client = serve_fleet.client
+    # Make sure every artifact exists (independent of test ordering).
+    for name in ALL_APP_NAMES:
+        status, _, _ = client.analyze_app(name)
+        assert status == 200
+
+    rng = random.Random(SEED + 1)
+    schedule = [rng.choice(ALL_APP_NAMES) for _ in range(WARM_REQUESTS)]
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        results = list(pool.map(client.analyze_app, schedule))
+    elapsed = time.perf_counter() - started
+
+    hits = sum(1 for _, headers, _ in results
+               if headers["x-autocheck-cache"] == "hit")
+    assert hits == len(schedule), "warm hammer must be all store hits"
+    rps = len(schedule) / elapsed
+
+    payload = {
+        "fleet": {"apps": len(ALL_APP_NAMES),
+                  "cold_serial_seconds": round(serve_fleet.cold_seconds, 2)},
+        "warm": {"requests": len(schedule), "threads": THREADS,
+                 "seconds": round(elapsed, 3),
+                 "requests_per_second": round(rps, 1)},
+        "bars": {"warm_requests_per_second": WARM_RPS_BAR},
+    }
+    with open(BENCH_SERVE_JSON, "w", encoding="utf-8") as sink:
+        json.dump(payload, sink, indent=2)
+        sink.write("\n")
+    print(f"\nserve warm hammer: {len(schedule)} requests over "
+          f"{len(ALL_APP_NAMES)} apps in {elapsed:.2f}s ({rps:.0f} req/s; "
+          f"cold serial fleet {serve_fleet.cold_seconds:.1f}s)")
+    assert rps >= WARM_RPS_BAR

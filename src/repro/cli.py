@@ -12,6 +12,9 @@ Subcommands:
   program;
 * ``autocheck static-report <app-or-source>`` — print the static CFG /
   loop / liveness picture of a bundled app or a mini-C file;
+* ``autocheck serve`` — run the analysis-as-a-service HTTP/JSON daemon in
+  front of the artifact store (bounded worker pool, request coalescing,
+  backpressure; see ``docs/serve.md``);
 * ``autocheck gc`` — inspect and evict entries of the artifact store;
 * ``autocheck campaign`` — run a fault-injection checkpoint campaign over
   the bundled fleet (apps x checkpoint content x interval policy x seeded
@@ -117,6 +120,33 @@ def _cmd_analyze_batch(args: argparse.Namespace) -> int:
                        trace_dir=args.trace_dir)
     print(result.summary())
     return 0 if result.all_ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AnalysisServer
+
+    try:
+        server = AnalysisServer(host=args.host, port=args.port,
+                                workers=args.workers,
+                                queue_limit=args.queue_limit,
+                                use_cache=args.cache,
+                                cache_dir=args.cache_dir,
+                                trace_dir=args.trace_dir)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"autocheck serve: listening on http://{server.host}:{server.port} "
+          f"({args.workers} workers, queue limit {args.queue_limit}, "
+          f"store {server.store.root})")
+    print("endpoints: POST /analyze · GET /jobs/<id> · GET /report/<key> · "
+          "GET /stats · GET /healthz  (Ctrl-C drains and exits)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down: draining in-flight jobs ...")
+    server.close(graceful=True)
+    return 0
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
@@ -387,6 +417,29 @@ def build_parser() -> argparse.ArgumentParser:
                               "<store root>/traces)")
     _add_cache_flags(p_batch, default=True)
     p_batch.set_defaults(func=_cmd_analyze_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the analysis-as-a-service HTTP/JSON daemon: warm "
+             "requests answer from the artifact store, cold ones fan "
+             "into a bounded worker pool with request coalescing and "
+             "429 backpressure")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8573,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default: 8573)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="analysis worker threads for cold requests "
+                              "(default: 2)")
+    p_serve.add_argument("--queue-limit", type=int, default=16,
+                         help="max queued cold analyses before the daemon "
+                              "sheds load with 429 (default: 16)")
+    p_serve.add_argument("--trace-dir", default=None,
+                         help="where app traces and uploaded trace bodies "
+                              "are kept (default: <store root>/traces)")
+    _add_cache_flags(p_serve, default=True)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_gc = sub.add_parser("gc",
                           help="inspect the artifact store and evict entries")

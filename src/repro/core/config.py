@@ -14,8 +14,8 @@ Sec. V-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 #: Valid values of :attr:`AutoCheckConfig.analysis_engine`.
 ANALYSIS_ENGINES = ("fused", "parallel", "multipass")
@@ -133,6 +133,17 @@ class AutoCheckConfig:
     #: serve (in-memory traces, text traces, v1 binary files without a
     #: block index) silently fall back to the record walk.
     decode: str = "columnar"
+    #: Optional progress hook for long walks: called with the cumulative
+    #: number of trace records consumed so far, periodically during the
+    #: fused engine's walk (per columnar block, or every
+    #: :data:`repro.core.pipeline.PROGRESS_STRIDE` records on the record
+    #: walk).  The serve daemon points this at a job's progress counter so
+    #: ``GET /jobs/<id>`` can stream live progress; it is per-run plumbing,
+    #: not analysis semantics — excluded from equality, repr and the
+    #: artifact-store fingerprint, and it must be picklable (or ``None``)
+    #: if the config crosses process boundaries.
+    progress_callback: Optional[Callable[[int], None]] = field(
+        default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.parallel_preprocessing and self.streaming_preprocessing:

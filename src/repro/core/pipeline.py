@@ -69,6 +69,32 @@ from repro.util.timing import TimingBreakdown
 _PROBE_LOAD = int(Opcode.LOAD)
 _PROBE_STORE = int(Opcode.STORE)
 
+#: How many records the fused engine's classic record walk consumes between
+#: two :attr:`AutoCheckConfig.progress_callback` firings (the columnar walk
+#: fires once per decoded block instead — blocks are already the natural
+#: bulk unit there).
+PROGRESS_STRIDE = 65536
+
+
+def _with_record_progress(records, callback, stride: int = PROGRESS_STRIDE):
+    """Tee a record iterable into ``callback(cumulative_count)`` firings."""
+    count = 0
+    for record in records:
+        yield record
+        count += 1
+        if not count % stride:
+            callback(count)
+    callback(count)
+
+
+def _with_block_progress(blocks, callback):
+    """Tee a columnar block iterable into per-block progress firings."""
+    total = 0
+    for block in blocks:
+        yield block
+        total += block.count
+        callback(total)
+
 
 class InductionProbePass(AnalysisPass):
     """Engine pass behind the dynamic induction-variable fallback.
@@ -302,19 +328,27 @@ class AutoCheck:
             return self._run_parallel()
         return self._run_fused()
 
-    def _run_with_cache(self) -> AutoCheckReport:
-        """Cache lookup → engine run on miss → publish.
+    def cache_key(self):
+        """The artifact-store address of this run, without running it.
 
-        The trace digest costs zero record decodes for file inputs (binary
-        footers carry it precomputed; text files hash raw bytes); an
-        in-memory trace is digested by streaming it through the binary
-        encoder into a hash sink, which yields the same digest its on-disk
-        binary form would carry.
+        Computing the address costs zero record decodes for file inputs
+        (binary footers carry the digest precomputed; text files hash raw
+        bytes); an in-memory trace is digested by streaming it through the
+        binary encoder into a hash sink, which yields the same digest its
+        on-disk binary form would carry.
+
+        Shared by the cache lookup below and by the serve daemon, whose
+        request-coalescing table keys on exactly this address — "N
+        identical in-flight requests" and "a warm store hit" agree on what
+        *identical* means by construction.
+
+        Returns:
+            :class:`repro.store.cache.ArtifactAddress`.
         """
         # Imported lazily: repro.store imports core modules, so a top-level
         # import here would be circular when repro.store is imported first.
         from repro.store.cache import (
-            ArtifactStore,
+            ArtifactAddress,
             artifact_key,
             config_fingerprint,
         )
@@ -340,19 +374,29 @@ class AutoCheck:
         fingerprint = config_fingerprint(self.config,
                                          static_induction=static_induction,
                                          static_fingerprint=static_fingerprint)
-        key = artifact_key(trace_digest, fingerprint)
+        return ArtifactAddress(key=artifact_key(trace_digest, fingerprint),
+                               trace_digest=trace_digest,
+                               fingerprint=fingerprint)
+
+    def _run_with_cache(self) -> AutoCheckReport:
+        """Cache lookup → engine run on miss → publish."""
+        from repro.store.cache import ArtifactStore
+
+        address = self.cache_key()
+        key = address.key
         store = ArtifactStore(self.config.cache_dir)
         cached = store.load(key)
         if cached is not None:
             cached.cache_info = CacheInfo(hit=True, key=key,
-                                          trace_digest=trace_digest,
+                                          trace_digest=address.trace_digest,
                                           path=store.entry_path(key))
             return cached
         report = self._run_engine()
-        path = store.store(key, report, trace_digest=trace_digest,
-                           fingerprint=fingerprint)
+        path = store.store(key, report, trace_digest=address.trace_digest,
+                           fingerprint=address.fingerprint)
         report.cache_info = CacheInfo(hit=False, key=key,
-                                      trace_digest=trace_digest, path=path)
+                                      trace_digest=address.trace_digest,
+                                      path=path)
         return report
 
     # ------------------------------------------------------------------ #
@@ -419,13 +463,19 @@ class AutoCheck:
         engine = AnalysisEngine(spec, passes, variable_map=varmap,
                                 prefilter=prefilter)
         engine.add_globals(globals_)
+        progress = config.progress_callback
         with timings.stage("fused_analysis"):
             if reader is not None:
+                blocks = reader.iter_blocks()
+                if progress is not None:
+                    blocks = _with_block_progress(blocks, progress)
                 try:
-                    walk = engine.run_columnar(reader.iter_blocks())
+                    walk = engine.run_columnar(blocks)
                 finally:
                     reader.close()
             else:
+                if progress is not None:
+                    records = _with_record_progress(records, progress)
                 walk = engine.run(records)
         timings.add_count("fused_analysis", walk.record_count)
 

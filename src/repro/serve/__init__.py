@@ -1,0 +1,42 @@
+"""Analysis-as-a-service: the serve daemon and its building blocks.
+
+The long-running HTTP/JSON front end over the content-addressed artifact
+store: warm analyses answer as O(1) store reads, cold analyses fan into a
+bounded worker pool, and identical in-flight requests coalesce onto one
+engine walk.  See :mod:`repro.serve.server` for the endpoint surface and
+``docs/serve.md`` for the service contract.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.coalesce import CoalesceTimeout, Flight, RequestCoalescer
+from repro.serve.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Job,
+    JobManager,
+    QueueFullError,
+    ShutdownError,
+)
+from repro.serve.progress import JobProgress, stream_progress
+from repro.serve.server import AnalysisServer, ServeError
+
+__all__ = [
+    "AnalysisServer",
+    "CoalesceTimeout",
+    "Flight",
+    "Job",
+    "JobManager",
+    "JobProgress",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "QueueFullError",
+    "RequestCoalescer",
+    "ServeClient",
+    "ServeError",
+    "ShutdownError",
+    "stream_progress",
+]

@@ -1,0 +1,107 @@
+"""Thin stdlib HTTP client for the serve daemon.
+
+Used by the black-box test harness (and handy for scripting): every
+method maps one endpoint, returns the raw status/headers/body so tests
+can assert on exact bytes, and never retries or hides errors — the
+daemon's behaviour is the thing under test.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+#: (status, lower-cased headers, body bytes)
+Response = Tuple[int, Dict[str, str], bytes]
+
+
+class ServeClient:
+    """One-connection-per-call client for an :class:`AnalysisServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 630.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def request(self, method: str, path: str, body: Optional[bytes] = None,
+                content_type: Optional[str] = None) -> Response:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            headers = {}
+            if content_type is not None:
+                headers["Content-Type"] = content_type
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            header_map = {name.lower(): value
+                          for name, value in response.getheaders()}
+            return response.status, header_map, payload
+        finally:
+            conn.close()
+
+    @staticmethod
+    def json_body(response: Response) -> Any:
+        return json.loads(response[2].decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def analyze_app(self, app: str, params: Optional[Dict[str, int]] = None,
+                    seed: Optional[int] = None,
+                    induction: Optional[str] = None,
+                    wait: bool = True) -> Response:
+        payload: Dict[str, Any] = {"app": app}
+        if params:
+            payload["params"] = params
+        if seed is not None:
+            payload["seed"] = seed
+        if induction is not None:
+            payload["induction"] = induction
+        path = "/analyze" if wait else "/analyze?wait=0"
+        return self.request("POST", path, json.dumps(payload).encode(),
+                            content_type="application/json")
+
+    def analyze_trace(self, trace_bytes: bytes, function: str, start: int,
+                      end: int, induction: Optional[str] = None,
+                      wait: bool = True) -> Response:
+        path = (f"/analyze?function={function}&start={start}&end={end}"
+                + (f"&induction={induction}" if induction else "")
+                + ("" if wait else "&wait=0"))
+        return self.request("POST", path, trace_bytes,
+                            content_type="application/octet-stream")
+
+    def job(self, job_id: str) -> Response:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def stream_job(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield progress snapshots from the chunked streaming endpoint."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}?stream=1")
+            response = conn.getresponse()
+            # http.client decodes the chunked framing; readline() returns
+            # one NDJSON progress line at a time.
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def report(self, key: str) -> Response:
+        return self.request("GET", f"/report/{key}")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.json_body(self.request("GET", "/stats"))
+
+    def healthz(self) -> Response:
+        return self.request("GET", "/healthz")

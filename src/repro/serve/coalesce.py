@@ -1,0 +1,179 @@
+"""Keyed single-flight request coalescing.
+
+The serve daemon addresses analyses by the same tuple as the artifact
+store — ``(trace digest, config fingerprint, schema version)`` — so N
+identical requests arriving while the first one's engine walk is still in
+flight must not trigger N walks.  :class:`RequestCoalescer` is the
+fan-in: the first caller to :meth:`~RequestCoalescer.join` a key becomes
+the *leader* and owns computing the result; everyone else becomes a
+*follower* and waits on the leader's :class:`Flight`.  When the leader
+completes (or fails), every follower observes the same result (or the
+same error) — one walk, N responses.
+
+Invariants (property-tested by ``tests/test_serve_coalesce.py``):
+
+* **No lost waiters** — every ``join`` is resolved by exactly one
+  ``complete``/``fail`` of its flight; waiters blocked in
+  :meth:`Flight.wait` always wake.
+* **Single flight per key** — between a leader's ``join`` and its
+  ``complete``/``fail``, every other ``join`` of the same key lands on
+  the *same* flight as a follower; two leaders for one key can never
+  coexist.
+* **Failure propagation** — a leader's failure reaches every coalesced
+  follower as the same exception instance.
+
+The flight is removed from the table *before* its waiters are released,
+so a request arriving after completion starts a fresh flight (results are
+never cached here — that is the artifact store's job; the coalescer only
+collapses *concurrent* duplicates).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class CoalesceTimeout(Exception):
+    """A flight did not resolve within the caller's wait budget."""
+
+
+class Flight:
+    """One in-flight computation, shared by a leader and its followers."""
+
+    __slots__ = ("key", "waiters", "_done", "_meta_ready", "_result",
+                 "_error", "_meta")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        #: joins observed (leader included); stable once the flight resolves.
+        self.waiters = 1
+        self._done = threading.Event()
+        # Leader-published metadata (e.g. the job id followers should poll).
+        # A follower can join before the leader finished creating the job,
+        # so reads block on this separate event; resolving the flight also
+        # sets it, so a leader that fails early cannot strand meta readers.
+        self._meta_ready = threading.Event()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._meta: Dict[str, Any] = {}
+
+    # -- leader side ---------------------------------------------------- #
+    def publish_meta(self, **meta: Any) -> None:
+        """Make ``meta`` visible to followers (idempotent, leader-only)."""
+        self._meta.update(meta)
+        self._meta_ready.set()
+
+    def _resolve(self, result: Any, error: Optional[BaseException]) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+        self._meta_ready.set()
+
+    # -- follower side -------------------------------------------------- #
+    def meta(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The leader's published metadata (waits for it to appear)."""
+        if not self._meta_ready.wait(timeout):
+            raise CoalesceTimeout(
+                f"flight {self.key!r}: leader published no metadata "
+                f"within {timeout}s")
+        return dict(self._meta)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the flight resolves; return the leader's result.
+
+        Raises:
+            CoalesceTimeout: the flight did not resolve in ``timeout``
+                seconds (the flight itself stays valid — the leader may
+                still resolve it later).
+            BaseException: whatever the leader failed with, re-raised so
+                every coalesced waiter sees the same error.
+        """
+        if not self._done.wait(timeout):
+            raise CoalesceTimeout(
+                f"flight {self.key!r} did not resolve within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+class RequestCoalescer:
+    """Thread-safe keyed single-flight table."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Any, Flight] = {}
+        #: flights led (each is exactly one underlying computation)
+        self.led = 0
+        #: joins that piggybacked on an existing flight (work saved)
+        self.joined = 0
+
+    def join(self, key: Any) -> Tuple[Flight, bool]:
+        """Join (or open) the flight for ``key``.
+
+        Returns:
+            ``(flight, leader)`` — ``leader`` is True for exactly one
+            concurrent caller per key; that caller must eventually call
+            :meth:`complete` or :meth:`fail` with the returned flight.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = Flight(key)
+                self._flights[key] = flight
+                self.led += 1
+                return flight, True
+            flight.waiters += 1
+            self.joined += 1
+            return flight, False
+
+    def _detach(self, flight: Flight) -> None:
+        # Drop the table entry before waking waiters: a request that
+        # arrives after resolution must open a fresh flight, never observe
+        # a stale one.
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+
+    def complete(self, flight: Flight, result: Any) -> None:
+        """Resolve ``flight`` successfully for every waiter (leader-only)."""
+        self._detach(flight)
+        flight._resolve(result, None)
+
+    def fail(self, flight: Flight, error: BaseException) -> None:
+        """Resolve ``flight`` with ``error`` for every waiter (leader-only)."""
+        self._detach(flight)
+        flight._resolve(None, error)
+
+    def run(self, key: Any, fn: Callable[[], Any],
+            timeout: Optional[float] = None) -> Tuple[Any, bool]:
+        """Convenience single-flight call: lead with ``fn`` or wait.
+
+        Returns:
+            ``(result, led)`` — ``led`` says whether this caller ran ``fn``
+            itself or coalesced onto another caller's run.
+        """
+        flight, leader = self.join(key)
+        if not leader:
+            return flight.wait(timeout), False
+        try:
+            result = fn()
+        except BaseException as exc:
+            self.fail(flight, exc)
+            raise
+        self.complete(flight, result)
+        return result, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"led": self.led, "joined": self.joined,
+                    "in_flight": len(self._flights)}

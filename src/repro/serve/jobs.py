@@ -1,0 +1,257 @@
+"""Bounded worker pool with queue backpressure for the serve daemon.
+
+The daemon must keep answering ``/healthz`` and warm lookups while cold
+analyses grind, and it must shed load instead of accepting unbounded
+work: :class:`JobManager` runs a fixed number of worker threads over a
+bounded queue.  A full queue rejects the submit immediately
+(:class:`QueueFullError` → HTTP 429 upstream), which is the whole
+backpressure story — no hidden buffering anywhere.
+
+Jobs are observable (``GET /jobs/<id>``): each :class:`Job` carries its
+lifecycle state (``queued → running → done | failed``), a
+:class:`~repro.serve.progress.JobProgress` the engine walk feeds, and the
+artifact key its result was published under.  Completed jobs stay
+queryable in a bounded history ring so a client can poll a job to its
+terminal state even if it finished between polls.
+
+Graceful shutdown (:meth:`JobManager.shutdown`) closes the intake first
+(new submits fail fast), then drains: queued and running jobs run to
+completion before the workers exit — an accepted analysis is never
+dropped on the floor.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro.serve.progress import JobProgress
+
+#: Lifecycle states of a :class:`Job`.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+#: Completed jobs kept queryable after they resolve.
+HISTORY_LIMIT = 1024
+
+
+class QueueFullError(RuntimeError):
+    """The job queue is at capacity; the caller should shed load (429)."""
+
+
+class ShutdownError(RuntimeError):
+    """The manager no longer accepts work (daemon is draining)."""
+
+
+class Job:
+    """One unit of pool work, observable across threads."""
+
+    __slots__ = ("id", "label", "state", "created_at", "started_at",
+                 "finished_at", "progress", "result", "error", "artifact_key",
+                 "_done")
+
+    def __init__(self, job_id: str, label: str) -> None:
+        self.id = job_id
+        self.label = label
+        self.state = JOB_QUEUED
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.progress = JobProgress()
+        self.result: Any = None
+        self.error: Optional[str] = None
+        #: store key the result was published under (set by the runner).
+        self.artifact_key: Optional[str] = None
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job resolves; True when it did."""
+        return self._done.wait(timeout)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready status view (what ``GET /jobs/<id>`` serves)."""
+        snap: Dict[str, Any] = {
+            "id": self.id,
+            "label": self.label,
+            "state": self.state,
+            "progress": self.progress.snapshot(),
+        }
+        if self.artifact_key is not None:
+            snap["key"] = self.artifact_key
+        if self.error is not None:
+            snap["error"] = self.error
+        return snap
+
+
+class JobManager:
+    """Fixed worker threads over a bounded queue, with a job registry."""
+
+    def __init__(self, workers: int = 2, queue_limit: int = 16) -> None:
+        if workers < 1:
+            raise ValueError(f"JobManager needs workers >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(
+                f"JobManager needs queue_limit >= 1, got {queue_limit}")
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(
+            maxsize=queue_limit)
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._fns: Dict[str, Callable[[Job], Any]] = {}
+        self._ids = itertools.count(1)
+        self._accepting = True
+        self._running = 0
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"autocheck-worker-{i}",
+                             daemon=True)
+            for i in range(workers)]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+    def submit(self, fn: Callable[[Job], Any], label: str = "") -> Job:
+        """Enqueue ``fn`` (called with its :class:`Job`); return the job.
+
+        Raises:
+            ShutdownError: the manager is draining; no new work.
+            QueueFullError: the queue is at capacity — backpressure; the
+                caller should answer 429.
+        """
+        with self._lock:
+            if not self._accepting:
+                raise ShutdownError("job manager is shutting down")
+            job = Job(f"j{next(self._ids):06d}", label)
+            self._jobs[job.id] = job
+            self._fns[job.id] = fn
+            while len(self._jobs) > HISTORY_LIMIT + self.queue_limit:
+                # Evict the oldest *resolved* job; never a live one.
+                for job_id, old in self._jobs.items():
+                    if old.done:
+                        del self._jobs[job_id]
+                        break
+                else:
+                    break
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                del self._jobs[job.id]
+                del self._fns[job.id]
+                self.rejected += 1
+            raise QueueFullError(
+                f"job queue is full ({self.queue_limit} pending); "
+                f"retry later") from None
+        with self._lock:
+            self.submitted += 1
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------ #
+    # Workers
+    # ------------------------------------------------------------------ #
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # stop sentinel
+                self._queue.task_done()
+                return
+            with self._lock:
+                fn = self._fns.pop(job.id)
+                self._running += 1
+            job.state = JOB_RUNNING
+            job.started_at = time.time()
+            job.progress.set_stage("running")
+            try:
+                job.result = fn(job)
+            except BaseException as exc:  # noqa: BLE001 — a job failure must
+                # resolve the job (and its coalesced waiters), not kill the
+                # worker thread.
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = JOB_FAILED
+                job.progress.set_stage("failed")
+                with self._lock:
+                    self.failed += 1
+                    self._running -= 1
+            else:
+                job.state = JOB_DONE
+                job.progress.set_stage("done")
+                with self._lock:
+                    self.completed += 1
+                    self._running -= 1
+            finally:
+                job.finished_at = time.time()
+                job._done.set()
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> bool:
+        """Stop intake, optionally drain, and stop the workers.
+
+        Args:
+            drain: run every already-accepted job to completion before the
+                workers exit; ``False`` abandons queued (never-started)
+                jobs by resolving them as failed.
+            timeout: per-thread join budget.
+
+        Returns:
+            True when every worker thread exited.
+        """
+        with self._lock:
+            self._accepting = False
+        if not drain:
+            # Pull queued jobs out and resolve them as failed so no waiter
+            # blocks forever on a job that will never run.
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not None:
+                    job.error = "ShutdownError: daemon stopped before run"
+                    job.state = JOB_FAILED
+                    job.finished_at = time.time()
+                    job._done.set()
+                self._queue.task_done()
+        for _ in self._threads:
+            self._queue.put(None)
+        ok = True
+        for thread in self._threads:
+            thread.join(timeout)
+            ok = ok and not thread.is_alive()
+        return ok
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+                "queue_depth": self._queue.qsize(),
+                "running": self._running,
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+            }

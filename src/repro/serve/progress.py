@@ -1,0 +1,77 @@
+"""Job progress reporting, WebSocket-free.
+
+A long engine walk should be observable while it runs: the pipeline's
+:attr:`repro.core.config.AutoCheckConfig.progress_callback` hook fires
+with the cumulative record count as the walk advances, and
+:class:`JobProgress` is the thread-safe sink the serve daemon hands it.
+``GET /jobs/<id>`` serves one snapshot per poll; ``GET /jobs/<id>?stream=1``
+serves a chunked sequence of snapshot lines (plain HTTP chunked transfer,
+one JSON document per line — no WebSocket machinery) until the job
+resolves.
+
+The counter has a single writer (the engine walk runs on one worker
+thread) and many readers (handler threads snapshotting it); CPython
+attribute stores are atomic, so readers never observe a torn value — at
+worst a slightly stale one, which is exactly what a progress report is.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, Optional
+
+
+class JobProgress:
+    """Monotonic progress counter for one analysis job."""
+
+    __slots__ = ("records", "stage", "updated_at")
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.stage = "queued"
+        self.updated_at = time.time()
+
+    def update(self, records: int) -> None:
+        """The pipeline progress callback: cumulative records walked."""
+        self.records = records
+        self.updated_at = time.time()
+
+    def set_stage(self, stage: str) -> None:
+        self.stage = stage
+        self.updated_at = time.time()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"records": self.records, "stage": self.stage}
+
+
+def stream_progress(job: Any, poll_interval: float = 0.05,
+                    max_seconds: float = 300.0,
+                    emit_every: Optional[int] = None) -> Iterator[bytes]:
+    """Yield progress snapshots of ``job`` as JSON lines until it resolves.
+
+    Args:
+        job: a :class:`repro.serve.jobs.Job` (anything with ``snapshot()``
+            and ``wait(timeout)``).
+        poll_interval: seconds between snapshots while the job runs.
+        max_seconds: hard ceiling so an abandoned connection cannot pin a
+            handler thread forever.
+        emit_every: when set, suppress intermediate snapshots whose record
+            count advanced by less than this many records (the first and
+            final snapshots always emit).
+
+    The final yielded line is always the job's terminal snapshot.
+    """
+    deadline = time.time() + max_seconds
+    last_emitted: Optional[int] = None
+    while True:
+        done = job.wait(timeout=poll_interval)
+        snap = job.snapshot()
+        if done or time.time() >= deadline:
+            yield (json.dumps(snap, sort_keys=True) + "\n").encode("utf-8")
+            return
+        records = snap.get("progress", {}).get("records", 0)
+        if (last_emitted is None or emit_every is None
+                or records - last_emitted >= emit_every):
+            last_emitted = records
+            yield (json.dumps(snap, sort_keys=True) + "\n").encode("utf-8")

@@ -301,28 +301,71 @@ def ensure_app_trace(module, app_name: str, params: Dict[str, int],
     return trace_path
 
 
-def _run_app_entry(entry: BatchEntry, use_cache: bool,
-                   cache_dir: Optional[str], trace_dir: str):
+@dataclass
+class PreparedAppAnalysis:
+    """An app analysis, staged but not yet run.
+
+    Everything needed to either *address* the analysis
+    (``autocheck.cache_key()`` — zero record decodes) or *run* it
+    (``autocheck.run()``).  The serve daemon stages requests this way so
+    it can consult the store and the request-coalescing table before
+    committing a worker to the walk; the batch path runs it immediately.
+    """
+
+    app_name: str
+    trace_path: str
+    config: AutoCheckConfig
+    spec: MainLoopSpec
+    autocheck: AutoCheck
+
+
+def prepare_app_analysis(app_name: str,
+                         params: Optional[Dict[str, int]] = None,
+                         *,
+                         induction: Optional[str] = None,
+                         use_cache: bool = True,
+                         cache_dir: Optional[str] = None,
+                         trace_dir: Optional[str] = None,
+                         seed: int = 314159) -> PreparedAppAnalysis:
+    """Compile, trace (or reuse the trace) and stage one bundled app.
+
+    Raises:
+        KeyError: unknown app name (the registry's own error, so CLI and
+            HTTP frontends can map it to their not-found shapes).
+    """
     from repro.apps.registry import get_app
     from repro.codegen.lowering import compile_source
 
-    app = get_app(entry.app)
-    source = app.source(**entry.params)
+    app = get_app(app_name)
+    params = dict(params or {})
+    source = app.source(**params)
     module = compile_source(source, module_name=app.name)
     spec = app.main_loop(source)
 
-    trace_path = ensure_app_trace(module, app.name, entry.params, trace_dir,
-                                  entry.seed)
+    if trace_dir is None:
+        trace_dir = os.path.join(cache_dir or default_cache_dir(), "traces")
+    trace_path = ensure_app_trace(module, app.name, params, trace_dir, seed)
 
     options: Dict[str, Any] = dict(app.autocheck_options)
-    if entry.induction is not None:
-        options["induction_variable"] = entry.induction
+    if induction is not None:
+        options["induction_variable"] = induction
     options["use_cache"] = use_cache
     options["cache_dir"] = cache_dir
     config = AutoCheckConfig(main_loop=spec, **options)
     # The module rides along for the static induction analysis, exactly as
     # the single-app harness (experiments.common.analyze_app) passes it.
-    return AutoCheck(config, trace_path=trace_path, module=module).run()
+    return PreparedAppAnalysis(
+        app_name=app.name, trace_path=trace_path, config=config, spec=spec,
+        autocheck=AutoCheck(config, trace_path=trace_path, module=module))
+
+
+def _run_app_entry(entry: BatchEntry, use_cache: bool,
+                   cache_dir: Optional[str], trace_dir: str):
+    prepared = prepare_app_analysis(
+        entry.app, entry.params, induction=entry.induction,
+        use_cache=use_cache, cache_dir=cache_dir, trace_dir=trace_dir,
+        seed=entry.seed)
+    return prepared.autocheck.run()
 
 
 def analyze_app_cached(app_name: str,

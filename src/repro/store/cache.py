@@ -114,6 +114,27 @@ def artifact_key(trace_digest: str, fingerprint: str,
     return hashlib.sha256(material.encode("ascii")).hexdigest()
 
 
+@dataclass(frozen=True)
+class ArtifactAddress:
+    """The full addressing tuple of one analysis in the store.
+
+    Every consumer that needs to *name* an analysis before (or without)
+    running it — the cache lookup in the pipeline, the serve daemon's
+    request-coalescing table, ``GET /report/<key>`` — shares this one
+    shape, so "the same analysis" means the same thing everywhere: same
+    trace content digest, same semantic config fingerprint, same report
+    schema.  Built by :meth:`repro.core.pipeline.AutoCheck.cache_key`.
+    """
+
+    #: The derived store key (what :meth:`ArtifactStore.load` takes).
+    key: str
+    #: Streaming content digest of the trace.
+    trace_digest: str
+    #: Semantic config fingerprint (:func:`config_fingerprint`).
+    fingerprint: str
+    schema_version: int = SCHEMA_VERSION
+
+
 @dataclass
 class StoreStats:
     """Shape of the store on disk."""
@@ -179,17 +200,27 @@ class ArtifactStore:
     def load(self, key: str) -> Optional[AutoCheckReport]:
         """The cached report for ``key``, or ``None`` on a miss.
 
+        This is the **lock-free read path**: no store-wide lock exists,
+        and none is needed.  Writers publish atomically (tmp +
+        ``os.replace``), so a reader's single ``open`` observes either no
+        entry or a complete one — never a torn write.  The read opens the
+        path directly instead of probing existence first: under concurrent
+        ``gc`` / self-healing the file can vanish between a probe and the
+        open, and a vanished file is simply a miss (the serve daemon runs
+        many of these concurrently against the same store).
+
         A corrupted entry counts as a miss: it is unlinked (so the slot
         heals on the next store) and ``None`` is returned.  A hit touches
         the entry's mtime, so :meth:`gc`'s oldest-first eviction tracks
         *use*, not creation — hot entries survive.
         """
         path = self.entry_path(key)
-        if not os.path.exists(path):
-            return None
         try:
             report = self.load_entry(path, key)
-        except StoreError:
+        except StoreError as exc:
+            if isinstance(exc.__cause__, FileNotFoundError):
+                # Plain miss (or lost a benign race with gc): nothing to heal.
+                return None
             with contextlib.suppress(OSError):
                 os.remove(path)
             return None

@@ -260,3 +260,23 @@ def report_from_json(text: str) -> AutoCheckReport:
     except json.JSONDecodeError as exc:
         raise SerializationError(f"report payload is not JSON: {exc}") from exc
     return report_from_dict(payload)
+
+
+def canonical_report_json(report: AutoCheckReport) -> str:
+    """Deterministic wire encoding of the report's *analysis content*.
+
+    The full schema payload minus the ``timings`` block: per-stage
+    wall-clock seconds are provenance of one particular run, so two
+    independent runs that computed the same analysis would otherwise never
+    serialize to the same bytes.  With timings dropped and keys sorted,
+    the encoding is byte-identical for equal reports — the property the
+    serve daemon's responses are tested against (a warm hit, a coalesced
+    follower and a fresh cold run of the same trace all answer with the
+    same bytes).
+
+    The store keeps writing the full payload (:func:`report_to_dict`);
+    this canonical form exists for byte-comparable transport only.
+    """
+    payload = report_to_dict(report)
+    payload.pop("timings", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -138,3 +138,51 @@ def simple_loop_trace(simple_loop_module):
     trace, result = run_and_trace(simple_loop_module, module_name="simple_loop")
     assert not result.failed
     return trace
+
+
+# --------------------------------------------------------------------------- #
+# Decode counting: intercept every path that turns trace bytes into records.
+# Shared by the store suite (warm = cold, zero decodes) and the serve
+# daemon's black-box suite (N coalesced requests = one engine walk).
+# --------------------------------------------------------------------------- #
+@pytest.fixture()
+def decode_counter(monkeypatch):
+    """Count decoded trace records, wherever the decode happens.
+
+    Binary traces funnel every record through ``binio._decode_record``
+    (materializing read, streaming iterator, header scan's full decodes)
+    or through the columnar reader's bulk block decode, which counts once
+    per record in the block; text traces funnel through
+    ``textio.iter_parsed_records``.  All are looked up as module/class
+    attributes at call time, so patching them intercepts every path.
+    """
+    counts = {"records": 0}
+
+    import repro.trace.binio as binio_module
+    import repro.trace.columnar as columnar_module
+    import repro.trace.textio as textio_module
+
+    real_decode = binio_module._decode_record
+    real_iter_parsed = textio_module.iter_parsed_records
+    real_iter_blocks = columnar_module.TraceColumnarReader.iter_blocks
+
+    def counting_decode(buf, position, strings):
+        counts["records"] += 1
+        return real_decode(buf, position, strings)
+
+    def counting_iter_parsed(lines):
+        for record in real_iter_parsed(lines):
+            counts["records"] += 1
+            yield record
+
+    def counting_iter_blocks(self, *args, **kwargs):
+        for block in real_iter_blocks(self, *args, **kwargs):
+            counts["records"] += block.count
+            yield block
+
+    monkeypatch.setattr(binio_module, "_decode_record", counting_decode)
+    monkeypatch.setattr(textio_module, "iter_parsed_records",
+                        counting_iter_parsed)
+    monkeypatch.setattr(columnar_module.TraceColumnarReader, "iter_blocks",
+                        counting_iter_blocks)
+    return counts

@@ -16,7 +16,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS_DIR = os.path.join(REPO_ROOT, "docs")
 REQUIRED_PAGES = ("architecture.md", "trace-format.md", "cli.md",
                   "quickstart.md", "analysis.md", "checkpoint.md",
-                  "static.md")
+                  "static.md", "serve.md")
 
 #: [text](target) — excluding images and in-code parens
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")

@@ -1,0 +1,215 @@
+"""Property tests for the serve daemon's request-coalescing layer.
+
+No HTTP here: :class:`RequestCoalescer` is exercised in isolation, first
+under hypothesis-generated submit/complete/fail schedules checked against
+a reference model, then under seeded multithreaded load.  The three
+documented invariants pinned down:
+
+* **no lost waiters** — every join is resolved by exactly one
+  complete/fail and every waiter observes that resolution;
+* **single flight per key** — two leaders for one key never coexist, so
+  the guarded computation never runs twice concurrently for a key;
+* **failure propagation** — a leader's exception reaches every coalesced
+  waiter as the *same* exception instance.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import CoalesceTimeout, RequestCoalescer
+
+KEYS = ("alpha", "beta", "gamma")
+
+#: A schedule step: (op, key).  ``join`` opens-or-joins the key's flight;
+#: ``complete``/``fail`` resolve the key's open flight (no-ops when the
+#: key has none — hypothesis is free to generate those and the coalescer
+#: surface simply has nothing to call).
+ops = st.lists(
+    st.tuples(st.sampled_from(["join", "complete", "fail"]),
+              st.sampled_from(KEYS)),
+    max_size=60)
+
+
+class ScheduleError(RuntimeError):
+    """Marker error injected by fail steps."""
+
+
+# --------------------------------------------------------------------------- #
+# Model-checked schedules
+# --------------------------------------------------------------------------- #
+@settings(max_examples=200, deadline=None)
+@given(schedule=ops)
+def test_arbitrary_schedules_obey_the_coalescing_invariants(schedule):
+    """Replay a schedule against a reference model of the flight table.
+
+    The model is the documented contract: one open flight per key, joins
+    while open are followers, resolution wakes every waiter with the
+    leader's result/error, and later joins open a fresh flight.
+    """
+    coalescer = RequestCoalescer()
+    open_flights = {}    # key -> its one open Flight
+    waiter_counts = {}   # key -> joins observed on that flight
+    expected_led = 0
+    expected_joined = 0
+    token = 0
+
+    for op, key in schedule:
+        if op == "join":
+            flight, leader = coalescer.join(key)
+            if key in open_flights:
+                # Single flight per key: joining an open key must land on
+                # the existing flight as a follower.
+                assert not leader
+                assert flight is open_flights[key]
+                waiter_counts[key] += 1
+                expected_joined += 1
+            else:
+                assert leader
+                assert not flight.done
+                open_flights[key] = flight
+                waiter_counts[key] = 1
+                expected_led += 1
+            assert flight.waiters == waiter_counts[key]
+        elif key in open_flights:
+            flight = open_flights.pop(key)
+            waiters_before = waiter_counts.pop(key)
+            if op == "complete":
+                token += 1
+                coalescer.complete(flight, token)
+                # Every waiter wakes with the leader's result.
+                for _ in range(waiters_before):
+                    assert flight.wait(timeout=0) == token
+            else:
+                error = ScheduleError(key)
+                coalescer.fail(flight, error)
+                # The same exception instance reaches every waiter.
+                for _ in range(waiters_before):
+                    with pytest.raises(ScheduleError) as excinfo:
+                        flight.wait(timeout=0)
+                    assert excinfo.value is error
+            # The table entry is gone: the next join leads a fresh flight.
+            fresh, fresh_leader = coalescer.join(key)
+            assert fresh_leader and fresh is not flight
+            coalescer.complete(fresh, None)
+            expected_led += 1
+
+    stats = coalescer.stats()
+    assert stats["led"] == expected_led
+    assert stats["joined"] == expected_joined
+    # No lost waiters at the end: only deliberately unresolved flights
+    # remain in the table.
+    assert stats["in_flight"] == len(open_flights)
+    for flight in open_flights.values():
+        assert not flight.done
+        with pytest.raises(CoalesceTimeout):
+            flight.wait(timeout=0)
+
+
+# --------------------------------------------------------------------------- #
+# Seeded multithreaded load
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("seed", [1, 20240808])
+def test_threaded_load_never_runs_a_key_twice_concurrently(seed):
+    """Hammer ``run`` from many threads; the guarded fn is never
+    concurrently entered for the same key, and every caller gets the
+    result computed by the flight it coalesced onto."""
+    coalescer = RequestCoalescer()
+    rng = random.Random(seed)
+    guard_lock = threading.Lock()
+    running = set()
+    executions = {key: 0 for key in KEYS}
+    violations = []
+
+    def compute(key, delay):
+        with guard_lock:
+            if key in running:
+                violations.append(key)
+            running.add(key)
+            executions[key] += 1
+            serial = executions[key]
+        threading.Event().wait(delay)
+        with guard_lock:
+            running.discard(key)
+        return (key, serial)
+
+    calls = [(rng.choice(KEYS), rng.uniform(0.0, 0.005)) for _ in range(120)]
+
+    def one_call(args):
+        key, delay = args
+        result, led = coalescer.run(key, lambda: compute(key, delay))
+        return key, result, led
+
+    with ThreadPoolExecutor(max_workers=12) as pool:
+        results = list(pool.map(one_call, calls))
+
+    assert violations == []
+    for key, result, _ in results:
+        # Whatever flight a caller landed on computed *that* key.
+        assert result[0] == key
+    # Coalescing actually saved work under load, and the ledger balances:
+    # every call either led or joined.
+    stats = coalescer.stats()
+    assert stats["led"] + stats["joined"] == len(calls)
+    assert stats["led"] == sum(executions.values())
+    assert stats["in_flight"] == 0
+
+
+def test_threaded_failures_propagate_to_all_waiters():
+    coalescer = RequestCoalescer()
+    barrier = threading.Barrier(6)
+    errors = []
+    errors_lock = threading.Lock()
+
+    def explode():
+        # Give followers time to pile onto the flight before failing.
+        threading.Event().wait(0.02)
+        raise ScheduleError("kaboom")
+
+    def one_call(_):
+        barrier.wait(timeout=10)
+        try:
+            coalescer.run("key", explode, timeout=10)
+        except ScheduleError as exc:
+            with errors_lock:
+                errors.append(exc)
+            return "failed"
+        return "succeeded"
+
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        outcomes = list(pool.map(one_call, range(6)))
+
+    # Every caller failed — whether it led a flight or coalesced onto one
+    # — and coalesced callers saw their leader's exact exception instance.
+    assert outcomes == ["failed"] * 6
+    assert len(errors) == 6
+    assert len({id(e) for e in errors}) == coalescer.stats()["led"]
+    assert coalescer.stats()["in_flight"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Flight metadata plumbing
+# --------------------------------------------------------------------------- #
+class TestFlightMeta:
+    def test_meta_blocks_until_published(self):
+        coalescer = RequestCoalescer()
+        flight, leader = coalescer.join("k")
+        assert leader
+        with pytest.raises(CoalesceTimeout):
+            flight.meta(timeout=0)
+        flight.publish_meta(job_id="j000001")
+        assert flight.meta(timeout=0) == {"job_id": "j000001"}
+
+    def test_resolution_unblocks_meta_readers(self):
+        # A leader that fails before publishing must not strand followers
+        # blocked on meta().
+        coalescer = RequestCoalescer()
+        flight, _ = coalescer.join("k")
+        coalescer.fail(flight, ScheduleError("early"))
+        assert flight.meta(timeout=0) == {}
